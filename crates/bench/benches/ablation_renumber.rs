@@ -1,0 +1,62 @@
+//! Ablation: the Figure 6(b) restructuring (contiguous, renumbered
+//! local ranges) vs scattered element ordering.
+//!
+//! The CA layout renumbers each rank's elements so every execution
+//! region is a contiguous range over cache-friendly indices. This bench
+//! isolates the locality effect: the same edge-flux kernel over the
+//! same mesh, with (a) the generator's coherent numbering and (b) a
+//! randomly shuffled numbering — the difference is what restructuring
+//! buys per sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_cfd::{MgCfd, MgCfdParams};
+use op2_core::seq;
+use op2_mesh::shuffle::shuffle_set;
+use std::hint::black_box;
+
+fn app(shuffled: bool) -> (MgCfd, op2_core::LoopSpec, op2_core::LoopSpec) {
+    let mut params = MgCfdParams::small(24);
+    params.levels = 1;
+    let mut app = MgCfd::new(params);
+    if shuffled {
+        let nodes = app.levels[0].ids.nodes;
+        let edges = app.levels[0].ids.edges;
+        shuffle_set(&mut app.dom, nodes, 99);
+        shuffle_set(&mut app.dom, edges, 101);
+    }
+    let init = app.init_loop(0);
+    seq::run_loop(&mut app.dom, &init);
+    let flux = app.flux_loop(0);
+    // time_step consumes (and zeroes) the flux each iteration so the
+    // benchmarked state stays bounded — otherwise the accumulator
+    // drifts into inf/NaN territory and FP behaviour, not memory
+    // layout, dominates the comparison.
+    let step = app.time_step_loop(0);
+    (app, flux, step)
+}
+
+fn bench_renumber(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flux_sweep_ordering");
+    let (mut coherent, flux_c, step_c) = app(false);
+    group.bench_function("renumbered_contiguous", |b| {
+        b.iter(|| {
+            seq::run_loop(black_box(&mut coherent.dom), &flux_c);
+            seq::run_loop(black_box(&mut coherent.dom), &step_c);
+        })
+    });
+    let (mut scattered, flux_s, step_s) = app(true);
+    group.bench_function("scattered", |b| {
+        b.iter(|| {
+            seq::run_loop(black_box(&mut scattered.dom), &flux_s);
+            seq::run_loop(black_box(&mut scattered.dom), &step_s);
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_renumber
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation: shared-memory sparse tiling (§2.2's cache-level CA) vs
+//! plain loop-by-loop sweeps.
+//!
+//! A long synthetic chain over a mesh whose working set exceeds cache
+//! is executed (a) loop by loop — every sweep streams all dats from
+//! memory — and (b) tile by tile with the Luporini growth schedule —
+//! each tile's slice stays resident across the whole chain. The speedup
+//! is the memory-traffic reduction the paper's shared-memory level
+//! targets. Tile-count sweep included: too few tiles ≈ no locality
+//! gain, too many ≈ scheduling overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_cfd::{MgCfd, MgCfdParams};
+use op2_core::tiling::{build_tile_plan, run_chain_tiled, seed_blocks};
+use op2_core::{seq, ChainSpec};
+
+fn setup(n: usize, nchains: usize) -> (MgCfd, ChainSpec) {
+    let mut params = MgCfdParams::small(n);
+    params.levels = 1;
+    params.nchains = nchains;
+    let mut app = MgCfd::new(params);
+    let init = app.init_loop(0);
+    seq::run_loop(&mut app.dom, &init);
+    let write_pres = app.write_pres_loop();
+    seq::run_loop(&mut app.dom, &write_pres);
+    let chain = app.synthetic_chain().unwrap();
+    (app, chain)
+}
+
+fn bench_tiling(c: &mut Criterion) {
+    // ~40^3 nodes x (2+2+2 components x 8B) ≈ 10 MB working set for the
+    // chain dats — past L2 on most parts. Every variant gets a fresh
+    // app so all of them accumulate over identical numeric state.
+    let mut group = c.benchmark_group("chain_8loops_40cube");
+    group.sample_size(10);
+    {
+        let (mut app, chain) = setup(40, 4);
+        group.bench_function("plain_sweeps", |b| {
+            b.iter(|| {
+                for l in &chain.loops {
+                    seq::run_loop(&mut app.dom, l);
+                }
+            })
+        });
+    }
+    for n_tiles in [4usize, 16, 64, 256] {
+        let (mut app, chain) = setup(40, 4);
+        let n_edges = app.dom.set(app.levels[0].ids.edges).size;
+        let seed = seed_blocks(n_edges, n_tiles);
+        let plan = build_tile_plan(&app.dom, &chain.sigs(), &seed);
+        group.bench_with_input(
+            BenchmarkId::new("sparse_tiled", n_tiles),
+            &n_tiles,
+            |b, _| {
+                b.iter(|| {
+                    run_chain_tiled(&mut app.dom, &chain, &plan);
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_tiling
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the runtime's building blocks.
+//!
+//! `flux_kernel_per_iter` doubles as the calibration run for the model
+//! constant `g` (seconds per edge-kernel iteration) — compare its
+//! result against `Machine::archer2().g_default`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mg_cfd::{MgCfd, MgCfdParams};
+use op2_core::chain::{calc_halo_extents, calc_halo_layers};
+use op2_core::seq;
+use op2_mesh::{Hex3D, Hex3DParams};
+use op2_partition::rings::{compute_rings, find_seeds, MapAdj};
+use op2_partition::{build_layouts, collect_stats, derive_ownership, rcb_partition};
+use std::hint::black_box;
+
+fn bench_flux_kernel(c: &mut Criterion) {
+    let mut params = MgCfdParams::small(24);
+    params.levels = 1;
+    let mut app = MgCfd::new(params);
+    let init = app.init_loop(0);
+    seq::run_loop(&mut app.dom, &init);
+    let flux = app.flux_loop(0);
+    let n_edges = app.dom.set(app.levels[0].ids.edges).size;
+    let mut g = c.benchmark_group("seq_kernels");
+    g.throughput(criterion::Throughput::Elements(n_edges as u64));
+    g.bench_function("flux_kernel_per_iter", |b| {
+        b.iter(|| {
+            seq::run_loop(black_box(&mut app.dom), black_box(&flux));
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    // A long synthetic chain to stress the dependency analyses.
+    let mut params = MgCfdParams::small(4);
+    params.levels = 1;
+    params.nchains = 16;
+    let app = MgCfd::new(params);
+    let chain = app.synthetic_chain().unwrap();
+    let sigs = chain.sigs();
+    c.bench_function("calc_halo_layers_32loops", |b| {
+        b.iter(|| calc_halo_layers(black_box(&sigs)))
+    });
+    c.bench_function("calc_halo_extents_32loops", |b| {
+        b.iter(|| calc_halo_extents(black_box(&sigs)))
+    });
+}
+
+fn bench_inspection(c: &mut Criterion) {
+    let m = Hex3D::generate(Hex3DParams::cube(16));
+    let base = rcb_partition(m.node_coords(), 3, 8);
+    let own = derive_ownership(&m.dom, m.nodes, base, 8);
+
+    c.bench_function("rings_one_rank_16cube_8parts", |b| {
+        let adj = MapAdj::build(&m.dom);
+        let seeds = find_seeds(&m.dom, &own);
+        b.iter(|| compute_rings(&m.dom, &adj, &own, &seeds, 0, 2, 2))
+    });
+    c.bench_function("build_layouts_16cube_8parts", |b| {
+        b.iter(|| build_layouts(black_box(&m.dom), black_box(&own), 2))
+    });
+    for threads in [1usize, 4] {
+        c.bench_with_input(
+            BenchmarkId::new("collect_stats_16cube_8parts", threads),
+            &threads,
+            |b, &t| b.iter(|| collect_stats(&m.dom, &own, 2, t)),
+        );
+    }
+}
+
+fn bench_partition_inputs(c: &mut Criterion) {
+    let m = Hex3D::generate(Hex3DParams::cube(24));
+    c.bench_function("rcb_24cube_16parts", |b| {
+        b.iter(|| rcb_partition(black_box(m.node_coords()), 3, 16))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_flux_kernel, bench_analysis, bench_inspection, bench_partition_inputs
+}
+criterion_main!(benches);

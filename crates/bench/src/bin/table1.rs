@@ -1,0 +1,52 @@
+//! Table 1: systems specifications — the two benchmarked machines, as
+//! published and as calibrated for the virtual-time model.
+
+use op2_model::Machine;
+
+fn row(label: &str, a: &str, c: &str) {
+    println!("{label:<28} | {a:<38} | {c:<38}");
+}
+
+fn main() {
+    println!("== Table 1: Systems Specifications ==\n");
+    row("System", "ARCHER2 (HPE Cray EX)", "Cirrus (SGI/HPE 8600 GPU cluster)");
+    row("", "--------------------------------------", "--------------------------------------");
+    row(
+        "Processor",
+        "AMD EPYC 7742 @ 2.25 GHz",
+        "Intel Xeon Gold 6248 + NVIDIA V100-SXM2-16GB",
+    );
+    row("(procs x cores)/node", "2 x 64", "2 x 20 + 4 x GPUs");
+    row("Mem/node", "256 GB", "384 GB + 16 GB/GPU");
+    row(
+        "Interconnect",
+        "HPE Cray Slingshot 2x100 Gb/s",
+        "Infiniband FDR, 54.5 Gb/s",
+    );
+    row("MPI ranks/node (paper runs)", "128", "4 (one per GPU)");
+
+    println!("\n-- Calibrated model constants (see op2-model::machine) --\n");
+    for m in [Machine::archer2(), Machine::cirrus(), Machine::cirrus_gpudirect()] {
+        println!("{}", m.name);
+        println!("  kind:              {:?}", m.kind);
+        println!("  ranks/node:        {}", m.ranks_per_node);
+        println!("  latency L:         {:.2e} s/message", m.latency);
+        println!("  bandwidth B:       {:.2e} B/s per rank", m.bandwidth);
+        println!("  pack rate:         {:.2e} B/s", m.pack_rate);
+        println!("  g (default):       {:.2e} s/iteration", m.g_default);
+        if m.pcie_latency > 0.0 {
+            println!("  PCIe event:        {:.2e} s", m.pcie_latency);
+            println!("  PCIe bandwidth:    {:.2e} B/s", m.pcie_bandwidth);
+            println!("  kernel launch:     {:.2e} s", m.kernel_launch);
+        }
+        if m.gpu_direct {
+            println!("  GPUDirect:         transfers skip the host but do not overlap compute (\u{a7}3.3)");
+        }
+        println!();
+    }
+    println!(
+        "Absolute seconds are not the reproduction target (DESIGN.md §2);\n\
+         the constants put compute/latency/bandwidth ratios in realistic\n\
+         ranges so the model's crossovers land where the paper's do."
+    );
+}

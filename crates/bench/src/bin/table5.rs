@@ -1,0 +1,102 @@
+//! Table 5: Hydra loop-chains on ARCHER2, 8M mesh — model components
+//! per chain and node count: OP2 `Σ(2dpm¹)`, `Σ(Sᶜ)`, `Σ(S¹)`; CA
+//! `pmʳ`, `Σ(Sᶜ)`, `Σ(Sʰ)`; chain gain%, communication reduction % and
+//! computation increase %.
+
+use op2_bench::*;
+use op2_model::eqs::{gain_percent, t_ca_chain, t_op2_chain};
+use op2_model::profit::{classify, narrative};
+use op2_model::Machine;
+
+fn main() {
+    let cli = Cli::parse();
+    banner("Table 5: Hydra loop-chains on ARCHER2 — 8M mesh components", &cli);
+    let mach = Machine::archer2();
+    let nodes = cli.node_counts(&[4, 16, 64]);
+    let chains = ["weight", "period", "vflux", "gradl", "jacob", "iflux"];
+    if cli.csv {
+        println!(
+            "csv,chain,nodes,op2_comm_B,op2_Sc,op2_S1,ca_comm_B,ca_Sc,ca_Sh,gain_pct,comm_red_pct,comp_inc_pct"
+        );
+    }
+
+    let mesh = cli.scale.ann_8m;
+    println!("(mesh: {} nodes at this scale)\n", mesh.n_nodes());
+    println!(
+        "{:<9} {:>6} | {:>12} {:>9} {:>9} | {:>12} {:>9} {:>9} | {:>8} {:>9} {:>9}",
+        "chain",
+        "nodes",
+        "OP2comm(B)",
+        "S(Sc)",
+        "S(S1)",
+        "CAcomm(B)",
+        "S(Sc)",
+        "S(Sh)",
+        "gain%",
+        "commRed%",
+        "compInc%"
+    );
+    // Statistics depend only on (mesh, ranks): collect once per node
+    // count (paper extents need depth 2) and reuse across chains.
+    let per_node: Vec<(usize, _, _)> = nodes
+        .iter()
+        .filter(|&&n| n * cli.scale.cpu_rpn < mesh.n_nodes() / 8)
+        .map(|&n| {
+            let ranks = n * cli.scale.cpu_rpn;
+            let (app, stats) = hydra_stats(mesh, ranks, 2, cli.scale.threads);
+            (n, app, stats)
+        })
+        .collect();
+    for chain_name in chains {
+        let mut last_verdict = None;
+        for (n_nodes, app, stats) in &per_node {
+            let n_nodes = *n_nodes;
+            let comp = hydra_chain_components(app, stats, chain_name, &mach);
+            last_verdict = Some(classify(&mach, &comp));
+            let t_op2 = t_op2_chain(&mach, &comp.op2_loops);
+            let t_ca = t_ca_chain(&mach, &comp.ca);
+            let gain = gain_percent(t_op2, t_ca);
+            println!(
+                "{:<9} {:>6} | {:>12} {:>9} {:>9} | {:>12} {:>9} {:>9} | {:>8.2} {:>9.2} {:>9.2}",
+                chain_name,
+                n_nodes,
+                comp.op2_comm_bytes as u64,
+                comp.op2_core,
+                comp.op2_halo,
+                comp.ca_comm_bytes as u64,
+                comp.ca_core,
+                comp.ca_halo,
+                gain,
+                comp.comm_reduction_pct(),
+                comp.comp_increase_pct()
+            );
+            if cli.csv {
+                println!(
+                    "csv,{chain_name},{n_nodes},{},{},{},{},{},{},{gain:.2},{:.2},{:.2}",
+                    comp.op2_comm_bytes as u64,
+                    comp.op2_core,
+                    comp.op2_halo,
+                    comp.ca_comm_bytes as u64,
+                    comp.ca_core,
+                    comp.ca_halo,
+                    comp.comm_reduction_pct(),
+                    comp.comp_increase_pct()
+                );
+            }
+        }
+        if let Some(v) = last_verdict {
+            println!(
+                "  -> {:?}: {} (enable CA: {})",
+                v.class,
+                narrative(v.class, mach.kind),
+                if v.enable_ca { "yes" } else { "no" }
+            );
+        }
+    }
+    println!(
+        "\nExpected shape (paper Table 5): `period` and `jacob` show large\n\
+         communication reductions and positive gains at scale; `gradl`\n\
+         increases both communication and computation and loses; `vflux`\n\
+         has zero communication reduction on the CPU cluster."
+    );
+}

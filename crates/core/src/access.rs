@@ -1,0 +1,241 @@
+//! Access modes and loop-argument descriptors (`op_arg_dat` / `op_arg_gbl`).
+
+use crate::domain::{DatId, MapId};
+
+/// How a kernel touches a piece of data — OP2's `OP_READ`, `OP_WRITE`,
+/// `OP_RW` and `OP_INC`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessMode {
+    /// Read-only (`OP_READ`).
+    Read,
+    /// Write-only; every component is overwritten (`OP_WRITE`).
+    Write,
+    /// Read then write (`OP_RW`).
+    Rw,
+    /// Associative, commutative increment (`OP_INC`). The CA back-end's
+    /// redundant-compute correctness argument relies on increments being
+    /// order-independent (up to machine precision), as §2.2 of the paper
+    /// notes.
+    Inc,
+}
+
+impl AccessMode {
+    /// Does this access read the previous value?
+    #[inline]
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::Rw | AccessMode::Inc)
+    }
+
+    /// Does this access modify the value (set the dirty bit)?
+    #[inline]
+    pub fn modifies(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::Rw | AccessMode::Inc)
+    }
+
+    /// Short OP2-style label used when printing tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessMode::Read => "READ",
+            AccessMode::Write => "WRITE",
+            AccessMode::Rw => "RW",
+            AccessMode::Inc => "INC",
+        }
+    }
+}
+
+/// One kernel argument: an access descriptor.
+///
+/// `Dat` mirrors `op_arg_dat(dat, idx, map, dim, "double", mode)`: `map`
+/// is `None` for a *direct* access (OP2's identity map `ID`, index into the
+/// dat with the iteration index itself) or `Some((map, idx))` for an
+/// *indirect* access through entry `idx` of the map.
+///
+/// `Gbl` mirrors `op_arg_gbl`: a small global buffer either read by every
+/// iteration (constants) or reduced into (`Inc` — a global sum). A loop
+/// with a `Gbl`/`Inc` argument is a synchronisation point and therefore can
+/// never sit inside a loop-chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arg {
+    /// Per-element data access.
+    Dat {
+        /// Which dat.
+        dat: DatId,
+        /// `None` = direct, `Some((map, idx))` = indirect via map entry.
+        map: Option<(MapId, u16)>,
+        /// Access mode.
+        mode: AccessMode,
+    },
+    /// Global (loop-wide) buffer: constant broadcast or sum reduction.
+    Gbl {
+        /// Index into the loop's [`GblDecl`] list.
+        idx: u16,
+        /// `Read` (constant) or `Inc` (reduction) — others are rejected at
+        /// loop validation.
+        mode: AccessMode,
+    },
+}
+
+impl Arg {
+    /// Direct dat access helper.
+    pub fn dat_direct(dat: DatId, mode: AccessMode) -> Self {
+        Arg::Dat {
+            dat,
+            map: None,
+            mode,
+        }
+    }
+
+    /// Indirect dat access helper (through map entry `idx`).
+    pub fn dat_indirect(dat: DatId, map: MapId, idx: u16, mode: AccessMode) -> Self {
+        Arg::Dat {
+            dat,
+            map: Some((map, idx)),
+            mode,
+        }
+    }
+
+    /// Global-argument helper.
+    pub fn gbl(idx: u16, mode: AccessMode) -> Self {
+        Arg::Gbl { idx, mode }
+    }
+
+    /// The dat id if this is a dat argument.
+    pub fn dat_id(&self) -> Option<DatId> {
+        match self {
+            Arg::Dat { dat, .. } => Some(*dat),
+            Arg::Gbl { .. } => None,
+        }
+    }
+
+    /// The access mode of this argument.
+    pub fn mode(&self) -> AccessMode {
+        match self {
+            Arg::Dat { mode, .. } | Arg::Gbl { mode, .. } => *mode,
+        }
+    }
+
+    /// Is this an indirect (mapped) dat access?
+    pub fn is_indirect(&self) -> bool {
+        matches!(
+            self,
+            Arg::Dat {
+                map: Some(_),
+                ..
+            }
+        )
+    }
+}
+
+/// Combining operator of a global reduction — OP2's `OP_INC`, `OP_MIN`
+/// and `OP_MAX` global argument flavours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GblOp {
+    /// Sum (`OP_INC` on a global).
+    #[default]
+    Sum,
+    /// Minimum (`OP_MIN`) — e.g. a global time-step bound.
+    Min,
+    /// Maximum (`OP_MAX`).
+    Max,
+}
+
+impl GblOp {
+    /// Combine two partial values.
+    #[inline]
+    pub fn combine(self, a: f64, b: f64) -> f64 {
+        match self {
+            GblOp::Sum => a + b,
+            GblOp::Min => a.min(b),
+            GblOp::Max => a.max(b),
+        }
+    }
+
+    /// The operator's identity element.
+    pub fn identity(self) -> f64 {
+        match self {
+            GblOp::Sum => 0.0,
+            GblOp::Min => f64::INFINITY,
+            GblOp::Max => f64::NEG_INFINITY,
+        }
+    }
+}
+
+/// Declaration of one global argument of a loop: its dimension and initial
+/// contents. For `Read` globals the contents are the constant values; for
+/// `Inc` globals they are the identity the reduction starts from, combined
+/// with [`GblOp`].
+#[derive(Debug, Clone)]
+pub struct GblDecl {
+    /// Number of components.
+    pub dim: usize,
+    /// Initial values (`dim` of them).
+    pub init: Vec<f64>,
+    /// Reduction operator (ignored for `Read` globals).
+    pub op: GblOp,
+}
+
+impl GblDecl {
+    /// A constant global of the given values.
+    pub fn constant(values: &[f64]) -> Self {
+        GblDecl {
+            dim: values.len(),
+            init: values.to_vec(),
+            op: GblOp::Sum,
+        }
+    }
+
+    /// A sum-reduction global of `dim` components.
+    pub fn reduction(dim: usize) -> Self {
+        GblDecl {
+            dim,
+            init: vec![0.0; dim],
+            op: GblOp::Sum,
+        }
+    }
+
+    /// A min-reduction global of `dim` components (starts at +∞).
+    pub fn min_reduction(dim: usize) -> Self {
+        GblDecl {
+            dim,
+            init: vec![f64::INFINITY; dim],
+            op: GblOp::Min,
+        }
+    }
+
+    /// A max-reduction global of `dim` components (starts at −∞).
+    pub fn max_reduction(dim: usize) -> Self {
+        GblDecl {
+            dim,
+            init: vec![f64::NEG_INFINITY; dim],
+            op: GblOp::Max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(AccessMode::Read.reads());
+        assert!(!AccessMode::Read.modifies());
+        assert!(!AccessMode::Write.reads());
+        assert!(AccessMode::Write.modifies());
+        assert!(AccessMode::Rw.reads() && AccessMode::Rw.modifies());
+        assert!(AccessMode::Inc.reads() && AccessMode::Inc.modifies());
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let d = DatId(3);
+        let m = MapId(1);
+        let a = Arg::dat_indirect(d, m, 1, AccessMode::Inc);
+        assert!(a.is_indirect());
+        assert_eq!(a.dat_id(), Some(d));
+        assert_eq!(a.mode(), AccessMode::Inc);
+        let g = Arg::gbl(0, AccessMode::Inc);
+        assert_eq!(g.dat_id(), None);
+        assert!(!g.is_indirect());
+    }
+}

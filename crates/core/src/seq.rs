@@ -1,0 +1,356 @@
+//! Sequential reference executor.
+//!
+//! Runs a parallel loop over the *global* domain on one thread, in set
+//! order. Every other back-end (distributed Alg 1, CA Alg 2, simulated
+//! GPU) is tested against this executor: for the order-independent kernels
+//! the abstraction admits, results must agree to machine precision — and
+//! the test-suite in fact demands exact equality on meshes where each
+//! increment sequence is identical.
+
+use crate::access::{AccessMode, Arg};
+use crate::domain::Domain;
+use crate::kernel::{Args, ArgSlot};
+use crate::loops::LoopSpec;
+use crate::kernel::KernelFn;
+
+/// Result of one loop execution: the final values of every global
+/// argument (constants come back unchanged, reductions hold the sum).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoopResult {
+    /// One buffer per [`crate::access::GblDecl`], in declaration order.
+    pub gbls: Vec<Vec<f64>>,
+}
+
+/// Execute `spec` over the whole domain. Panics (debug) on descriptor
+/// misuse; validate with [`LoopSpec::validate`] first for graceful errors.
+pub fn run_loop(dom: &mut Domain, spec: &LoopSpec) -> LoopResult {
+    let n_iter = dom.set(spec.set).size;
+    run_loop_range(dom, spec, 0, n_iter)
+}
+
+/// Execute `spec` over an explicit iteration list — the building block
+/// of sparse-tiled execution, where each tile owns an arbitrary subset
+/// of every loop's iteration space.
+pub fn run_loop_indexed(dom: &mut Domain, spec: &LoopSpec, iters: &[u32]) -> LoopResult {
+    run_loop_impl(dom, spec, Iterations::List(iters))
+}
+
+/// Execute `spec` over iterations `[start, end)` of its set — the building
+/// block the distributed executors share (core / halo segments are ranges
+/// after renumbering).
+pub fn run_loop_range(dom: &mut Domain, spec: &LoopSpec, start: usize, end: usize) -> LoopResult {
+    run_loop_impl(dom, spec, Iterations::Range(start, end))
+}
+
+enum Iterations<'a> {
+    Range(usize, usize),
+    List(&'a [u32]),
+}
+
+fn run_loop_impl(dom: &mut Domain, spec: &LoopSpec, iters: Iterations<'_>) -> LoopResult {
+    // Global-argument buffers.
+    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+
+    // Resolve per-arg base pointers once. Value-based kernel access makes
+    // aliasing between args sound; single-threaded execution makes the
+    // raw-pointer reads/writes race-free.
+    struct Resolved {
+        base: *mut f64,
+        dim: u32,
+        mode: AccessMode,
+        /// `Some((map base, arity, idx))` for indirect args.
+        map: Option<(*const u32, usize, usize)>,
+        /// Direct args index by iteration, gbl args by zero.
+        direct: bool,
+    }
+    let mut resolved: Vec<Resolved> = Vec::with_capacity(spec.args.len());
+    for arg in &spec.args {
+        match arg {
+            Arg::Dat { dat, map, mode } => {
+                let dim = dom.dat(*dat).dim as u32;
+                let base = dom.dat_mut(*dat).data.as_mut_ptr();
+                let map_info = map.map(|(m, idx)| {
+                    let md = dom.map(m);
+                    (md.values.as_ptr(), md.arity, idx as usize)
+                });
+                resolved.push(Resolved {
+                    base,
+                    dim,
+                    mode: *mode,
+                    map: map_info,
+                    direct: map.is_none(),
+                });
+            }
+            Arg::Gbl { idx, mode } => {
+                let buf = &mut gbl_bufs[*idx as usize];
+                resolved.push(Resolved {
+                    base: buf.as_mut_ptr(),
+                    dim: buf.len() as u32,
+                    mode: *mode,
+                    map: None,
+                    direct: false,
+                });
+            }
+        }
+    }
+
+    let mut slots: Vec<ArgSlot> = resolved
+        .iter()
+        .map(|r| ArgSlot {
+            ptr: r.base,
+            dim: r.dim,
+            mode: r.mode,
+        })
+        .collect();
+
+    let mut body = |e: usize| {
+        for (slot, r) in slots.iter_mut().zip(resolved.iter()) {
+            let elem = match (&r.map, r.direct) {
+                (Some((mbase, arity, idx)), _) => {
+                    // SAFETY: map values validated at declaration.
+                    unsafe { *mbase.add(e * arity + idx) as usize }
+                }
+                (None, true) => e,
+                (None, false) => 0, // gbl
+            };
+            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
+        }
+        (spec.kernel)(&Args::new(&slots));
+    };
+    match iters {
+        Iterations::Range(start, end) => {
+            for e in start..end {
+                body(e);
+            }
+        }
+        Iterations::List(list) => {
+            for &e in list {
+                body(e as usize);
+            }
+        }
+    }
+
+    LoopResult { gbls: gbl_bufs }
+}
+
+/// Execute `spec` color by color, each color's conflict-free iterations
+/// spread over `n_threads` OS threads — OP2's shared-memory execution
+/// scheme (the coloring guarantees no two concurrent iterations modify
+/// the same element, so no atomics are needed; colors are barriers).
+///
+/// Within one color the per-element modification order is fixed by the
+/// color sequence, so results are **independent of the thread count**
+/// (and equal to plain sequential execution exactly when increments are
+/// integer-valued, to rounding otherwise).
+///
+/// # Panics
+/// Panics if the loop carries global reduction arguments (reduce
+/// sequentially instead, or pre-split the reduction).
+pub fn run_loop_colored_parallel(
+    dom: &mut Domain,
+    spec: &LoopSpec,
+    coloring: &crate::coloring::Coloring,
+    n_threads: usize,
+) {
+    assert!(
+        !spec.has_reduction(),
+        "colored parallel execution does not support global reductions"
+    );
+    assert!(n_threads >= 1);
+    debug_assert!(crate::coloring::is_valid_coloring(dom, &spec.sig(), coloring));
+
+    // Resolve argument bases once (as in `run_loop_impl`).
+    struct ArgInfo {
+        base: *mut f64,
+        dim: u32,
+        mode: AccessMode,
+        map: Option<(*const u32, usize, usize)>,
+        direct: bool,
+    }
+    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+    let mut infos: Vec<ArgInfo> = Vec::with_capacity(spec.args.len());
+    for arg in &spec.args {
+        match arg {
+            Arg::Dat { dat, map, mode } => {
+                let dim = dom.dat(*dat).dim as u32;
+                let base = dom.dat_mut(*dat).data.as_mut_ptr();
+                let map_info = map.map(|(m, idx)| {
+                    let md = dom.map(m);
+                    (md.values.as_ptr(), md.arity, idx as usize)
+                });
+                infos.push(ArgInfo {
+                    base,
+                    dim,
+                    mode: *mode,
+                    map: map_info,
+                    direct: map.is_none(),
+                });
+            }
+            Arg::Gbl { idx, mode } => {
+                debug_assert!(!mode.modifies());
+                let buf = &mut gbl_bufs[*idx as usize];
+                infos.push(ArgInfo {
+                    base: buf.as_mut_ptr(),
+                    dim: buf.len() as u32,
+                    mode: *mode,
+                    map: None,
+                    direct: false,
+                });
+            }
+        }
+    }
+
+    // SAFETY wrapper: the pointers reference buffers that outlive the
+    // scope below; the coloring guarantees concurrent iterations write
+    // disjoint elements, and all access goes through value-based
+    // `Args` reads/writes (no references formed).
+    struct Shared<'a> {
+        infos: &'a [ArgInfo],
+        kernel: KernelFn,
+    }
+    unsafe impl Sync for Shared<'_> {}
+    let shared = Shared {
+        infos: &infos,
+        kernel: spec.kernel,
+    };
+
+    for bucket in &coloring.by_color {
+        let chunk = bucket.len().div_ceil(n_threads).max(1);
+        std::thread::scope(|scope| {
+            for piece in bucket.chunks(chunk) {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let mut slots: Vec<ArgSlot> = shared
+                        .infos
+                        .iter()
+                        .map(|r| ArgSlot {
+                            ptr: r.base,
+                            dim: r.dim,
+                            mode: r.mode,
+                        })
+                        .collect();
+                    for &e in piece {
+                        let e = e as usize;
+                        for (slot, r) in slots.iter_mut().zip(shared.infos.iter()) {
+                            let elem = match (&r.map, r.direct) {
+                                (Some((mbase, arity, idx)), _) => {
+                                    // SAFETY: map validated at declaration.
+                                    unsafe { *mbase.add(e * arity + idx) as usize }
+                                }
+                                (None, true) => e,
+                                (None, false) => 0,
+                            };
+                            // SAFETY: disjoint writes per the coloring.
+                            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
+                        }
+                        (shared.kernel)(&Args::new(&slots));
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessMode, Arg, GblDecl};
+
+    /// Figure 2's `update` kernel on the Figure 1 mesh shape: edges
+    /// increment node residuals from node pressures.
+    fn update_kernel(args: &Args<'_>) {
+        // args: res1 INC, res2 INC, pres1 READ, pres2 READ (dim 2 each)
+        args.inc(0, 0, args.get(2, 0) - args.get(2, 1));
+        args.inc(0, 1, args.get(3, 0) - args.get(3, 1));
+        args.inc(1, 0, args.get(3, 1) - args.get(3, 0));
+        args.inc(1, 1, args.get(2, 1) - args.get(2, 0));
+    }
+
+    #[test]
+    fn indirect_increment_matches_hand_rolled() {
+        // Path graph: 3 nodes, 2 edges.
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 3);
+        let edges = dom.decl_set("edges", 2);
+        let e2n = dom
+            .decl_map("e2n", edges, nodes, 2, vec![0, 1, 1, 2])
+            .unwrap();
+        let pres = dom.decl_dat("pres", nodes, 2, vec![1.0, 2.0, 3.0, 5.0, 8.0, 13.0]);
+        let res = dom.decl_dat_zeros("res", nodes, 2);
+
+        let spec = LoopSpec::new(
+            "update",
+            edges,
+            vec![
+                Arg::dat_indirect(res, e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(res, e2n, 1, AccessMode::Inc),
+                Arg::dat_indirect(pres, e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(pres, e2n, 1, AccessMode::Read),
+            ],
+            update_kernel,
+        );
+        spec.validate(&dom).unwrap();
+        run_loop(&mut dom, &spec);
+
+        // Hand-rolled expectation.
+        let p = [1.0, 2.0, 3.0, 5.0, 8.0, 13.0];
+        let mut expect = [0.0; 6];
+        for (a, b) in [(0usize, 1usize), (1, 2)] {
+            expect[2 * a] += p[2 * a] - p[2 * a + 1];
+            expect[2 * a + 1] += p[2 * b] - p[2 * b + 1];
+            expect[2 * b] += p[2 * b + 1] - p[2 * b];
+            expect[2 * b + 1] += p[2 * a + 1] - p[2 * a];
+        }
+        assert_eq!(dom.dat(res).data.as_slice(), &expect);
+    }
+
+    fn sumsq_kernel(args: &Args<'_>) {
+        let v = args.get(0, 0);
+        args.inc(1, 0, v * v);
+    }
+
+    #[test]
+    fn global_reduction_sums() {
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 4);
+        let x = dom.decl_dat("x", nodes, 1, vec![1.0, 2.0, 3.0, 4.0]);
+        let spec = LoopSpec::with_gbls(
+            "sumsq",
+            nodes,
+            vec![
+                Arg::dat_direct(x, AccessMode::Read),
+                Arg::gbl(0, AccessMode::Inc),
+            ],
+            vec![GblDecl::reduction(1)],
+            sumsq_kernel,
+        );
+        spec.validate(&dom).unwrap();
+        let res = run_loop(&mut dom, &spec);
+        assert_eq!(res.gbls[0], vec![30.0]);
+    }
+
+    fn scale_kernel(args: &Args<'_>) {
+        let factor = args.get(1, 0);
+        args.set(0, 0, args.get(0, 0) * factor);
+    }
+
+    #[test]
+    fn constant_gbl_and_range_execution() {
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 4);
+        let x = dom.decl_dat("x", nodes, 1, vec![1.0, 1.0, 1.0, 1.0]);
+        let spec = LoopSpec::with_gbls(
+            "scale",
+            nodes,
+            vec![
+                Arg::dat_direct(x, AccessMode::Rw),
+                Arg::gbl(0, AccessMode::Read),
+            ],
+            vec![GblDecl::constant(&[3.0])],
+            scale_kernel,
+        );
+        // Only iterations 1..3.
+        run_loop_range(&mut dom, &spec, 1, 3);
+        assert_eq!(dom.dat(x).data, vec![1.0, 3.0, 3.0, 1.0]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Simulated device memory and transfer accounting.
+
+use std::fmt;
+
+/// Why a device operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// Allocation would exceed the device capacity.
+    OutOfMemory {
+        /// Requested bytes.
+        requested: usize,
+        /// Bytes still free.
+        free: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory { requested, free } => {
+                write!(f, "device out of memory: requested {requested} B, free {free} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Host↔device traffic counters — the inputs of the GPU time model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Host→device copy events.
+    pub h2d_events: usize,
+    /// Host→device bytes.
+    pub h2d_bytes: usize,
+    /// Device→host copy events.
+    pub d2h_events: usize,
+    /// Device→host bytes.
+    pub d2h_bytes: usize,
+    /// Kernel launches.
+    pub launches: usize,
+}
+
+impl TransferStats {
+    /// Accumulate another record.
+    pub fn add(&mut self, o: &TransferStats) {
+        self.h2d_events += o.h2d_events;
+        self.h2d_bytes += o.h2d_bytes;
+        self.d2h_events += o.d2h_events;
+        self.d2h_bytes += o.d2h_bytes;
+        self.launches += o.launches;
+    }
+}
+
+/// One rank's GPU: capacity-checked allocations plus transfer counters.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    /// Total device memory in bytes (16 GB on the paper's V100s).
+    pub capacity: usize,
+    /// Bytes currently allocated.
+    pub allocated: usize,
+    /// Traffic counters.
+    pub xfer: TransferStats,
+}
+
+impl GpuDevice {
+    /// A device with the given capacity.
+    pub fn new(capacity: usize) -> Self {
+        GpuDevice {
+            capacity,
+            allocated: 0,
+            xfer: TransferStats::default(),
+        }
+    }
+
+    /// The paper's V100-SXM2-16GB.
+    pub fn v100() -> Self {
+        Self::new(16 * (1 << 30))
+    }
+
+    /// Account an allocation of `bytes` (a dat buffer moved on-device).
+    pub fn alloc(&mut self, bytes: usize) -> Result<(), DeviceError> {
+        let free = self.capacity - self.allocated;
+        if bytes > free {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                free,
+            });
+        }
+        self.allocated += bytes;
+        Ok(())
+    }
+
+    /// Release `bytes`.
+    pub fn free(&mut self, bytes: usize) {
+        debug_assert!(bytes <= self.allocated);
+        self.allocated -= bytes;
+    }
+
+    /// Record a host→device copy.
+    pub fn h2d(&mut self, bytes: usize) {
+        if bytes > 0 {
+            self.xfer.h2d_events += 1;
+            self.xfer.h2d_bytes += bytes;
+        }
+    }
+
+    /// Record a device→host copy.
+    pub fn d2h(&mut self, bytes: usize) {
+        if bytes > 0 {
+            self.xfer.d2h_events += 1;
+            self.xfer.d2h_bytes += bytes;
+        }
+    }
+
+    /// Record a kernel launch (empty segments launch nothing).
+    pub fn launch(&mut self, iters: usize) {
+        if iters > 0 {
+            self.xfer.launches += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_enforced() {
+        let mut d = GpuDevice::new(100);
+        d.alloc(60).unwrap();
+        d.alloc(40).unwrap();
+        let err = d.alloc(1).unwrap_err();
+        assert_eq!(
+            err,
+            DeviceError::OutOfMemory {
+                requested: 1,
+                free: 0
+            }
+        );
+        d.free(50);
+        d.alloc(30).unwrap();
+        assert_eq!(d.allocated, 80);
+    }
+
+    #[test]
+    fn transfers_counted() {
+        let mut d = GpuDevice::v100();
+        d.h2d(1024);
+        d.h2d(0); // zero-byte copies are elided, like a real pipeline
+        d.d2h(512);
+        d.launch(100);
+        d.launch(0);
+        assert_eq!(d.xfer.h2d_events, 1);
+        assert_eq!(d.xfer.h2d_bytes, 1024);
+        assert_eq!(d.xfer.d2h_events, 1);
+        assert_eq!(d.xfer.launches, 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut a = TransferStats {
+            h2d_events: 1,
+            h2d_bytes: 10,
+            d2h_events: 2,
+            d2h_bytes: 20,
+            launches: 3,
+        };
+        a.add(&a.clone());
+        assert_eq!(a.h2d_events, 2);
+        assert_eq!(a.d2h_bytes, 40);
+        assert_eq!(a.launches, 6);
+    }
+}

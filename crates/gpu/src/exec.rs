@@ -1,0 +1,304 @@
+//! GPU variants of the two executors.
+//!
+//! The rank's local dat buffers play the role of device global memory
+//! (numerics are identical to the CPU path — the paper's CUDA kernels
+//! compute the same values), while a [`GpuDevice`] records what a real
+//! pipeline would move and launch:
+//!
+//! * [`gpu_place`] accounts the initial allocation and upload of every
+//!   dat buffer, failing when the working set exceeds device memory —
+//!   the same hard wall the paper's 16 GB V100s impose;
+//! * on loop/chain entry, packed halo bytes are staged **device→host**
+//!   before the MPI sends (the paper's pipeline copies over PCIe; no
+//!   GPUDirect);
+//! * received bytes are staged **host→device** after the waits;
+//! * every non-empty execution segment (core / halo, per loop) is a
+//!   kernel launch.
+//!
+//! Under CA the per-loop staging events collapse into one pair per
+//! chain — the mechanism behind the paper's observation that GPU
+//! clusters profit from chaining even when no bytes are saved (vflux,
+//! iflux).
+
+use crate::device::GpuDevice;
+use op2_core::seq::LoopResult;
+use op2_core::{ChainSpec, DatId, LoopSpec};
+use op2_runtime::exec::{run_chain_hooked, run_loop_hooked, ExecHooks};
+use op2_runtime::RankEnv;
+
+/// Place a rank's working set on a device: accounts one allocation plus
+/// the initial host→device upload for every dat buffer.
+///
+/// # Panics
+/// Panics when the working set exceeds device capacity.
+pub fn gpu_place(env: &RankEnv<'_>, dev: &mut GpuDevice) {
+    let mut upload = 0usize;
+    for (didx, buf) in env.dats.iter().enumerate() {
+        let bytes = buf.len() * std::mem::size_of::<f64>();
+        dev.alloc(bytes).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: dat `{}` does not fit on device: {e}",
+                env.rank,
+                env.dom.dat(DatId(didx as u32)).name
+            )
+        });
+        upload += bytes;
+    }
+    dev.h2d(upload);
+}
+
+struct DeviceHooks<'d> {
+    dev: &'d mut GpuDevice,
+}
+
+impl ExecHooks for DeviceHooks<'_> {
+    fn stage_out(&mut self, bytes: usize) {
+        self.dev.d2h(bytes);
+    }
+    fn stage_in(&mut self, bytes: usize) {
+        self.dev.h2d(bytes);
+    }
+    fn launch(&mut self, iters: usize) {
+        self.dev.launch(iters);
+    }
+}
+
+/// Algorithm 1 on the simulated GPU cluster.
+pub fn run_loop_gpu(env: &mut RankEnv<'_>, dev: &mut GpuDevice, spec: &LoopSpec) -> LoopResult {
+    let mut hooks = DeviceHooks { dev };
+    run_loop_hooked(env, spec, &mut hooks)
+}
+
+/// Algorithm 2 (CA) on the simulated GPU cluster.
+pub fn run_chain_gpu(env: &mut RankEnv<'_>, dev: &mut GpuDevice, chain: &ChainSpec) {
+    let mut hooks = DeviceHooks { dev };
+    run_chain_hooked(env, chain, &mut hooks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::TransferStats;
+    use op2_core::{AccessMode, Arg, Args, ChainSpec, LoopSpec};
+    use op2_mesh::Quad2D;
+    use op2_partition::{build_layouts, derive_ownership, rcb_partition, RankLayout};
+    use op2_runtime::run_distributed;
+
+    fn count_kernel(args: &Args<'_>) {
+        args.inc(0, 0, 1.0);
+        args.inc(1, 0, 1.0);
+    }
+
+    fn consume_kernel(args: &Args<'_>) {
+        args.inc(2, 0, args.get(0, 0));
+        args.inc(3, 0, args.get(1, 0));
+    }
+
+    struct Setup {
+        mesh: Quad2D,
+        layouts: Vec<RankLayout>,
+        produce: LoopSpec,
+        consume: LoopSpec,
+    }
+
+    fn setup(nparts: usize) -> Setup {
+        let mut mesh = Quad2D::generate(8, 8);
+        let a = mesh.dom.decl_dat_zeros("a", mesh.nodes, 1);
+        let b = mesh.dom.decl_dat_zeros("b", mesh.nodes, 1);
+        let produce = LoopSpec::new(
+            "produce",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            count_kernel,
+        );
+        let consume = LoopSpec::new(
+            "consume",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(b, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(b, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            consume_kernel,
+        );
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, nparts);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, nparts);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        Setup {
+            mesh,
+            layouts,
+            produce,
+            consume,
+        }
+    }
+
+    /// GPU execution is numerically identical to the sequential
+    /// reference, and CA collapses staging events: exactly one D2H and
+    /// one H2D per chain (plus the initial upload) instead of per loop.
+    /// The standalone `dirty` loop first invalidates `a`'s halos so the
+    /// chain genuinely has to import (freshly gathered dats are valid
+    /// and would otherwise need no exchange at all).
+    #[test]
+    fn gpu_chain_matches_and_stages_once() {
+        let Setup {
+            mut mesh,
+            layouts,
+            produce,
+            consume,
+        } = setup(4);
+        let a = mesh.dom.dat_by_name("a").unwrap();
+        let b = mesh.dom.dat_by_name("b").unwrap();
+        // Chain: read `a` (dirtied by the standalone produce) while
+        // incrementing `b`, then read `b` back into `a`.
+        fn read_a_inc_b(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) + 1.0);
+            args.inc(3, 0, args.get(1, 0) + 1.0);
+        }
+        fn read_b_inc_a(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0));
+            args.inc(3, 0, args.get(1, 0));
+        }
+        let l1 = LoopSpec::new(
+            "read_a_inc_b",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(b, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(b, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            read_a_inc_b,
+        );
+        let l2 = LoopSpec::new(
+            "read_b_inc_a",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(b, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(b, mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            read_b_inc_a,
+        );
+        let chain = ChainSpec::new("pc", vec![l1.clone(), l2.clone()], None, &[]).unwrap();
+        assert_eq!(chain.halo_ext, vec![2, 1]);
+
+        let mut seq_dom = mesh.dom.clone();
+        op2_core::seq::run_loop(&mut seq_dom, &produce);
+        op2_core::seq::run_loop(&mut seq_dom, &l1);
+        op2_core::seq::run_loop(&mut seq_dom, &l2);
+
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut dev = GpuDevice::v100();
+            gpu_place(env, &mut dev);
+            run_loop_gpu(env, &mut dev, &produce); // dirties `a`
+            let after_init = dev.xfer;
+            run_chain_gpu(env, &mut dev, &chain);
+            (after_init, dev.xfer)
+        });
+        let _ = consume;
+        assert_eq!(mesh.dom.dat(a).data, seq_dom.dat(a).data);
+        assert_eq!(mesh.dom.dat(b).data, seq_dom.dat(b).data);
+        for (r, (before, after)) in out.results.iter().enumerate() {
+            if layouts[r].neighbors.is_empty() {
+                continue;
+            }
+            // The chain added exactly one staged-out send...
+            assert_eq!(after.d2h_events - before.d2h_events, 1, "rank {r}");
+            // ...one staged-in receive...
+            assert_eq!(after.h2d_events - before.h2d_events, 1, "rank {r}");
+            // ...and at most 2 segments per loop.
+            let launches = after.launches - before.launches;
+            assert!((2..=4).contains(&launches), "rank {r}: {launches}");
+        }
+    }
+
+    /// The same program as standard per-loop OP2 stages per loop —
+    /// strictly more staging events than the CA chain.
+    #[test]
+    fn per_loop_execution_stages_more() {
+        let Setup {
+            mut mesh,
+            layouts,
+            produce,
+            consume,
+        } = setup(4);
+        let chain =
+            ChainSpec::new("pc", vec![produce.clone(), consume.clone()], None, &[]).unwrap();
+
+        let op2_events = {
+            let mut dom = mesh.dom.clone();
+            let out = run_distributed(&mut dom, &layouts, |env| {
+                let mut dev = GpuDevice::v100();
+                gpu_place(env, &mut dev);
+                run_loop_gpu(env, &mut dev, &produce);
+                run_loop_gpu(env, &mut dev, &consume);
+                dev.xfer
+            });
+            out.results
+        };
+        let ca_events = {
+            let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+                let mut dev = GpuDevice::v100();
+                gpu_place(env, &mut dev);
+                run_chain_gpu(env, &mut dev, &chain);
+                dev.xfer
+            });
+            out.results
+        };
+        for (r, (op2, ca)) in op2_events.iter().zip(&ca_events).enumerate() {
+            if layouts[r].neighbors.is_empty() {
+                continue;
+            }
+            assert!(
+                op2.d2h_events + op2.h2d_events > ca.d2h_events + ca.h2d_events,
+                "rank {r}: OP2 {op2:?} vs CA {ca:?}"
+            );
+        }
+    }
+
+    /// Device capacity gates the per-rank working set (the panic crosses
+    /// the rank-thread boundary, so the harness rethrows it).
+    #[test]
+    #[should_panic(expected = "rank thread panicked")]
+    fn oversized_working_set_panics() {
+        let Setup {
+            mut mesh, layouts, ..
+        } = setup(1);
+        run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut dev = GpuDevice::new(64); // absurdly small device
+            gpu_place(env, &mut dev);
+        });
+    }
+
+    /// Transfer stats accumulate across loops.
+    #[test]
+    fn stats_accumulate_over_program() {
+        let Setup {
+            mut mesh,
+            layouts,
+            produce,
+            consume,
+        } = setup(2);
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut dev = GpuDevice::v100();
+            gpu_place(env, &mut dev);
+            let mut total = TransferStats::default();
+            for _ in 0..3 {
+                run_loop_gpu(env, &mut dev, &produce);
+                run_loop_gpu(env, &mut dev, &consume);
+            }
+            total.add(&dev.xfer);
+            total
+        });
+        for (r, xfer) in out.results.iter().enumerate() {
+            // Initial upload + 3 iterations × exchanges for consume.
+            assert!(xfer.h2d_events >= 1, "rank {r}");
+            assert!(xfer.launches >= 6, "rank {r}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # op2-gpu
+//!
+//! The simulated GPU-cluster back-end (§3.3 of the paper).
+//!
+//! The paper extends the CA back-end to clusters of GPUs: one MPI rank
+//! per GPU, halos staged to the host over PCIe (their pipeline does
+//! *not* use GPUDirect), a single grouped message per neighbour under
+//! CA, and kernels launched per execution segment. We cannot ship CUDA
+//! (repro band: "CUDA bindings immature"), so per DESIGN.md the device
+//! is simulated:
+//!
+//! * [`device`] — a device-memory model: allocations are tracked
+//!   against a configurable capacity (a V100 has 16 GB; oversubscribing
+//!   is an error exactly as `cudaMalloc` would fail), and every
+//!   host↔device transfer is counted with its byte volume;
+//! * [`exec`] — GPU variants of Alg 1 / Alg 2: numerically identical to
+//!   the CPU executors (the "device arrays" are the rank's local
+//!   buffers, so every code path of pack → D2H → MPI → H2D → unpack and
+//!   the per-segment kernel launches is exercised and counted);
+//! * [`time`] — converts a GPU execution trace plus a
+//!   [`op2_model::Machine`] GPU preset into modelled seconds, following
+//!   the §3.3 recipe: `L → Λ` (PCIe event latency), per-byte staging
+//!   cost, kernel-launch overhead.
+
+pub mod device;
+pub mod exec;
+pub mod time;
+
+pub use device::{GpuDevice, TransferStats};
+pub use exec::{gpu_place, run_chain_gpu, run_loop_gpu};
+pub use time::{chain_time, chain_time_gpu, loop_time, loop_time_gpu};

@@ -1,0 +1,263 @@
+//! Annular-sector (rotor-passage-like) mesh for the Hydra-style solver.
+//!
+//! Hydra models turbomachinery blade rows: an annular sector of the
+//! machine with *periodic* planes at the two tangential ends, *hub* and
+//! *casing* walls radially, and a *centreline* at the axis. The six
+//! loop-chains benchmarked in the paper iterate exactly these special
+//! sets (`pedges`, `bnd`, `cbnd`) besides plain `edges`/`nodes`
+//! (Tables 3–4).
+//!
+//! The generator builds an `nr × nt × na` (radial × tangential × axial)
+//! node grid in cylindrical coordinates, with:
+//!
+//! * `edges` — the 6-neighbour dual edges (tangential direction *not*
+//!   wrapped; the periodic coupling is explicit instead);
+//! * `pedges` — one periodic edge per `(r, a)` pair, mapping the matched
+//!   nodes on the two periodic planes (`p2n`, arity 2);
+//! * `bnd` — boundary elements on hub (`r = 0`) and casing
+//!   (`r = nr − 1`), each mapped to its wall node (`bnd2n`, arity 1);
+//! * `cbnd` — centreline elements along the axis at the hub's upstream
+//!   edge (`c2n`, arity 1).
+
+use op2_core::{DatId, Domain, MapId, SetId};
+
+/// Generation parameters for [`Annulus`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnnulusParams {
+    /// Radial node count (hub → casing).
+    pub nr: usize,
+    /// Tangential node count (periodic plane → periodic plane).
+    pub nt: usize,
+    /// Axial node count (inlet → outlet).
+    pub na: usize,
+    /// Inner (hub) radius.
+    pub r_hub: f64,
+    /// Outer (casing) radius.
+    pub r_casing: f64,
+    /// Sector angle in radians (e.g. 2π/36 for a 36-blade row).
+    pub sector: f64,
+}
+
+impl AnnulusParams {
+    /// A small test passage.
+    pub fn small(nr: usize, nt: usize, na: usize) -> Self {
+        AnnulusParams {
+            nr,
+            nt,
+            na,
+            r_hub: 0.5,
+            r_casing: 1.0,
+            sector: std::f64::consts::PI / 18.0,
+        }
+    }
+
+    /// ≈ 8M-node passage (200³).
+    pub fn mesh_8m() -> Self {
+        Self::small(200, 200, 200)
+    }
+
+    /// ≈ 24M-node passage (288·288·289).
+    pub fn mesh_24m() -> Self {
+        AnnulusParams {
+            nr: 288,
+            nt: 288,
+            na: 289,
+            ..Self::small(0, 0, 0)
+        }
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nr * self.nt * self.na
+    }
+}
+
+/// Handles into a generated annular mesh.
+#[derive(Debug)]
+pub struct Annulus {
+    /// The declared domain.
+    pub dom: Domain,
+    /// Node set.
+    pub nodes: SetId,
+    /// Dual-edge set.
+    pub edges: SetId,
+    /// Periodic-edge set (couples the two periodic planes).
+    pub pedges: SetId,
+    /// Hub/casing boundary set.
+    pub bnd: SetId,
+    /// Centreline boundary set.
+    pub cbnd: SetId,
+    /// Edges→nodes, arity 2.
+    pub e2n: MapId,
+    /// Periodic-edges→nodes, arity 2 (the matched pair).
+    pub p2n: MapId,
+    /// Boundary→nodes, arity 1.
+    pub bnd2n: MapId,
+    /// Centreline→nodes, arity 1.
+    pub c2n: MapId,
+    /// Cartesian node coordinates, dim 3.
+    pub coords: DatId,
+    /// Generation parameters.
+    pub params: AnnulusParams,
+}
+
+impl Annulus {
+    /// Generate the mesh.
+    pub fn generate(params: AnnulusParams) -> Self {
+        let AnnulusParams {
+            nr,
+            nt,
+            na,
+            r_hub,
+            r_casing,
+            sector,
+        } = params;
+        assert!(nr >= 2 && nt >= 2 && na >= 2, "need at least 2 nodes/axis");
+        let nnode = params.n_nodes();
+        let node = |r: usize, t: usize, a: usize| ((a * nt + t) * nr + r) as u32;
+
+        // Cartesian coordinates from the cylindrical grid.
+        let mut coords = Vec::with_capacity(nnode * 3);
+        for a in 0..na {
+            for t in 0..nt {
+                for r in 0..nr {
+                    let radius = r_hub + (r_casing - r_hub) * r as f64 / (nr - 1) as f64;
+                    let theta = sector * t as f64 / (nt - 1) as f64;
+                    coords.push(radius * theta.cos());
+                    coords.push(radius * theta.sin());
+                    coords.push(a as f64 / (na - 1) as f64);
+                }
+            }
+        }
+
+        let mut e2n: Vec<u32> = Vec::new();
+        for a in 0..na {
+            for t in 0..nt {
+                for r in 0..nr {
+                    if r + 1 < nr {
+                        e2n.extend_from_slice(&[node(r, t, a), node(r + 1, t, a)]);
+                    }
+                    if t + 1 < nt {
+                        e2n.extend_from_slice(&[node(r, t, a), node(r, t + 1, a)]);
+                    }
+                    if a + 1 < na {
+                        e2n.extend_from_slice(&[node(r, t, a), node(r, t, a + 1)]);
+                    }
+                }
+            }
+        }
+        let nedge = e2n.len() / 2;
+
+        // Periodic edges: (r, a) on plane t = 0 matched with t = nt−1.
+        let mut p2n: Vec<u32> = Vec::with_capacity(nr * na * 2);
+        for a in 0..na {
+            for r in 0..nr {
+                p2n.extend_from_slice(&[node(r, 0, a), node(r, nt - 1, a)]);
+            }
+        }
+        let npedge = p2n.len() / 2;
+
+        // Hub and casing walls.
+        let mut bnd2n: Vec<u32> = Vec::with_capacity(2 * nt * na);
+        for a in 0..na {
+            for t in 0..nt {
+                bnd2n.push(node(0, t, a));
+                bnd2n.push(node(nr - 1, t, a));
+            }
+        }
+        let nbnd = bnd2n.len();
+
+        // Centreline: the hub line at t = 0 along the axis.
+        let c2n: Vec<u32> = (0..na).map(|a| node(0, 0, a)).collect();
+        let ncbnd = c2n.len();
+
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", nnode);
+        let edges = dom.decl_set("edges", nedge);
+        let pedges = dom.decl_set("pedges", npedge);
+        let bnd = dom.decl_set("bnd", nbnd);
+        let cbnd = dom.decl_set("cbnd", ncbnd);
+        let e2n = dom
+            .decl_map("e2n", edges, nodes, 2, e2n)
+            .expect("generated e2n in range");
+        let p2n = dom
+            .decl_map("p2n", pedges, nodes, 2, p2n)
+            .expect("generated p2n in range");
+        let bnd2n = dom
+            .decl_map("bnd2n", bnd, nodes, 1, bnd2n)
+            .expect("generated bnd2n in range");
+        let c2n = dom
+            .decl_map("c2n", cbnd, nodes, 1, c2n)
+            .expect("generated c2n in range");
+        let coords = dom.decl_dat("x", nodes, 3, coords);
+
+        Annulus {
+            dom,
+            nodes,
+            edges,
+            pedges,
+            bnd,
+            cbnd,
+            e2n,
+            p2n,
+            bnd2n,
+            c2n,
+            coords,
+            params,
+        }
+    }
+
+    /// Node coordinates as (x, y, z) triples — partitioner input.
+    pub fn node_coords(&self) -> &[f64] {
+        &self.dom.dat(self.coords).data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_sizes() {
+        let p = AnnulusParams::small(4, 5, 6);
+        let m = Annulus::generate(p);
+        assert_eq!(m.dom.set(m.nodes).size, 4 * 5 * 6);
+        assert_eq!(m.dom.set(m.pedges).size, 4 * 6);
+        assert_eq!(m.dom.set(m.bnd).size, 2 * 5 * 6);
+        assert_eq!(m.dom.set(m.cbnd).size, 6);
+        let expected_edges = 3 * 5 * 6 + 4 * 4 * 6 + 4 * 5 * 5;
+        assert_eq!(m.dom.set(m.edges).size, expected_edges);
+    }
+
+    #[test]
+    fn periodic_pairs_match_radially_and_axially() {
+        let p = AnnulusParams::small(3, 4, 5);
+        let m = Annulus::generate(p);
+        let p2n = m.dom.map(m.p2n);
+        let x = m.node_coords();
+        for e in 0..m.dom.set(m.pedges).size {
+            let a = p2n.values[2 * e] as usize;
+            let b = p2n.values[2 * e + 1] as usize;
+            // Same radius and same axial position.
+            let ra = (x[3 * a].powi(2) + x[3 * a + 1].powi(2)).sqrt();
+            let rb = (x[3 * b].powi(2) + x[3 * b + 1].powi(2)).sqrt();
+            assert!((ra - rb).abs() < 1e-12);
+            assert_eq!(x[3 * a + 2], x[3 * b + 2]);
+            assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn boundary_nodes_on_hub_or_casing() {
+        let p = AnnulusParams::small(3, 4, 5);
+        let m = Annulus::generate(p);
+        let bnd2n = m.dom.map(m.bnd2n);
+        let x = m.node_coords();
+        for &v in &bnd2n.values {
+            let r = (x[3 * v as usize].powi(2) + x[3 * v as usize + 1].powi(2)).sqrt();
+            let on_hub = (r - p.r_hub).abs() < 1e-9;
+            let on_casing = (r - p.r_casing).abs() < 1e-9;
+            assert!(on_hub || on_casing, "bnd node radius {r}");
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Compressed sparse row (CSR) adjacency: the reverse of an OP2 map.
+//!
+//! A map stores, for every *from*-element, its `arity` targets. Halo-ring
+//! BFS and graph partitioning also need the reverse direction (which
+//! from-elements touch a given to-element), built once here with a
+//! counting sort.
+
+use op2_core::MapData;
+
+/// CSR structure: `items[offsets[v] .. offsets[v+1]]` are the sources
+/// adjacent to target `v`.
+#[derive(Debug, Clone)]
+pub struct Csr {
+    /// `n_targets + 1` offsets.
+    pub offsets: Vec<u32>,
+    /// Flattened adjacency lists.
+    pub items: Vec<u32>,
+}
+
+impl Csr {
+    /// Reverse a map: for each element of the *to*-set, the list of
+    /// *from*-elements pointing at it.
+    pub fn reverse(map: &MapData, n_to: usize) -> Self {
+        let mut counts = vec![0u32; n_to + 1];
+        for &v in &map.values {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut items = vec![0u32; map.values.len()];
+        let mut cursor = counts;
+        for (entry, &v) in map.values.iter().enumerate() {
+            let from = (entry / map.arity) as u32;
+            let slot = cursor[v as usize] as usize;
+            items[slot] = from;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, items }
+    }
+
+    /// Build a symmetric node-to-node adjacency from an arity-2 map
+    /// (edge list): neighbours of node `v` are the opposite endpoints of
+    /// its incident edges. Used by the graph partitioner.
+    pub fn node_graph(map: &MapData, n_nodes: usize) -> Self {
+        assert_eq!(map.arity, 2, "node_graph needs an edge list (arity 2)");
+        let mut counts = vec![0u32; n_nodes + 1];
+        for &v in &map.values {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut items = vec![0u32; map.values.len()];
+        let mut cursor = counts;
+        for pair in map.values.chunks_exact(2) {
+            let (a, b) = (pair[0] as usize, pair[1] as usize);
+            items[cursor[a] as usize] = b as u32;
+            cursor[a] += 1;
+            items[cursor[b] as usize] = a as u32;
+            cursor[b] += 1;
+        }
+        Csr { offsets, items }
+    }
+
+    /// Neighbour list of target `v`.
+    #[inline]
+    pub fn row(&self, v: usize) -> &[u32] {
+        &self.items[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Number of targets.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when there are no targets.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{Domain, SetId};
+
+    fn path_map() -> MapData {
+        // edges 0:(0,1) 1:(1,2) 2:(2,3)
+        let mut dom = Domain::new();
+        let nodes: SetId = dom.decl_set("nodes", 4);
+        let edges = dom.decl_set("edges", 3);
+        let id = dom
+            .decl_map("e2n", edges, nodes, 2, vec![0, 1, 1, 2, 2, 3])
+            .unwrap();
+        dom.map(id).clone()
+    }
+
+    #[test]
+    fn reverse_lists_incident_edges() {
+        let map = path_map();
+        let csr = Csr::reverse(&map, 4);
+        assert_eq!(csr.len(), 4);
+        assert_eq!(csr.row(0), &[0]);
+        let mut r1 = csr.row(1).to_vec();
+        r1.sort_unstable();
+        assert_eq!(r1, vec![0, 1]);
+        assert_eq!(csr.row(3), &[2]);
+    }
+
+    #[test]
+    fn node_graph_is_symmetric() {
+        let map = path_map();
+        let g = Csr::node_graph(&map, 4);
+        for v in 0..4 {
+            for &w in g.row(v) {
+                assert!(
+                    g.row(w as usize).contains(&(v as u32)),
+                    "edge {v}->{w} missing its reverse"
+                );
+            }
+        }
+        assert_eq!(g.row(1), &[0, 2]);
+    }
+
+    #[test]
+    fn reverse_handles_unreferenced_targets() {
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 5);
+        let edges = dom.decl_set("edges", 1);
+        let id = dom.decl_map("m", edges, nodes, 2, vec![0, 4]).unwrap();
+        let csr = Csr::reverse(dom.map(id), 5);
+        assert!(csr.row(2).is_empty());
+        assert_eq!(csr.row(4), &[0]);
+    }
+}

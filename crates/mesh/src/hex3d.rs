@@ -1,0 +1,263 @@
+//! 3D node-centred mesh: the Rotor 37 stand-in for MG-CFD.
+//!
+//! MG-CFD (like the Rodinia CFD solver it extends) is node-centred: flow
+//! variables live on nodes, fluxes are computed over *edges* connecting
+//! neighbouring nodes, and boundary conditions apply to a set of boundary
+//! nodes. We generate an `nx × ny × nz` grid of nodes with the 6-neighbour
+//! dual-edge connectivity, exposed as a fully unstructured domain
+//! (edges→nodes map plus coordinates; nothing downstream knows it came
+//! from a grid).
+
+use op2_core::{DatId, Domain, MapId, SetId};
+
+/// Generation parameters for [`Hex3D`].
+#[derive(Debug, Clone, Copy)]
+pub struct Hex3DParams {
+    /// Nodes in x.
+    pub nx: usize,
+    /// Nodes in y.
+    pub ny: usize,
+    /// Nodes in z.
+    pub nz: usize,
+}
+
+impl Hex3DParams {
+    /// A cube of `n³` nodes.
+    pub fn cube(n: usize) -> Self {
+        Hex3DParams {
+            nx: n,
+            ny: n,
+            nz: n,
+        }
+    }
+
+    /// The paper's 8M-node mesh: 200³ = 8.0M nodes.
+    pub fn mesh_8m() -> Self {
+        Self::cube(200)
+    }
+
+    /// The paper's 24M-node mesh: 288 · 288 · 289 ≈ 23.97M nodes.
+    pub fn mesh_24m() -> Self {
+        Hex3DParams {
+            nx: 288,
+            ny: 288,
+            nz: 289,
+        }
+    }
+
+    /// Total node count.
+    pub fn n_nodes(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Total dual-edge count (grid edges along the three axes).
+    pub fn n_edges(&self) -> usize {
+        (self.nx - 1) * self.ny * self.nz
+            + self.nx * (self.ny - 1) * self.nz
+            + self.nx * self.ny * (self.nz - 1)
+    }
+
+    /// Number of boundary nodes (nodes on any face of the box).
+    pub fn n_bnodes(&self) -> usize {
+        let interior = |n: usize| n.saturating_sub(2);
+        self.n_nodes() - interior(self.nx) * interior(self.ny) * interior(self.nz)
+    }
+}
+
+/// Handles into a generated 3D node-centred mesh.
+#[derive(Debug)]
+pub struct Hex3D {
+    /// The declared domain.
+    pub dom: Domain,
+    /// Node set.
+    pub nodes: SetId,
+    /// Dual-edge set.
+    pub edges: SetId,
+    /// Boundary-node set (its own set, mapped onto nodes — MG-CFD's
+    /// boundary loops iterate such a set).
+    pub bnodes: SetId,
+    /// Edges→nodes, arity 2.
+    pub e2n: MapId,
+    /// Boundary-elements→nodes, arity 1.
+    pub b2n: MapId,
+    /// Node coordinates, dim 3.
+    pub coords: DatId,
+    /// Generation parameters.
+    pub params: Hex3DParams,
+}
+
+/// Ids of one grid level generated into a shared domain — what
+/// [`Hex3D::generate_level`] returns, used by MG-CFD to hold a whole
+/// multigrid hierarchy in a single [`Domain`].
+#[derive(Debug, Clone, Copy)]
+pub struct Hex3DIds {
+    /// Node set.
+    pub nodes: SetId,
+    /// Dual-edge set.
+    pub edges: SetId,
+    /// Boundary-node set.
+    pub bnodes: SetId,
+    /// Edges→nodes, arity 2.
+    pub e2n: MapId,
+    /// Boundary-elements→nodes, arity 1.
+    pub b2n: MapId,
+    /// Node coordinates, dim 3.
+    pub coords: DatId,
+}
+
+impl Hex3D {
+    /// Generate the mesh.
+    pub fn generate(params: Hex3DParams) -> Self {
+        let mut dom = Domain::new();
+        let ids = Self::generate_level(&mut dom, params, "");
+        Hex3D {
+            dom,
+            nodes: ids.nodes,
+            edges: ids.edges,
+            bnodes: ids.bnodes,
+            e2n: ids.e2n,
+            b2n: ids.b2n,
+            coords: ids.coords,
+            params,
+        }
+    }
+
+    /// Generate one grid level into an existing domain, suffixing every
+    /// declared name with `suffix` (e.g. `"_l1"` for multigrid level 1).
+    pub fn generate_level(dom: &mut Domain, params: Hex3DParams, suffix: &str) -> Hex3DIds {
+        let Hex3DParams { nx, ny, nz } = params;
+        assert!(nx >= 2 && ny >= 2 && nz >= 2, "need at least 2 nodes/axis");
+        let nnode = params.n_nodes();
+        let node = |i: usize, j: usize, k: usize| ((k * ny + j) * nx + i) as u32;
+
+        let mut coords = Vec::with_capacity(nnode * 3);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    coords.push(i as f64);
+                    coords.push(j as f64);
+                    coords.push(k as f64);
+                }
+            }
+        }
+
+        let mut e2n: Vec<u32> = Vec::with_capacity(params.n_edges() * 2);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if i + 1 < nx {
+                        e2n.extend_from_slice(&[node(i, j, k), node(i + 1, j, k)]);
+                    }
+                    if j + 1 < ny {
+                        e2n.extend_from_slice(&[node(i, j, k), node(i, j + 1, k)]);
+                    }
+                    if k + 1 < nz {
+                        e2n.extend_from_slice(&[node(i, j, k), node(i, j, k + 1)]);
+                    }
+                }
+            }
+        }
+        let nedge = e2n.len() / 2;
+
+        let mut b2n: Vec<u32> = Vec::new();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    let on_boundary = i == 0
+                        || j == 0
+                        || k == 0
+                        || i == nx - 1
+                        || j == ny - 1
+                        || k == nz - 1;
+                    if on_boundary {
+                        b2n.push(node(i, j, k));
+                    }
+                }
+            }
+        }
+        let nbnode = b2n.len();
+
+        let nodes = dom.decl_set(&format!("nodes{suffix}"), nnode);
+        let edges = dom.decl_set(&format!("edges{suffix}"), nedge);
+        let bnodes = dom.decl_set(&format!("bnodes{suffix}"), nbnode);
+        let e2n = dom
+            .decl_map(&format!("e2n{suffix}"), edges, nodes, 2, e2n)
+            .expect("generated e2n in range");
+        let b2n = dom
+            .decl_map(&format!("b2n{suffix}"), bnodes, nodes, 1, b2n)
+            .expect("generated b2n in range");
+        let coords = dom.decl_dat(&format!("x{suffix}"), nodes, 3, coords);
+
+        Hex3DIds {
+            nodes,
+            edges,
+            bnodes,
+            e2n,
+            b2n,
+            coords,
+        }
+    }
+
+    /// Node coordinates as (x, y, z) triples — partitioner input.
+    pub fn node_coords(&self) -> &[f64] {
+        &self.dom.dat(self.coords).data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_formulae() {
+        for p in [
+            Hex3DParams::cube(2),
+            Hex3DParams::cube(5),
+            Hex3DParams {
+                nx: 3,
+                ny: 4,
+                nz: 6,
+            },
+        ] {
+            let m = Hex3D::generate(p);
+            assert_eq!(m.dom.set(m.nodes).size, p.n_nodes());
+            assert_eq!(m.dom.set(m.edges).size, p.n_edges());
+            assert_eq!(m.dom.set(m.bnodes).size, p.n_bnodes());
+        }
+    }
+
+    #[test]
+    fn paper_mesh_sizes() {
+        assert_eq!(Hex3DParams::mesh_8m().n_nodes(), 8_000_000);
+        let n24 = Hex3DParams::mesh_24m().n_nodes();
+        assert!((23_900_000..=24_100_000).contains(&n24), "{n24}");
+    }
+
+    #[test]
+    fn edges_connect_unit_distance_nodes() {
+        let m = Hex3D::generate(Hex3DParams {
+            nx: 3,
+            ny: 3,
+            nz: 4,
+        });
+        let e2n = m.dom.map(m.e2n);
+        let x = m.node_coords();
+        for e in 0..m.dom.set(m.edges).size {
+            let a = e2n.values[2 * e] as usize;
+            let b = e2n.values[2 * e + 1] as usize;
+            let d: f64 = (0..3).map(|c| (x[3 * a + c] - x[3 * b + c]).abs()).sum();
+            assert_eq!(d, 1.0);
+        }
+    }
+
+    #[test]
+    fn every_node_degree_at_most_six() {
+        let m = Hex3D::generate(Hex3DParams::cube(4));
+        let e2n = m.dom.map(m.e2n);
+        let mut deg = vec![0usize; m.dom.set(m.nodes).size];
+        for &v in &e2n.values {
+            deg[v as usize] += 1;
+        }
+        assert!(deg.iter().all(|&d| (3..=6).contains(&d)));
+    }
+}

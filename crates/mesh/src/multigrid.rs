@@ -1,0 +1,117 @@
+//! Multigrid level maps for MG-CFD.
+//!
+//! MG-CFD accelerates convergence with a geometric multigrid: a hierarchy
+//! of successively coarser meshes plus inter-grid transfer maps. The
+//! transfers are plain OP2 indirect loops — a fine→coarse node map of
+//! arity 1 drives both restriction (INC on the coarse dat while iterating
+//! fine nodes) and prolongation (READ from the coarse dat).
+
+use crate::hex3d::{Hex3D, Hex3DParams};
+use op2_core::{Domain, MapId, SetId};
+
+/// Coarse-grid parameters: halve each axis (rounding up, min 2).
+pub fn coarsen(p: Hex3DParams) -> Hex3DParams {
+    let half = |n: usize| (n.div_ceil(2)).max(2);
+    Hex3DParams {
+        nx: half(p.nx),
+        ny: half(p.ny),
+        nz: half(p.nz),
+    }
+}
+
+/// Declare, inside `dom`, a fine→coarse node map (`arity` 1) between two
+/// grids generated from `fine` and `coarsen(fine)` dimensions. `fine_set`
+/// and `coarse_set` must have sizes matching the parameter products.
+pub fn mg_node_map(
+    dom: &mut Domain,
+    name: &str,
+    fine: Hex3DParams,
+    fine_set: SetId,
+    coarse_set: SetId,
+) -> MapId {
+    let cp = coarsen(fine);
+    assert_eq!(dom.set(fine_set).size, fine.n_nodes());
+    assert_eq!(dom.set(coarse_set).size, cp.n_nodes());
+    let mut values = Vec::with_capacity(fine.n_nodes());
+    for k in 0..fine.nz {
+        for j in 0..fine.ny {
+            for i in 0..fine.nx {
+                let ci = (i / 2).min(cp.nx - 1);
+                let cj = (j / 2).min(cp.ny - 1);
+                let ck = (k / 2).min(cp.nz - 1);
+                values.push(((ck * cp.ny + cj) * cp.nx + ci) as u32);
+            }
+        }
+    }
+    dom.decl_map(name, fine_set, coarse_set, 1, values)
+        .expect("generated multigrid map in range")
+}
+
+/// A generated multigrid hierarchy: level 0 is the finest. Each level is
+/// its own [`Hex3D`] domain; [`MgLevel`] records the parameters so
+/// applications can wire the grids into one combined domain.
+#[derive(Debug)]
+pub struct MgLevel {
+    /// Grid dimensions at this level.
+    pub params: Hex3DParams,
+    /// The generated mesh.
+    pub mesh: Hex3D,
+}
+
+/// Generate `n_levels` meshes, halving each axis per level.
+pub fn hierarchy(finest: Hex3DParams, n_levels: usize) -> Vec<MgLevel> {
+    assert!(n_levels >= 1);
+    let mut levels = Vec::with_capacity(n_levels);
+    let mut p = finest;
+    for _ in 0..n_levels {
+        levels.push(MgLevel {
+            params: p,
+            mesh: Hex3D::generate(p),
+        });
+        p = coarsen(p);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarsen_halves_and_clamps() {
+        let p = Hex3DParams {
+            nx: 9,
+            ny: 4,
+            nz: 2,
+        };
+        let c = coarsen(p);
+        assert_eq!((c.nx, c.ny, c.nz), (5, 2, 2));
+    }
+
+    #[test]
+    fn mg_map_targets_in_range_and_onto() {
+        let fine = Hex3DParams::cube(6);
+        let cp = coarsen(fine);
+        let mut dom = Domain::new();
+        let fs = dom.decl_set("fine", fine.n_nodes());
+        let cs = dom.decl_set("coarse", cp.n_nodes());
+        let m = mg_node_map(&mut dom, "f2c", fine, fs, cs);
+        let map = dom.map(m);
+        // Every coarse node is hit by at least one fine node.
+        let mut hit = vec![false; cp.n_nodes()];
+        for &v in &map.values {
+            hit[v as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "restriction map must be onto");
+        // Each fine node maps to the coarse node at half its position.
+        assert_eq!(map.values[0], 0);
+    }
+
+    #[test]
+    fn hierarchy_shrinks() {
+        let levels = hierarchy(Hex3DParams::cube(8), 3);
+        assert_eq!(levels.len(), 3);
+        assert!(levels[1].params.n_nodes() < levels[0].params.n_nodes());
+        assert!(levels[2].params.n_nodes() < levels[1].params.n_nodes());
+    }
+}

@@ -1,0 +1,153 @@
+//! The 2D quad mesh of Figure 1: nodes, edges and quadrilateral cells with
+//! edges→nodes and edges→cells connectivity.
+//!
+//! An `nx × ny` grid of cells has `(nx+1)(ny+1)` nodes. *Interior* edges
+//! (the ones the Figure 2 loops iterate) separate two cells; boundary
+//! edges are omitted, exactly like the paper's example where `ec` maps
+//! every edge to the two cells either side of it.
+
+use op2_core::{DatId, Domain, MapId, SetId};
+
+/// Handles into a generated quad mesh.
+#[derive(Debug)]
+pub struct Quad2D {
+    /// The declared domain (sets/maps/dats).
+    pub dom: Domain,
+    /// Node set: `(nx+1)*(ny+1)` elements.
+    pub nodes: SetId,
+    /// Interior edge set.
+    pub edges: SetId,
+    /// Cell set: `nx*ny` elements.
+    pub cells: SetId,
+    /// Edges→nodes, arity 2.
+    pub e2n: MapId,
+    /// Edges→cells, arity 2 (the two cells either side).
+    pub e2c: MapId,
+    /// Node coordinates, dim 2.
+    pub coords: DatId,
+    /// Cells in x.
+    pub nx: usize,
+    /// Cells in y.
+    pub ny: usize,
+}
+
+impl Quad2D {
+    /// Generate an `nx × ny`-cell quad mesh.
+    pub fn generate(nx: usize, ny: usize) -> Self {
+        assert!(nx >= 1 && ny >= 1, "mesh must have at least one cell");
+        let nnx = nx + 1;
+        let nny = ny + 1;
+        let nnode = nnx * nny;
+        let ncell = nx * ny;
+
+        let node = |i: usize, j: usize| (j * nnx + i) as u32;
+        let cell = |i: usize, j: usize| (j * nx + i) as u32;
+
+        let mut coords = Vec::with_capacity(nnode * 2);
+        for j in 0..nny {
+            for i in 0..nnx {
+                coords.push(i as f64);
+                coords.push(j as f64);
+            }
+        }
+
+        // Interior vertical edges: between cell (i-1, j) and (i, j),
+        // connecting node (i, j) to node (i, j+1).
+        let mut e2n = Vec::new();
+        let mut e2c = Vec::new();
+        for j in 0..ny {
+            for i in 1..nx {
+                e2n.extend_from_slice(&[node(i, j), node(i, j + 1)]);
+                e2c.extend_from_slice(&[cell(i - 1, j), cell(i, j)]);
+            }
+        }
+        // Interior horizontal edges: between cell (i, j-1) and (i, j),
+        // connecting node (i, j) to node (i+1, j).
+        for j in 1..ny {
+            for i in 0..nx {
+                e2n.extend_from_slice(&[node(i, j), node(i + 1, j)]);
+                e2c.extend_from_slice(&[cell(i, j - 1), cell(i, j)]);
+            }
+        }
+        let nedge = e2n.len() / 2;
+
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", nnode);
+        let edges = dom.decl_set("edges", nedge);
+        let cells = dom.decl_set("cells", ncell);
+        let e2n = dom
+            .decl_map("e2n", edges, nodes, 2, e2n)
+            .expect("generated e2n in range");
+        let e2c = dom
+            .decl_map("e2c", edges, cells, 2, e2c)
+            .expect("generated e2c in range");
+        let coords = dom.decl_dat("x", nodes, 2, coords);
+
+        Quad2D {
+            dom,
+            nodes,
+            edges,
+            cells,
+            e2n,
+            e2c,
+            coords,
+            nx,
+            ny,
+        }
+    }
+
+    /// Number of interior edges of an `nx × ny` mesh.
+    pub fn n_interior_edges(nx: usize, ny: usize) -> usize {
+        (nx - 1) * ny + nx * (ny - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_formulae() {
+        for (nx, ny) in [(1, 1), (2, 2), (3, 5), (8, 8)] {
+            let m = Quad2D::generate(nx, ny);
+            assert_eq!(m.dom.set(m.nodes).size, (nx + 1) * (ny + 1));
+            assert_eq!(m.dom.set(m.cells).size, nx * ny);
+            assert_eq!(m.dom.set(m.edges).size, Quad2D::n_interior_edges(nx, ny));
+        }
+    }
+
+    #[test]
+    fn single_cell_has_no_interior_edges() {
+        let m = Quad2D::generate(1, 1);
+        assert_eq!(m.dom.set(m.edges).size, 0);
+    }
+
+    #[test]
+    fn edge_endpoints_are_adjacent_nodes() {
+        let m = Quad2D::generate(4, 3);
+        let e2n = m.dom.map(m.e2n);
+        let coords = &m.dom.dat(m.coords).data;
+        for e in 0..m.dom.set(m.edges).size {
+            let a = e2n.values[2 * e] as usize;
+            let b = e2n.values[2 * e + 1] as usize;
+            let dx = (coords[2 * a] - coords[2 * b]).abs();
+            let dy = (coords[2 * a + 1] - coords[2 * b + 1]).abs();
+            assert_eq!(dx + dy, 1.0, "edge {e} endpoints not grid neighbours");
+        }
+    }
+
+    #[test]
+    fn edge_cells_share_the_edge() {
+        // The two cells of every interior edge must be grid-adjacent.
+        let m = Quad2D::generate(5, 4);
+        let e2c = m.dom.map(m.e2c);
+        for e in 0..m.dom.set(m.edges).size {
+            let a = e2c.values[2 * e] as usize;
+            let b = e2c.values[2 * e + 1] as usize;
+            let (ax, ay) = (a % m.nx, a / m.nx);
+            let (bx, by) = (b % m.nx, b / m.nx);
+            let manhattan = ax.abs_diff(bx) + ay.abs_diff(by);
+            assert_eq!(manhattan, 1, "edge {e}: cells {a} and {b} not adjacent");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Drivers: sequential reference, OP2 baseline, CA back-end.
+
+use crate::app::{MgCfd, Step};
+use op2_core::seq;
+use op2_partition::RankLayout;
+use op2_runtime::exec::{run_chain, run_loop};
+use op2_runtime::{run_distributed, RankTrace};
+
+/// Outcome of a driver run: final RMS residual plus (for distributed
+/// runs) the per-rank traces.
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// √(Σ flux² / n) at the last iteration.
+    pub rms: f64,
+    /// Per-rank traces (empty for sequential runs).
+    pub traces: Vec<RankTrace>,
+}
+
+/// Run `iters` time-marching iterations sequentially (the reference all
+/// back-ends are tested against).
+pub fn run_sequential(app: &mut MgCfd, iters: usize) -> RunOutcome {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let iteration = app.iteration(false);
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    for l in &init {
+        seq::run_loop(&mut app.dom, l);
+    }
+    let mut rms = 0.0;
+    for _ in 0..iters {
+        for step in &iteration {
+            match step {
+                Step::Loop(l) => {
+                    seq::run_loop(&mut app.dom, l);
+                }
+                Step::Chain(c) => {
+                    for l in &c.loops {
+                        seq::run_loop(&mut app.dom, l);
+                    }
+                }
+            }
+        }
+        let r = seq::run_loop(&mut app.dom, &rms_spec);
+        rms = (r.gbls[0][0] / n_fine).sqrt();
+    }
+    RunOutcome {
+        rms,
+        traces: Vec::new(),
+    }
+}
+
+fn run_dist(app: &mut MgCfd, layouts: &[RankLayout], iters: usize, ca: bool) -> RunOutcome {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let program: Vec<Vec<Step>> = (0..iters).map(|_| app.iteration(ca)).collect();
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let out = run_distributed(&mut app.dom, layouts, |env| {
+        for l in &init {
+            run_loop(env, l);
+        }
+        let mut rms = 0.0;
+        for iteration in &program {
+            for step in iteration {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l);
+                    }
+                    Step::Chain(c) => run_chain(env, c),
+                }
+            }
+            let r = run_loop(env, &rms_spec);
+            rms = (r.gbls[0][0] / n_fine).sqrt();
+        }
+        rms
+    });
+    RunOutcome {
+        rms: out.results[0],
+        traces: out.traces,
+    }
+}
+
+/// Run distributed with the standard OP2 back-end (Alg 1 per loop).
+pub fn run_op2(app: &mut MgCfd, layouts: &[RankLayout], iters: usize) -> RunOutcome {
+    run_dist(app, layouts, iters, false)
+}
+
+/// Run distributed with the CA back-end (Alg 2 for the synthetic
+/// chain, Alg 1 for everything else — the paper's mixed execution).
+pub fn run_ca(app: &mut MgCfd, layouts: &[RankLayout], iters: usize) -> RunOutcome {
+    run_dist(app, layouts, iters, true)
+}
+
+/// Run distributed with the CA back-end *plus* intra-rank sparse tiling
+/// of the synthetic chain (`n_tiles` per rank) — both CA levels of the
+/// paper combined (MPI rank = outer tile, §2.2 inner tiles).
+pub fn run_ca_tiled(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    n_tiles: usize,
+) -> RunOutcome {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let program: Vec<Vec<Step>> = (0..iters).map(|_| app.iteration(true)).collect();
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let out = run_distributed(&mut app.dom, layouts, |env| {
+        for l in &init {
+            run_loop(env, l);
+        }
+        let mut rms = 0.0;
+        for iteration in &program {
+            for step in iteration {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l);
+                    }
+                    Step::Chain(c) => {
+                        op2_runtime::exec::run_chain_tiled(env, c, n_tiles)
+                    }
+                }
+            }
+            let r = run_loop(env, &rms_spec);
+            rms = (r.gbls[0][0] / n_fine).sqrt();
+        }
+        rms
+    });
+    RunOutcome {
+        rms: out.results[0],
+        traces: out.traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::MgCfdParams;
+    use op2_partition::{build_layouts, derive_ownership, rcb_partition};
+
+    fn layouts_for(app: &MgCfd, nparts: usize) -> Vec<RankLayout> {
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let base = rcb_partition(coords, 3, nparts);
+        let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, nparts);
+        build_layouts(&app.dom, &own, 2)
+    }
+
+    fn max_rel_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| {
+                let scale = x.abs().max(y.abs()).max(1e-30);
+                (x - y).abs() / scale
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// All three back-ends agree on the final flow state within
+    /// floating-point reassociation noise.
+    #[test]
+    fn op2_and_ca_match_sequential() {
+        let params = MgCfdParams::small(7);
+        let iters = 3;
+
+        let mut seq_app = MgCfd::new(params);
+        let seq_out = run_sequential(&mut seq_app, iters);
+
+        let mut op2_app = MgCfd::new(params);
+        let l = layouts_for(&op2_app, 4);
+        let op2_out = run_op2(&mut op2_app, &l, iters);
+
+        let mut ca_app = MgCfd::new(params);
+        let l2 = layouts_for(&ca_app, 4);
+        let ca_out = run_ca(&mut ca_app, &l2, iters);
+
+        for dat in [seq_app.levels[0].q, seq_app.dres, seq_app.dflux] {
+            let e1 = max_rel_err(&seq_app.dom.dat(dat).data, &op2_app.dom.dat(dat).data);
+            let e2 = max_rel_err(&seq_app.dom.dat(dat).data, &ca_app.dom.dat(dat).data);
+            assert!(e1 < 1e-11, "OP2 diverged on {}: {e1}", seq_app.dom.dat(dat).name);
+            assert!(e2 < 1e-11, "CA diverged on {}: {e2}", seq_app.dom.dat(dat).name);
+        }
+        assert!((seq_out.rms - op2_out.rms).abs() <= 1e-11 * seq_out.rms.abs().max(1.0));
+        assert!((seq_out.rms - ca_out.rms).abs() <= 1e-11 * seq_out.rms.abs().max(1.0));
+        assert!(seq_out.rms.is_finite() && seq_out.rms > 0.0);
+    }
+
+    /// CA sends fewer, larger messages than the OP2 baseline for the
+    /// synthetic chain — the paper's central measurement.
+    #[test]
+    fn ca_reduces_message_count() {
+        let mut params = MgCfdParams::small(7);
+        params.nchains = 8; // 16-loop chain
+        let iters = 2;
+
+        let mut op2_app = MgCfd::new(params);
+        let l = layouts_for(&op2_app, 4);
+        let op2_out = run_op2(&mut op2_app, &l, iters);
+
+        let mut ca_app = MgCfd::new(params);
+        let l2 = layouts_for(&ca_app, 4);
+        let ca_out = run_ca(&mut ca_app, &l2, iters);
+
+        #[allow(clippy::needless_range_loop)]
+        for rank in 0..4 {
+            // Messages attributable to the synthetic loops:
+            let op2_msgs: usize = op2_out.traces[rank]
+                .loops
+                .iter()
+                .filter(|r| r.name == "update" || r.name == "edge_flux")
+                .map(|r| r.exch.n_msgs)
+                .sum();
+            let ca_msgs: usize = ca_out.traces[rank]
+                .chains
+                .iter()
+                .map(|c| c.exch.n_msgs)
+                .sum();
+            if l[rank].neighbors.is_empty() {
+                continue;
+            }
+            assert!(
+                ca_msgs < op2_msgs,
+                "rank {rank}: CA {ca_msgs} msgs vs OP2 {op2_msgs}"
+            );
+        }
+    }
+
+    /// Both CA levels combined (distributed chain + intra-rank tiles)
+    /// still match the reference.
+    #[test]
+    fn tiled_ca_matches_sequential() {
+        let params = MgCfdParams::small(7);
+        let iters = 2;
+        let mut seq_app = MgCfd::new(params);
+        let reference = run_sequential(&mut seq_app, iters);
+        for n_tiles in [1, 4] {
+            let mut app = MgCfd::new(params);
+            let layouts = layouts_for(&app, 4);
+            let out = run_ca_tiled(&mut app, &layouts, iters, n_tiles);
+            let err = (reference.rms - out.rms).abs() / reference.rms.abs().max(1e-30);
+            assert!(err < 1e-10, "n_tiles {n_tiles}: {err}");
+        }
+    }
+
+    /// The solver converges (RMS falls) over a few iterations, i.e. the
+    /// physics loops do something sensible.
+    #[test]
+    fn solver_residual_is_stable() {
+        let mut app = MgCfd::new(MgCfdParams::small(6));
+        let out1 = run_sequential(&mut app, 1);
+        let mut app5 = MgCfd::new(MgCfdParams::small(6));
+        let out5 = run_sequential(&mut app5, 5);
+        assert!(out1.rms.is_finite() && out5.rms.is_finite());
+        assert!(out5.rms > 0.0);
+        // No blow-up: the flow norm stays within two orders of magnitude.
+        assert!(out5.rms < out1.rms * 100.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Machine presets — Table 1 of the paper, as calibrated constants.
+//!
+//! Absolute seconds are not the reproduction target (our substrate is a
+//! simulator, DESIGN.md §2); what matters is that the *ratios* the model
+//! is sensitive to — compute-per-iteration vs per-message latency vs
+//! per-byte cost — sit in realistic ranges so crossovers land where the
+//! paper's do. Sources for the orders of magnitude:
+//!
+//! * ARCHER2: HPE Cray EX, 2×64-core EPYC 7742 per node (128 MPI ranks
+//!   per node in the paper's runs), Slingshot 2×100 Gb/s per node. With
+//!   128 ranks sharing the NIC, the effective per-rank stream is a few
+//!   hundred MB/s; MPI small-message latency ~2 µs.
+//! * Cirrus: 4×V100 per node, one MPI rank per GPU, FDR InfiniBand
+//!   54.5 Gb/s per node (~1.7 GB/s per GPU share). Halo staging goes
+//!   over PCIe (the paper's pipeline does not use GPUDirect), adding a
+//!   per-event latency and a ~12 GB/s copy stream; kernels cost a
+//!   launch overhead but iterate far faster than a CPU core.
+
+/// CPU or GPU flavour of a machine — selects which equation variant the
+/// model applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineKind {
+    /// MPI ranks on CPU cores (Eq 1/3 as printed).
+    Cpu,
+    /// One MPI rank per GPU; host-staged halos (Eq 1/3 with `Λ`, PCIe
+    /// staging and launch overheads).
+    Gpu,
+}
+
+/// Calibrated machine description.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Display name (tables print it).
+    pub name: &'static str,
+    /// CPU or GPU equations.
+    pub kind: MachineKind,
+    /// MPI ranks per node (128 on ARCHER2, 4 GPUs on Cirrus).
+    pub ranks_per_node: usize,
+    /// Network message latency `L` in seconds (per message).
+    pub latency: f64,
+    /// Effective per-rank network bandwidth `B` in bytes/s.
+    pub bandwidth: f64,
+    /// Pack/unpack memory stream rate in bytes/s (Eq 3's `c` is
+    /// `bytes / pack_rate` per neighbour).
+    pub pack_rate: f64,
+    /// Default compute cost per loop iteration `g` in seconds (loops may
+    /// override with their own `g`).
+    pub g_default: f64,
+    /// GPU-only: per staging *event* latency over PCIe (s).
+    pub pcie_latency: f64,
+    /// GPU-only: PCIe copy bandwidth (bytes/s).
+    pub pcie_bandwidth: f64,
+    /// GPU-only: kernel launch overhead per kernel (s).
+    pub kernel_launch: f64,
+    /// GPU-only: use GPUDirect semantics — no host staging events, but
+    /// transfers do not overlap with compute kernels (the paper found
+    /// exactly this and chose the staged pipeline instead, §3.3).
+    pub gpu_direct: bool,
+}
+
+impl Machine {
+    /// ARCHER2-like HPE Cray EX preset.
+    pub fn archer2() -> Self {
+        Machine {
+            name: "ARCHER2 (HPE Cray EX, 2x AMD EPYC 7742/node)",
+            kind: MachineKind::Cpu,
+            ranks_per_node: 128,
+            latency: 2.0e-6,
+            bandwidth: 2.0e8, // ~200 MB/s effective per rank at full node occupancy
+            pack_rate: 4.0e9,
+            g_default: 5.0e-8, // ~50 ns per FV edge kernel iteration
+            pcie_latency: 0.0,
+            pcie_bandwidth: f64::INFINITY,
+            kernel_launch: 0.0,
+            gpu_direct: false,
+        }
+    }
+
+    /// Cirrus-like SGI/HPE 8600 V100 cluster preset.
+    pub fn cirrus() -> Self {
+        Machine {
+            name: "Cirrus (SGI/HPE 8600, 4x NVIDIA V100/node)",
+            kind: MachineKind::Gpu,
+            ranks_per_node: 4,
+            latency: 3.0e-6,
+            bandwidth: 1.7e9, // FDR 54.5 Gb/s / 4 GPUs
+            pack_rate: 2.0e10,
+            g_default: 6.0e-10, // V100 throughput per edge iteration
+            pcie_latency: 1.0e-5,
+            pcie_bandwidth: 1.2e10,
+            kernel_launch: 8.0e-6,
+            gpu_direct: false,
+        }
+    }
+
+    /// Cirrus with GPUDirect instead of the staged pipeline: transfers
+    /// skip the host (no PCIe staging events) but, as the paper
+    /// observed, "in many cases did not run simultaneously with the
+    /// computing kernels" — so communication does not overlap compute.
+    pub fn cirrus_gpudirect() -> Self {
+        Machine {
+            name: "Cirrus (GPUDirect, no compute overlap)",
+            gpu_direct: true,
+            ..Self::cirrus()
+        }
+    }
+
+    /// Ranks for a node count on this machine.
+    pub fn ranks(&self, nodes: usize) -> usize {
+        nodes * self.ranks_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let a = Machine::archer2();
+        assert_eq!(a.kind, MachineKind::Cpu);
+        assert_eq!(a.ranks(4), 512);
+        assert!(a.latency > 0.0 && a.bandwidth > 0.0 && a.g_default > 0.0);
+
+        let c = Machine::cirrus();
+        assert_eq!(c.kind, MachineKind::Gpu);
+        assert_eq!(c.ranks(16), 64);
+        // GPUs iterate much faster but pay staging overheads.
+        assert!(c.g_default < a.g_default / 10.0);
+        assert!(c.pcie_latency > 0.0 && c.kernel_launch > 0.0);
+    }
+}

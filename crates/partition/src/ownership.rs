@@ -1,0 +1,172 @@
+//! Ownership propagation: from one partitioned base set to every set.
+//!
+//! OP2 partitions a single set (with ParMETIS / inertial bisection) and
+//! derives the owners of all other sets through the declared maps. We do
+//! the same: a set with a map *to* an owned set inherits forward (an
+//! element is owned by the owner of its first map target); a set only
+//! *pointed at* by an owned set inherits in reverse (owned by the owner
+//! of the smallest-index element referencing it). Iterates until every
+//! set is owned, so chains of inheritance (cbnd → nodes, edges → nodes)
+//! resolve in one call.
+
+use op2_core::{Domain, SetId};
+use op2_mesh::Csr;
+
+/// Owner rank of every element of every set.
+#[derive(Debug, Clone)]
+pub struct Ownership {
+    /// Number of ranks.
+    pub nparts: usize,
+    /// `owner[set][element]` = owning rank.
+    pub owner: Vec<Vec<u32>>,
+}
+
+impl Ownership {
+    /// Owner of `elem` of `set`.
+    #[inline]
+    pub fn of(&self, set: SetId, elem: usize) -> u32 {
+        self.owner[set.idx()][elem]
+    }
+
+    /// Number of elements of `set` owned by `rank`.
+    pub fn count(&self, set: SetId, rank: u32) -> usize {
+        self.owner[set.idx()].iter().filter(|&&o| o == rank).count()
+    }
+}
+
+/// Derive full ownership from a base-set assignment.
+///
+/// # Panics
+/// Panics if some set is unreachable from the base set through any chain
+/// of maps (such a set cannot participate in a distributed execution).
+pub fn derive_ownership(
+    dom: &Domain,
+    base: SetId,
+    base_owner: Vec<u32>,
+    nparts: usize,
+) -> Ownership {
+    assert_eq!(base_owner.len(), dom.set(base).size);
+    debug_assert!(base_owner.iter().all(|&o| (o as usize) < nparts));
+    let n_sets = dom.n_sets();
+    let mut owner: Vec<Option<Vec<u32>>> = vec![None; n_sets];
+    owner[base.idx()] = Some(base_owner);
+
+    loop {
+        let mut progressed = false;
+        // Forward inheritance: set --map--> owned set.
+        for m in dom.maps() {
+            if owner[m.from.idx()].is_none() && owner[m.to.idx()].is_some() {
+                let to_owner = owner[m.to.idx()].as_ref().unwrap();
+                let n_from = dom.set(m.from).size;
+                let mut o = Vec::with_capacity(n_from);
+                for e in 0..n_from {
+                    // First map target decides — deterministic and cheap;
+                    // refinement of boundary elements does not change the
+                    // asymptotic halo structure.
+                    o.push(to_owner[m.values[e * m.arity] as usize]);
+                }
+                owner[m.from.idx()] = Some(o);
+                progressed = true;
+            }
+        }
+        // Reverse inheritance: owned set --map--> set.
+        for m in dom.maps() {
+            if owner[m.to.idx()].is_none() && owner[m.from.idx()].is_some() {
+                let from_owner = owner[m.from.idx()].as_ref().unwrap().clone();
+                let n_to = dom.set(m.to).size;
+                let rev = Csr::reverse(m, n_to);
+                let mut o = vec![u32::MAX; n_to];
+                for t in 0..n_to {
+                    // Smallest referencing element decides.
+                    if let Some(&src) = rev.row(t).iter().min() {
+                        o[t] = from_owner[src as usize];
+                    }
+                }
+                // Unreferenced elements: round-robin for balance (they
+                // never appear in any halo).
+                for (t, ow) in o.iter_mut().enumerate() {
+                    if *ow == u32::MAX {
+                        *ow = (t % nparts) as u32;
+                    }
+                }
+                owner[m.to.idx()] = Some(o);
+                progressed = true;
+            }
+        }
+        if owner.iter().all(|o| o.is_some()) {
+            break;
+        }
+        if !progressed {
+            let missing: Vec<&str> = owner
+                .iter()
+                .enumerate()
+                .filter(|(_, o)| o.is_none())
+                .map(|(i, _)| dom.sets()[i].name.as_str())
+                .collect();
+            panic!("sets unreachable from base set via maps: {missing:?}");
+        }
+    }
+
+    Ownership {
+        nparts,
+        owner: owner.into_iter().map(Option::unwrap).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partitioner::rcb_partition;
+    use op2_mesh::Quad2D;
+
+    #[test]
+    fn quad_mesh_all_sets_owned() {
+        let m = Quad2D::generate(4, 4);
+        let base_owner = rcb_partition(&m.dom.dat(m.coords).data, 2, 3);
+        let own = derive_ownership(&m.dom, m.nodes, base_owner, 3);
+        assert_eq!(own.owner.len(), m.dom.n_sets());
+        // Edges inherit from first endpoint.
+        let e2n = m.dom.map(m.e2n);
+        for e in 0..m.dom.set(m.edges).size {
+            let n0 = e2n.values[2 * e] as usize;
+            assert_eq!(own.of(m.edges, e), own.of(m.nodes, n0));
+        }
+        // Cells get owners via reverse inheritance from edges.
+        for c in 0..m.dom.set(m.cells).size {
+            assert!((own.of(m.cells, c) as usize) < 3);
+        }
+    }
+
+    #[test]
+    fn counts_sum_to_set_size() {
+        let m = Quad2D::generate(5, 3);
+        let base_owner = rcb_partition(&m.dom.dat(m.coords).data, 2, 4);
+        let own = derive_ownership(&m.dom, m.nodes, base_owner, 4);
+        for set in [m.nodes, m.edges, m.cells] {
+            let total: usize = (0..4).map(|r| own.count(set, r)).sum();
+            assert_eq!(total, m.dom.set(set).size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unreachable")]
+    fn disconnected_set_panics() {
+        let mut dom = op2_core::Domain::new();
+        let nodes = dom.decl_set("nodes", 4);
+        let _orphan = dom.decl_set("orphan", 2);
+        derive_ownership(&dom, nodes, vec![0, 0, 1, 1], 2);
+    }
+
+    #[test]
+    fn reverse_inheritance_uses_min_source() {
+        // edges 0:(cells 1), 1:(cells 0) — cell 1 referenced by edge 0.
+        let mut dom = op2_core::Domain::new();
+        let edges = dom.decl_set("edges", 2);
+        let cells = dom.decl_set("cells", 2);
+        dom.decl_map("e2c", edges, cells, 1, vec![1, 0]).unwrap();
+        // Base = edges: edge 0 → rank 1, edge 1 → rank 0.
+        let own = derive_ownership(&dom, edges, vec![1, 0], 2);
+        assert_eq!(own.of(cells, 1), 1); // from edge 0
+        assert_eq!(own.of(cells, 0), 0); // from edge 1
+    }
+}

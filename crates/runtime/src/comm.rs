@@ -1,0 +1,206 @@
+//! In-process rank-to-rank transport — the MPI stand-in.
+//!
+//! Semantics mirror the subset of MPI the paper's back-end uses:
+//! non-blocking sends (`isend` copies the payload into an unbounded
+//! channel and returns immediately, like a buffered `MPI_Isend`),
+//! blocking receives matched per source in FIFO order (sufficient because
+//! every rank executes the identical loop program, so at most the
+//! messages of one exchange round are in flight per peer and they are
+//! posted in deterministic order), plus a sum-allreduce used for global
+//! reduction arguments — the synchronisation point that terminates a
+//! loop-chain.
+//!
+//! Every send is counted and sized; the paper's central claim is about
+//! message counts and sizes, so these counters are the ground truth the
+//! tables are reproduced from.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// One message: payload plus a debug tag checked at receive time.
+#[derive(Debug)]
+pub struct Msg {
+    /// Sender rank.
+    pub from: u32,
+    /// Tag — must match the receiver's expectation (program-order bugs
+    /// surface as tag mismatches instead of silent corruption).
+    pub tag: u64,
+    /// Payload.
+    pub data: Vec<f64>,
+}
+
+/// Factory wiring `n` ranks together with dedicated channels per ordered
+/// pair (so per-peer FIFO holds regardless of other traffic).
+pub struct CommWorld {
+    senders: Vec<Vec<Sender<Msg>>>,
+    receivers: Vec<Vec<Receiver<Msg>>>,
+}
+
+impl CommWorld {
+    /// Create a world of `n` ranks.
+    pub fn new(n: usize) -> Self {
+        let mut senders: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut receivers: Vec<Vec<Receiver<Msg>>> =
+            (0..n).map(|_| Vec::with_capacity(n)).collect();
+        // senders[src][dst] and receivers[dst][src].
+        for dst in 0..n {
+            for src in 0..n {
+                let (tx, rx) = unbounded();
+                senders[src].push(tx);
+                receivers[dst].push(rx);
+            }
+        }
+        CommWorld { senders, receivers }
+    }
+
+    /// Split into per-rank endpoints (call once; consumes the world).
+    pub fn into_ranks(self) -> Vec<RankComm> {
+        let n = self.senders.len();
+        self.senders
+            .into_iter()
+            .zip(self.receivers)
+            .enumerate()
+            .map(|(rank, (sends, recvs))| RankComm {
+                rank: rank as u32,
+                n,
+                sends,
+                recvs,
+                sent_msgs: 0,
+                sent_bytes: 0,
+            })
+            .collect()
+    }
+}
+
+/// One rank's endpoint.
+pub struct RankComm {
+    /// This rank.
+    pub rank: u32,
+    /// World size.
+    pub n: usize,
+    sends: Vec<Sender<Msg>>,
+    recvs: Vec<Receiver<Msg>>,
+    /// Messages sent so far.
+    pub sent_msgs: u64,
+    /// Payload bytes sent so far.
+    pub sent_bytes: u64,
+}
+
+impl RankComm {
+    /// Non-blocking send (buffered like `MPI_Isend` + internal copy).
+    pub fn isend(&mut self, to: u32, tag: u64, data: Vec<f64>) {
+        self.sent_msgs += 1;
+        self.sent_bytes += (data.len() * std::mem::size_of::<f64>()) as u64;
+        self.sends[to as usize]
+            .send(Msg {
+                from: self.rank,
+                tag,
+                data,
+            })
+            .expect("peer rank hung up");
+    }
+
+    /// Blocking receive of the next message from `from`; panics on tag
+    /// mismatch (indicates divergent program order — always a bug).
+    pub fn recv(&mut self, from: u32, tag: u64) -> Vec<f64> {
+        let msg = self.recvs[from as usize]
+            .recv()
+            .expect("peer rank hung up");
+        assert_eq!(
+            msg.tag, tag,
+            "rank {} expected tag {tag} from {from}, got {}",
+            self.rank, msg.tag
+        );
+        msg.data
+    }
+
+    /// Sum-allreduce: gather to rank 0 in rank order (deterministic
+    /// floating-point result), then broadcast.
+    pub fn allreduce_sum(&mut self, vals: &mut [f64], tag: u64) {
+        self.allreduce(vals, tag, op2_core::access::GblOp::Sum)
+    }
+
+    /// Allreduce with an arbitrary combining operator (sum / min / max):
+    /// gather to rank 0 in rank order (deterministic), then broadcast.
+    pub fn allreduce(&mut self, vals: &mut [f64], tag: u64, op: op2_core::access::GblOp) {
+        if self.n == 1 {
+            return;
+        }
+        if self.rank == 0 {
+            let mut acc = vals.to_vec();
+            for src in 1..self.n as u32 {
+                let part = self.recv(src, tag);
+                assert_eq!(part.len(), acc.len());
+                for (a, p) in acc.iter_mut().zip(&part) {
+                    *a = op.combine(*a, *p);
+                }
+            }
+            for dst in 1..self.n as u32 {
+                self.isend(dst, tag + 1, acc.clone());
+            }
+            vals.copy_from_slice(&acc);
+        } else {
+            self.isend(0, tag, vals.to_vec());
+            let acc = self.recv(0, tag + 1);
+            vals.copy_from_slice(&acc);
+        }
+    }
+
+    /// Barrier built on the allreduce.
+    pub fn barrier(&mut self, tag: u64) {
+        let mut dummy = [0.0];
+        self.allreduce_sum(&mut dummy, tag);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_fifo() {
+        let ranks = CommWorld::new(2).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let t = std::thread::spawn(move || {
+            r0.isend(1, 7, vec![1.0, 2.0]);
+            r0.isend(1, 8, vec![3.0]);
+            r0
+        });
+        assert_eq!(r1.recv(0, 7), vec![1.0, 2.0]);
+        assert_eq!(r1.recv(0, 8), vec![3.0]);
+        let r0 = t.join().unwrap();
+        assert_eq!(r0.sent_msgs, 2);
+        assert_eq!(r0.sent_bytes, 24);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let ranks = CommWorld::new(4).into_ranks();
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|mut rc| {
+                std::thread::spawn(move || {
+                    let mut v = [rc.rank as f64 + 1.0, 10.0];
+                    rc.allreduce_sum(&mut v, 100);
+                    v
+                })
+            })
+            .collect();
+        for h in handles {
+            let v = h.join().unwrap();
+            assert_eq!(v, [10.0, 40.0]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "expected tag")]
+    fn tag_mismatch_panics() {
+        let ranks = CommWorld::new(2).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        r0.isend(1, 1, vec![]);
+        let _ = r1.recv(0, 2);
+    }
+}

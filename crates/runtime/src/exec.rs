@@ -1,0 +1,465 @@
+//! The two distributed execution algorithms.
+//!
+//! [`run_loop`] is the paper's **Algorithm 1** — standard OP2: per-loop
+//! halo exchanges with latency hiding (core iterations run while
+//! messages are in flight, the boundary and import-execute halo run
+//! after the wait).
+//!
+//! [`run_chain`] is **Algorithm 2** — the CA back-end: one *grouped*
+//! multi-level exchange per neighbour at chain entry, every loop's
+//! (per-position shrinking) core overlapped with it, then each loop's
+//! halo region executed in order, with redundant computation over up to
+//! `r` layers replacing the eliminated per-loop messages.
+
+use crate::env::RankEnv;
+use crate::trace::{ChainRec, LoopRec};
+use op2_core::seq::LoopResult;
+use op2_core::{Arg, ChainSpec, DatId, LoopSpec};
+
+pub use op2_core::chain::{produced_validity, read_requirement};
+
+/// Observation points inside the executors, used by the simulated GPU
+/// back-end to account host↔device staging and kernel launches. The CPU
+/// path uses [`NoHooks`] (all callbacks empty, fully inlined away).
+pub trait ExecHooks {
+    /// Packed halo bytes staged out (device→host) before the sends.
+    fn stage_out(&mut self, _bytes: usize) {}
+    /// Received halo bytes staged in (host→device) after the waits.
+    fn stage_in(&mut self, _bytes: usize) {}
+    /// A kernel segment of `iters` iterations is launched.
+    fn launch(&mut self, _iters: usize) {}
+}
+
+/// No-op hooks for plain CPU execution.
+pub struct NoHooks;
+impl ExecHooks for NoHooks {}
+
+/// Halo extent of a standalone (Alg 1) loop: OP2 executes the
+/// import-execute halo only when the loop indirectly modifies data
+/// (owner-compute via redundant execution); read-only and direct loops
+/// run over owned elements alone. Reduction loops never execute
+/// redundant elements with live reduction buffers (that would
+/// double-count), which [`run_loop`] handles with a scratch buffer.
+pub fn standalone_extent(spec: &LoopSpec) -> usize {
+    let indirect_modify = spec.args.iter().any(|a| {
+        matches!(a, Arg::Dat { map: Some(_), mode, .. } if mode.modifies())
+    });
+    usize::from(indirect_modify)
+}
+
+/// Dats (with depths) a loop must exchange before executing, given the
+/// rank's current validity. Deterministic across ranks.
+pub fn exchange_list(env: &RankEnv<'_>, spec: &LoopSpec, ext: usize) -> Vec<(DatId, u8)> {
+    let sig = spec.sig();
+    let mut out = Vec::new();
+    for d in sig.dats() {
+        let Some((mode, indirect)) = sig.access_of(d) else {
+            continue;
+        };
+        let req = read_requirement(mode, indirect, ext);
+        if req > env.valid[d.idx()] as usize {
+            out.push((d, req as u8));
+        }
+    }
+    out
+}
+
+/// Algorithm 1: execute one loop with per-loop halo exchange and
+/// latency hiding. Returns final global-argument values (reductions are
+/// summed across ranks deterministically).
+pub fn run_loop(env: &mut RankEnv<'_>, spec: &LoopSpec) -> LoopResult {
+    run_loop_hooked(env, spec, &mut NoHooks)
+}
+
+/// [`run_loop`] with observation hooks (see [`ExecHooks`]).
+pub fn run_loop_hooked(
+    env: &mut RankEnv<'_>,
+    spec: &LoopSpec,
+    hooks: &mut dyn ExecHooks,
+) -> LoopResult {
+    let ext = standalone_extent(spec);
+    let exch = exchange_list(env, spec, ext);
+    debug_assert!(
+        exch.iter().all(|&(_, d)| d as usize <= env.layout.depth),
+        "loop `{}` needs deeper halos than the layout was built with",
+        spec.name
+    );
+
+    // Post sends (MPI_Isend / Irecv of Alg 1, lines 1-2).
+    let mut rec = env.exchange(&exch, false);
+    rec.n_neighbors = env.layout.neighbors.len();
+    hooks.stage_out(rec.bytes);
+
+    let set_layout = &env.layout.sets[spec.set.idx()];
+    let core_end = set_layout.core_end(0);
+    let n_owned = set_layout.n_owned;
+    let exec_end = set_layout.exec_end(ext);
+
+    let mut gbls: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+
+    // Core while in flight (lines 3-5).
+    hooks.launch(core_end);
+    env.exec_range(spec, 0, core_end, &mut gbls);
+
+    // Wait (line 6).
+    env.exchange_wait(&exch, false);
+    hooks.stage_in(env.expected_recv_bytes(&exch));
+
+    // Boundary-owned iterations contribute to reductions; redundant ring
+    // iterations must not.
+    hooks.launch(exec_end - core_end);
+    env.exec_range(spec, core_end, n_owned, &mut gbls);
+    if exec_end > n_owned {
+        if spec.has_reduction() {
+            // Redundant ring iterations reduce into identity-initialised
+            // scratch that is then discarded.
+            let mut scratch: Vec<Vec<f64>> = spec
+                .gbls
+                .iter()
+                .map(|g| vec![g.op.identity(); g.dim])
+                .collect();
+            env.exec_range(spec, n_owned, exec_end, &mut scratch);
+        } else {
+            env.exec_range(spec, n_owned, exec_end, &mut gbls);
+        }
+    }
+
+    // Validity transitions — OP2-conservative (single dirty bit): any
+    // modification invalidates the whole halo, so the baseline message
+    // counts match the paper's OP2 columns.
+    let sig = spec.sig();
+    for d in sig.dats() {
+        if let Some((mode, indirect)) = sig.access_of(d) {
+            if let Some(v) = produced_validity(mode, indirect, ext) {
+                let conservative = if indirect { v } else { 0 };
+                env.valid[d.idx()] = env.valid[d.idx()].min(conservative as u8);
+            }
+        }
+    }
+
+    // Global reductions (a synchronisation point).
+    if spec.has_reduction() {
+        let tag = env.next_tag();
+        for arg in &spec.args {
+            if let Arg::Gbl { idx, mode } = arg {
+                if mode.modifies() {
+                    let op = spec.gbls[*idx as usize].op;
+                    env.comm
+                        .allreduce(&mut gbls[*idx as usize], tag + *idx as u64 * 2, op);
+                }
+            }
+        }
+    }
+
+    env.trace.loops.push(LoopRec {
+        name: spec.name.clone(),
+        core_iters: core_end,
+        halo_iters: exec_end - core_end,
+        d_exchanged: exch.len(),
+        exch: rec,
+    });
+
+    LoopResult { gbls }
+}
+
+/// The grouped-import plan of a chain: per dat, the depth the initial
+/// grouped exchange must deliver given this rank's current validity.
+/// Deterministic across ranks (validity evolves identically everywhere).
+pub fn chain_import_depths(env: &RankEnv<'_>, chain: &ChainSpec) -> Vec<(DatId, u8)> {
+    let sigs = chain.sigs();
+    op2_core::chain::import_depths(&sigs, &chain.halo_ext, &|d| env.valid[d.idx()] as usize)
+        .into_iter()
+        .map(|(d, t)| (d, t as u8))
+        .collect()
+}
+
+/// Relaxed-mode import plan (see
+/// [`op2_core::chain::import_depths_relaxed`]).
+pub fn chain_import_depths_relaxed(env: &RankEnv<'_>, chain: &ChainSpec) -> Vec<(DatId, u8)> {
+    let sigs = chain.sigs();
+    op2_core::chain::import_depths_relaxed(&sigs, &chain.halo_ext, &|d| {
+        env.valid[d.idx()] as usize
+    })
+    .into_iter()
+    .map(|(d, t)| (d, t as u8))
+    .collect()
+}
+
+/// Algorithm 2: execute a loop-chain with the communication-avoiding
+/// back-end. Panics if the chain requires deeper halos than the layout
+/// was built with.
+pub fn run_chain(env: &mut RankEnv<'_>, chain: &ChainSpec) {
+    run_chain_mode(env, chain, &mut NoHooks, false)
+}
+
+/// [`run_chain`] in *relaxed* mode: halo extents are taken as configured
+/// (e.g. pinned to the paper's Table 3–4 values), reads beyond in-chain
+/// validity are satisfied by the deepened initial import (pre-chain
+/// values — the paper's one-sync-per-chain semantics), and every such
+/// potentially-stale read is counted in the chain record instead of
+/// asserted against.
+pub fn run_chain_relaxed(env: &mut RankEnv<'_>, chain: &ChainSpec) {
+    run_chain_mode(env, chain, &mut NoHooks, true)
+}
+
+/// [`run_chain`] with observation hooks (see [`ExecHooks`]).
+pub fn run_chain_hooked(env: &mut RankEnv<'_>, chain: &ChainSpec, hooks: &mut dyn ExecHooks) {
+    run_chain_mode(env, chain, hooks, false)
+}
+
+/// [`run_chain_relaxed`] with observation hooks.
+pub fn run_chain_relaxed_hooked(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+    hooks: &mut dyn ExecHooks,
+) {
+    run_chain_mode(env, chain, hooks, true)
+}
+
+fn run_chain_mode(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+    hooks: &mut dyn ExecHooks,
+    relaxed: bool,
+) {
+    let depth = chain.max_halo_layers();
+    assert!(
+        depth <= env.layout.depth,
+        "chain `{}` needs {depth} halo layers but the layout was built \
+         with {}",
+        chain.name,
+        env.layout.depth
+    );
+    let exch = if relaxed {
+        chain_import_depths_relaxed(env, chain)
+    } else {
+        chain_import_depths(env, chain)
+    };
+
+    // Grouped message per neighbour (lines 5-7 of Alg 2).
+    let rec = env.exchange(&exch, true);
+    hooks.stage_out(rec.bytes);
+
+    // Core of every loop while the exchange is in flight (lines 8-12).
+    // The safe core retracts by the loop's in-chain dependency depth;
+    // relaxed mode keeps the standard depth-1 core everywhere (the
+    // paper's behaviour — staleness tolerated and counted).
+    let cdepth = if relaxed {
+        vec![1usize; chain.len()]
+    } else {
+        op2_core::chain::core_depths(&chain.sigs())
+    };
+    let mut gbls: Vec<Vec<f64>> = Vec::new();
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        debug_assert!(!spec.has_reduction());
+        let core_end = env.layout.sets[spec.set.idx()].core_end(cdepth[pos] - 1);
+        gbls.clear();
+        gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+        hooks.launch(core_end);
+        env.exec_range(spec, 0, core_end, &mut gbls);
+    }
+
+    // Wait (line 13).
+    env.exchange_wait(&exch, true);
+    hooks.stage_in(env.expected_recv_bytes(&exch));
+
+    // Halo regions in loop order (lines 14-18), with validity checked
+    // (strict) or staleness counted (relaxed) and updated per loop.
+    let mut per_loop = Vec::with_capacity(chain.len());
+    let mut stale_reads = 0usize;
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        let ext = chain.halo_ext[pos];
+        let sig = spec.sig();
+        for d in sig.dats() {
+            if let Some((mode, indirect)) = sig.access_of(d) {
+                let req = read_requirement(mode, indirect, ext);
+                if (env.valid[d.idx()] as usize) < req {
+                    if relaxed {
+                        stale_reads += 1;
+                    } else {
+                        panic!(
+                            "rank {}: chain `{}` loop `{}` needs dat `{}` \
+                             valid to {req}, have {}",
+                            env.rank,
+                            chain.name,
+                            spec.name,
+                            env.dom.dat(d).name,
+                            env.valid[d.idx()],
+                        );
+                    }
+                }
+            }
+        }
+        let sl = &env.layout.sets[spec.set.idx()];
+        let core_end = sl.core_end(cdepth[pos] - 1);
+        let exec_end = sl.exec_end(ext);
+        gbls.clear();
+        gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+        hooks.launch(exec_end - core_end);
+        env.exec_range(spec, core_end, exec_end, &mut gbls);
+        per_loop.push((core_end, exec_end - core_end));
+        for d in sig.dats() {
+            if let Some((mode, indirect)) = sig.access_of(d) {
+                if let Some(v) = produced_validity(mode, indirect, ext) {
+                    env.valid[d.idx()] = v as u8;
+                }
+            }
+        }
+    }
+
+    env.trace.chains.push(ChainRec {
+        name: chain.name.clone(),
+        per_loop,
+        d_exchanged: exch.len(),
+        depth,
+        exch: rec,
+        stale_reads,
+    });
+}
+
+/// Algorithm 2 combined with §2.2's shared-memory sparse tiling: the
+/// grouped multi-level exchange of [`run_chain`], then the rank's entire
+/// owned-plus-halo region executed **tile by tile** with the Luporini
+/// growth schedule instead of loop-by-loop sweeps — each tile's working
+/// set stays cache-resident across the whole chain.
+///
+/// Trade-off vs [`run_chain`]: no prewait core overlap (the exchange
+/// completes before the tiled execution starts), in exchange for the
+/// cache locality. This mirrors the paper's two levels: MPI-rank = outer
+/// tile, `n_tiles` inner tiles per rank.
+pub fn run_chain_tiled(env: &mut RankEnv<'_>, chain: &ChainSpec, n_tiles: usize) {
+    use op2_core::tiling::{build_tile_plan_raw, seed_blocks};
+    let depth = chain.max_halo_layers();
+    assert!(
+        depth <= env.layout.depth,
+        "chain `{}` needs {depth} halo layers but the layout was built with {}",
+        chain.name,
+        env.layout.depth
+    );
+    let exch = chain_import_depths(env, chain);
+    let rec = env.exchange(&exch, true);
+    env.exchange_wait(&exch, true);
+
+    // Per-loop execute regions (owned + rings ≤ extent) and the local
+    // tile schedule over them.
+    let sigs = chain.sigs();
+    let set_sizes: Vec<usize> = env.layout.sets.iter().map(|s| s.n_local()).collect();
+    let ranges: Vec<usize> = sigs
+        .iter()
+        .zip(&chain.halo_ext)
+        .map(|(s, &e)| env.layout.sets[s.set.idx()].exec_end(e))
+        .collect();
+    let seed = seed_blocks(ranges[0], n_tiles);
+    let plan = build_tile_plan_raw(&set_sizes, &env.layout.maps, &sigs, &ranges, &seed);
+
+    // Validity requirements are those of run_chain's halo phase.
+    for (pos, sig) in sigs.iter().enumerate() {
+        let ext = chain.halo_ext[pos];
+        for d in sig.dats() {
+            if let Some((mode, indirect)) = sig.access_of(d) {
+                let req = read_requirement(mode, indirect, ext);
+                assert!(
+                    env.valid[d.idx()] as usize >= req,
+                    "rank {}: tiled chain `{}` loop `{}` needs dat `{}` valid to {req}, have {}",
+                    env.rank,
+                    chain.name,
+                    sig.name,
+                    env.dom.dat(d).name,
+                    env.valid[d.idx()],
+                );
+            }
+        }
+    }
+
+    let mut gbls: Vec<Vec<f64>> = Vec::new();
+    for tile in 0..plan.n_tiles {
+        for (j, spec) in chain.loops.iter().enumerate() {
+            debug_assert!(!spec.has_reduction());
+            gbls.clear();
+            gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+            env.exec_indexed(spec, &plan.iters[j][tile], &mut gbls);
+        }
+    }
+
+    // Validity transitions, as in run_chain.
+    for (pos, sig) in sigs.iter().enumerate() {
+        let ext = chain.halo_ext[pos];
+        for d in sig.dats() {
+            if let Some((mode, indirect)) = sig.access_of(d) {
+                if let Some(v) = produced_validity(mode, indirect, ext) {
+                    env.valid[d.idx()] = v as u8;
+                }
+            }
+        }
+    }
+
+    env.trace.chains.push(ChainRec {
+        name: chain.name.clone(),
+        per_loop: ranges.iter().map(|&r| (0, r)).collect(),
+        d_exchanged: exch.len(),
+        depth,
+        exch: rec,
+        stale_reads: 0,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use op2_core::{AccessMode as M, GblDecl};
+
+    fn noop(_: &op2_core::Args<'_>) {}
+
+    #[test]
+    fn requirements_match_derivation() {
+        assert_eq!(read_requirement(M::Read, true, 0), 1);
+        assert_eq!(read_requirement(M::Read, true, 2), 2);
+        assert_eq!(read_requirement(M::Read, false, 1), 1);
+        assert_eq!(read_requirement(M::Inc, true, 1), 0);
+        assert_eq!(read_requirement(M::Inc, true, 3), 2);
+        assert_eq!(read_requirement(M::Write, true, 2), 0);
+        assert_eq!(read_requirement(M::Rw, true, 2), 2);
+    }
+
+    #[test]
+    fn produced_validity_matches_derivation() {
+        assert_eq!(produced_validity(M::Read, true, 2), None);
+        assert_eq!(produced_validity(M::Inc, true, 2), Some(1));
+        assert_eq!(produced_validity(M::Inc, true, 1), Some(0));
+        assert_eq!(produced_validity(M::Write, false, 1), Some(1));
+        assert_eq!(produced_validity(M::Rw, true, 3), Some(2));
+    }
+
+    #[test]
+    fn standalone_extent_rules() {
+        let mut dom = op2_core::Domain::new();
+        let nodes = dom.decl_set("nodes", 3);
+        let edges = dom.decl_set("edges", 2);
+        let e2n = dom.decl_map("e2n", edges, nodes, 2, vec![0, 1, 1, 2]).unwrap();
+        let x = dom.decl_dat_zeros("x", nodes, 1);
+        let inc = LoopSpec::new(
+            "inc",
+            edges,
+            vec![Arg::dat_indirect(x, e2n, 0, M::Inc)],
+            noop,
+        );
+        assert_eq!(standalone_extent(&inc), 1);
+        let rd = LoopSpec::new(
+            "rd",
+            edges,
+            vec![Arg::dat_indirect(x, e2n, 0, M::Read)],
+            noop,
+        );
+        assert_eq!(standalone_extent(&rd), 0);
+        let direct = LoopSpec::new("dw", nodes, vec![Arg::dat_direct(x, M::Write)], noop);
+        assert_eq!(standalone_extent(&direct), 0);
+        let red = LoopSpec::with_gbls(
+            "red",
+            nodes,
+            vec![Arg::dat_direct(x, M::Read), Arg::gbl(0, M::Inc)],
+            vec![GblDecl::reduction(1)],
+            noop,
+        );
+        assert_eq!(standalone_extent(&red), 0);
+    }
+}

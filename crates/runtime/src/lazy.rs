@@ -1,0 +1,289 @@
+//! Lazy execution with automatic loop-chain detection.
+//!
+//! The paper's future-work list (§5) names "further automating the
+//! code-gen process with lazy evaluation", citing the OPS approach
+//! [Reguly et al. 2018]: instead of the programmer (or a configuration
+//! file) naming chains, the runtime *queues* parallel-loop invocations
+//! and materialises chains on its own, flushing when
+//!
+//! * a loop carries a global reduction (a synchronisation point — the
+//!   loop-chain definition's hard boundary);
+//! * chaining the next loop would push the required halo depth beyond
+//!   what the layouts were built with;
+//! * the host program needs results (an explicit [`LazyExec::flush`],
+//!   e.g. before reading dats back); or
+//! * the queue reaches a configurable length bound.
+//!
+//! Queued loops flush as a single Alg 2 chain when at least two are
+//! pending (and the analysis finds anything to gain); a lone loop runs
+//! as plain Alg 1. All ranks make identical decisions because the
+//! analysis is a pure function of the (identical) loop stream.
+
+use crate::env::RankEnv;
+use crate::exec::{run_chain, run_loop};
+use op2_core::chain::calc_halo_extents;
+use op2_core::seq::LoopResult;
+use op2_core::{ChainSpec, LoopSig, LoopSpec};
+
+/// Deferred-execution queue. One per rank; identical decisions on every
+/// rank by construction.
+pub struct LazyExec {
+    queue: Vec<LoopSpec>,
+    /// Deepest halo the layouts support.
+    max_depth: usize,
+    /// Flush when this many loops are pending (bounds analysis cost).
+    max_chain_len: usize,
+    /// Chains flushed so far (for inspection/tests).
+    pub chains_formed: usize,
+    /// Loops that ran standalone.
+    pub singles_run: usize,
+}
+
+impl LazyExec {
+    /// A queue for layouts built with halo depth `max_depth`.
+    pub fn new(max_depth: usize, max_chain_len: usize) -> Self {
+        assert!(max_chain_len >= 1);
+        LazyExec {
+            queue: Vec::new(),
+            max_depth,
+            max_chain_len,
+            chains_formed: 0,
+            singles_run: 0,
+        }
+    }
+
+    /// Queue a loop. Reductions force an immediate flush-and-run (their
+    /// result is needed synchronously, and they terminate any chain);
+    /// other loops defer until a flush condition triggers.
+    pub fn enqueue(&mut self, env: &mut RankEnv<'_>, spec: &LoopSpec) -> Option<LoopResult> {
+        if spec.has_reduction() {
+            self.flush(env);
+            self.singles_run += 1;
+            return Some(run_loop(env, spec));
+        }
+        // Would appending this loop exceed the supported halo depth?
+        let mut sigs: Vec<LoopSig> = self.queue.iter().map(|l| l.sig()).collect();
+        sigs.push(spec.sig());
+        let extents = calc_halo_extents(&sigs);
+        if extents.iter().any(|&e| e > self.max_depth) {
+            self.flush(env);
+        }
+        self.queue.push(spec.clone());
+        if self.queue.len() >= self.max_chain_len {
+            self.flush(env);
+        }
+        None
+    }
+
+    /// Execute everything pending: one loop runs standalone, several run
+    /// as an automatically formed chain.
+    pub fn flush(&mut self, env: &mut RankEnv<'_>) {
+        match self.queue.len() {
+            0 => {}
+            1 => {
+                let spec = self.queue.pop().expect("len checked");
+                run_loop(env, &spec);
+                self.singles_run += 1;
+            }
+            _ => {
+                let loops = std::mem::take(&mut self.queue);
+                let chain = ChainSpec::new("lazy", loops, None, &[])
+                    .expect("queued loops form a valid chain");
+                debug_assert!(chain.max_halo_layers() <= self.max_depth);
+                run_chain(env, &chain);
+                self.chains_formed += 1;
+            }
+        }
+    }
+
+    /// Pending loop count.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_distributed;
+    use op2_core::{seq, AccessMode, Arg, Args, GblDecl};
+    use op2_mesh::Quad2D;
+    use op2_partition::{build_layouts, derive_ownership, rcb_partition};
+
+    fn produce_kernel(args: &Args<'_>) {
+        args.inc(0, 0, args.get(2, 0) + 1.0);
+        args.inc(1, 0, args.get(3, 0) + 1.0);
+    }
+    fn consume_kernel(args: &Args<'_>) {
+        args.inc(2, 0, args.get(0, 0));
+        args.inc(3, 0, args.get(1, 0));
+    }
+    fn sum_kernel(args: &Args<'_>) {
+        args.inc(1, 0, args.get(0, 0));
+    }
+
+    struct Fix {
+        mesh: Quad2D,
+        produce: LoopSpec,
+        consume: LoopSpec,
+        reduce: LoopSpec,
+        dats: Vec<op2_core::DatId>,
+    }
+
+    fn fix() -> Fix {
+        let mut mesh = Quad2D::generate(9, 9);
+        let n = mesh.dom.set(mesh.nodes).size;
+        let seed: Vec<f64> = (0..n).map(|i| ((i * 3) % 7) as f64).collect();
+        let s = mesh.dom.decl_dat("s", mesh.nodes, 1, seed);
+        let a = mesh.dom.decl_dat_zeros("a", mesh.nodes, 1);
+        let b = mesh.dom.decl_dat_zeros("b", mesh.nodes, 1);
+        let produce = LoopSpec::new(
+            "produce",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Inc),
+                Arg::dat_indirect(s, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(s, mesh.e2n, 1, AccessMode::Read),
+            ],
+            produce_kernel,
+        );
+        let consume = LoopSpec::new(
+            "consume",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(b, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(b, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            consume_kernel,
+        );
+        let reduce = LoopSpec::with_gbls(
+            "reduce",
+            mesh.nodes,
+            vec![Arg::dat_direct(b, AccessMode::Read), Arg::gbl(0, AccessMode::Inc)],
+            vec![GblDecl::reduction(1)],
+            sum_kernel,
+        );
+        Fix {
+            mesh,
+            produce,
+            consume,
+            reduce,
+            dats: vec![s, a, b],
+        }
+    }
+
+    /// Lazy execution forms a chain out of consecutive compatible loops
+    /// and still matches the sequential reference exactly.
+    #[test]
+    fn auto_chains_and_matches() {
+        let f = fix();
+        let mut mesh = f.mesh;
+        let mut seq_dom = mesh.dom.clone();
+        seq::run_loop(&mut seq_dom, &f.produce);
+        seq::run_loop(&mut seq_dom, &f.consume);
+        let seq_red = seq::run_loop(&mut seq_dom, &f.reduce);
+
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 4);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 4);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut lazy = LazyExec::new(2, 8);
+            lazy.enqueue(env, &f.produce);
+            lazy.enqueue(env, &f.consume);
+            let red = lazy.enqueue(env, &f.reduce).expect("reduction runs eagerly");
+            assert_eq!(lazy.pending(), 0);
+            (lazy.chains_formed, lazy.singles_run, red)
+        });
+        for &d in &f.dats {
+            assert_eq!(seq_dom.dat(d).data, mesh.dom.dat(d).data);
+        }
+        for (chains, singles, red) in out.results {
+            assert_eq!(chains, 1, "produce+consume must fuse");
+            assert_eq!(singles, 1, "the reduction runs standalone");
+            assert_eq!(red.gbls[0], seq_red.gbls[0]);
+        }
+    }
+
+    /// Depth pressure forces a flush: with layouts built to depth 2, a
+    /// produce→consume ladder of 3 dependent loops cannot fuse whole.
+    #[test]
+    fn flushes_on_depth_pressure() {
+        let f = fix();
+        let mut mesh = f.mesh;
+        // ladder: produce(a<-s), consume(b<-a), then a loop reading b
+        // into a third dat — depth would reach 3.
+        let c = mesh.dom.decl_dat_zeros("c", mesh.nodes, 1);
+        fn third_kernel(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0));
+            args.inc(3, 0, args.get(1, 0));
+        }
+        let third = LoopSpec::new(
+            "third",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(f.dats[2], mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(f.dats[2], mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(c, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(c, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            third_kernel,
+        );
+
+        let mut seq_dom = mesh.dom.clone();
+        for l in [&f.produce, &f.consume, &third] {
+            seq::run_loop(&mut seq_dom, l);
+        }
+
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 4);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 4);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut lazy = LazyExec::new(2, 8);
+            lazy.enqueue(env, &f.produce);
+            lazy.enqueue(env, &f.consume);
+            lazy.enqueue(env, &third); // depth 3 > 2: must flush first
+            lazy.flush(env);
+            (lazy.chains_formed, lazy.singles_run)
+        });
+        for &d in &f.dats {
+            assert_eq!(seq_dom.dat(d).data, mesh.dom.dat(d).data);
+        }
+        assert_eq!(seq_dom.dat(c).data, mesh.dom.dat(c).data);
+        for (chains, singles) in out.results {
+            // produce+consume fused; third ran alone (or vice versa,
+            // depending on where the split lands — but exactly one
+            // chain and one single).
+            assert_eq!(chains, 1);
+            assert_eq!(singles, 1);
+        }
+    }
+
+    /// The queue-length bound flushes eagerly.
+    #[test]
+    fn flushes_on_queue_bound() {
+        let f = fix();
+        let mut mesh = f.mesh;
+        let mut seq_dom = mesh.dom.clone();
+        for _ in 0..4 {
+            seq::run_loop(&mut seq_dom, &f.produce);
+        }
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 2);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 2);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut lazy = LazyExec::new(2, 2);
+            for _ in 0..4 {
+                lazy.enqueue(env, &f.produce);
+            }
+            lazy.flush(env);
+            lazy.chains_formed
+        });
+        assert_eq!(seq_dom.dat(f.dats[1]).data, mesh.dom.dat(f.dats[1]).data);
+        for chains in out.results {
+            assert_eq!(chains, 2, "4 loops at bound 2 → two chains");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # op2-runtime
+//!
+//! The distributed-memory back-ends of the reproduction:
+//!
+//! * [`comm`] — an in-process message-passing substrate standing in for
+//!   MPI (per DESIGN.md: each rank is an OS thread; `isend` is
+//!   non-blocking over an unbounded channel; receives match FIFO order
+//!   per peer, which suffices because all ranks execute the same loop
+//!   program). Every message is counted and sized — the quantities the
+//!   paper's model and tables are built from.
+//! * [`mod@env`] — per-rank state: local dat buffers in layout order, halo
+//!   *validity depths* (the multi-level generalisation of OP2's dirty
+//!   bit), pack/unpack of exchange segments, and global reductions.
+//! * [`exec`] — the two execution algorithms: [`exec::run_loop`] is
+//!   Alg 1 (per-loop halo exchange with latency hiding) and
+//!   [`exec::run_chain`] is Alg 2 (one grouped, multi-level exchange per
+//!   chain, cores of all loops overlapped with it, halo layers executed
+//!   after).
+//! * [`trace`] — instrumentation records: message counts, bytes, core
+//!   and halo iteration counts per loop and per chain.
+//! * [`harness`] — `run_distributed`: spawns one thread per rank,
+//!   gathers dats in, scatters owned data back out, and returns the
+//!   traces.
+//! * [`lazy`] — deferred execution with *automatic* chain detection:
+//!   the paper's §5 future-work item (lazy evaluation à la OPS),
+//!   implemented here as a queue that fuses compatible loops into Alg 2
+//!   chains and flushes on reductions, depth pressure or length bounds.
+
+// Index-based loops over parallel arrays are the dominant idiom in this
+// crate's mesh/partition kernels; iterator-zip rewrites obscure which
+// array drives the bound without changing the generated code.
+#![allow(clippy::needless_range_loop)]
+
+pub mod comm;
+pub mod env;
+pub mod exec;
+pub mod harness;
+pub mod lazy;
+pub mod trace;
+
+pub use comm::{CommWorld, RankComm};
+pub use env::RankEnv;
+pub use exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop, ExecHooks, NoHooks};
+pub use harness::{run_distributed, DistOutcome};
+pub use lazy::LazyExec;
+pub use trace::{ChainRec, ExchangeRec, LoopRec, RankTrace};

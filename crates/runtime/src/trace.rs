@@ -1,0 +1,166 @@
+//! Execution instrumentation.
+//!
+//! Every quantity in the paper's Tables 2 and 5 appears here: core and
+//! halo iteration counts (`ΣS^c`, `ΣS^1`, `ΣS^h`), message counts and
+//! sizes (the `2dpm^1` vs `pm^r` comparison), neighbour counts, and the
+//! packed-element counts behind the packing cost `c` of Eq 3.
+
+/// Communication performed for one loop or one chain on one rank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeRec {
+    /// Messages sent by this rank.
+    pub n_msgs: usize,
+    /// Total payload bytes sent.
+    pub bytes: usize,
+    /// Largest single message sent (the model's `m`).
+    pub max_msg_bytes: usize,
+    /// Neighbours communicated with.
+    pub n_neighbors: usize,
+    /// Elements packed (sender side) — proxy for packing cost `c`.
+    pub packed_elems: usize,
+}
+
+impl ExchangeRec {
+    /// Accumulate another record.
+    pub fn add(&mut self, other: &ExchangeRec) {
+        self.n_msgs += other.n_msgs;
+        self.bytes += other.bytes;
+        self.max_msg_bytes = self.max_msg_bytes.max(other.max_msg_bytes);
+        self.n_neighbors = self.n_neighbors.max(other.n_neighbors);
+        self.packed_elems += other.packed_elems;
+    }
+}
+
+/// One standard (Alg 1) loop execution.
+#[derive(Debug, Clone, Default)]
+pub struct LoopRec {
+    /// Loop name.
+    pub name: String,
+    /// Iterations overlapped with communication (`S^c`).
+    pub core_iters: usize,
+    /// Iterations after the exchange completed (`S^1` for Alg 1).
+    pub halo_iters: usize,
+    /// Number of dats whose halos were exchanged (`d` in Eq 1).
+    pub d_exchanged: usize,
+    /// Communication record.
+    pub exch: ExchangeRec,
+}
+
+/// One CA (Alg 2) chain execution.
+#[derive(Debug, Clone, Default)]
+pub struct ChainRec {
+    /// Chain name.
+    pub name: String,
+    /// Per constituent loop: (core iterations, halo iterations).
+    pub per_loop: Vec<(usize, usize)>,
+    /// Number of dats in the grouped exchange.
+    pub d_exchanged: usize,
+    /// Maximum halo depth imported (`r` of Eq 3/4).
+    pub depth: usize,
+    /// Communication record (the single grouped exchange).
+    pub exch: ExchangeRec,
+    /// Relaxed-mode only: reads whose validity requirement was met by
+    /// pre-chain (potentially stale) imported values rather than
+    /// in-chain computation. Always 0 in strict mode.
+    pub stale_reads: usize,
+}
+
+impl ChainRec {
+    /// Total core iterations (`Σ g_l S_l^c` numerator side).
+    pub fn core_iters(&self) -> usize {
+        self.per_loop.iter().map(|&(c, _)| c).sum()
+    }
+
+    /// Total halo iterations (`Σ S_l^h`).
+    pub fn halo_iters(&self) -> usize {
+        self.per_loop.iter().map(|&(_, h)| h).sum()
+    }
+}
+
+/// Everything one rank recorded during a program.
+#[derive(Debug, Clone, Default)]
+pub struct RankTrace {
+    /// This rank.
+    pub rank: u32,
+    /// Standard loop executions, in program order.
+    pub loops: Vec<LoopRec>,
+    /// CA chain executions, in program order.
+    pub chains: Vec<ChainRec>,
+}
+
+impl RankTrace {
+    /// Total messages sent (loops + chains + reductions are counted by
+    /// the comm layer; this sums the loop/chain records).
+    pub fn total_msgs(&self) -> usize {
+        self.loops.iter().map(|l| l.exch.n_msgs).sum::<usize>()
+            + self.chains.iter().map(|c| c.exch.n_msgs).sum::<usize>()
+    }
+
+    /// Total exchanged payload bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.loops.iter().map(|l| l.exch.bytes).sum::<usize>()
+            + self.chains.iter().map(|c| c.exch.bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_accumulation() {
+        let mut a = ExchangeRec {
+            n_msgs: 2,
+            bytes: 100,
+            max_msg_bytes: 60,
+            n_neighbors: 2,
+            packed_elems: 10,
+        };
+        let b = ExchangeRec {
+            n_msgs: 1,
+            bytes: 80,
+            max_msg_bytes: 80,
+            n_neighbors: 1,
+            packed_elems: 5,
+        };
+        a.add(&b);
+        assert_eq!(a.n_msgs, 3);
+        assert_eq!(a.bytes, 180);
+        assert_eq!(a.max_msg_bytes, 80);
+        assert_eq!(a.n_neighbors, 2);
+        assert_eq!(a.packed_elems, 15);
+    }
+
+    #[test]
+    fn chain_iteration_sums() {
+        let c = ChainRec {
+            per_loop: vec![(10, 4), (8, 6)],
+            ..Default::default()
+        };
+        assert_eq!(c.core_iters(), 18);
+        assert_eq!(c.halo_iters(), 10);
+    }
+
+    #[test]
+    fn trace_totals() {
+        let mut t = RankTrace::default();
+        t.loops.push(LoopRec {
+            exch: ExchangeRec {
+                n_msgs: 4,
+                bytes: 32,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        t.chains.push(ChainRec {
+            exch: ExchangeRec {
+                n_msgs: 1,
+                bytes: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        assert_eq!(t.total_msgs(), 5);
+        assert_eq!(t.total_bytes(), 96);
+    }
+}

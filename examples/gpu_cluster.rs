@@ -1,0 +1,131 @@
+//! The simulated GPU cluster (§3.3): MG-CFD's synthetic chain on
+//! virtual V100s.
+//!
+//! Runs the chain on 4 simulated GPUs under both back-ends, prints the
+//! host↔device staging traffic each one generates, and converts the
+//! measured traces into modelled Cirrus seconds — the mechanism behind
+//! Figure 11's early GPU gains (grouping collapses the per-loop PCIe
+//! staging events even when no bytes are saved).
+//!
+//! Run with `cargo run --release --example gpu_cluster`.
+
+use op2::gpu::{chain_time, gpu_place, loop_time, run_chain_gpu, run_loop_gpu, GpuDevice};
+use op2::mgcfd::{MgCfd, MgCfdParams};
+use op2::model::Machine;
+use op2::partition::{build_layouts, derive_ownership, rcb_partition};
+use op2::runtime::run_distributed;
+
+fn main() {
+    let mut params = MgCfdParams::small(14);
+    params.levels = 1;
+    params.nchains = 8;
+    let iters = 3;
+    let n_gpus = 4;
+    let mach = Machine::cirrus();
+
+    let build = || {
+        let app = MgCfd::new(params);
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let base = rcb_partition(coords, 3, n_gpus);
+        let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, n_gpus);
+        let layouts = build_layouts(&app.dom, &own, 2);
+        (app, layouts)
+    };
+
+    println!(
+        "MG-CFD synthetic chain ({} loops) on {} simulated V100s, {} iterations\n",
+        2 * params.nchains,
+        n_gpus,
+        iters
+    );
+
+    // Per-loop OP2 on the GPUs.
+    let (mut op2_app, layouts) = build();
+    let init = op2_app.init_loop(0);
+    let write_pres = op2_app.write_pres_loop();
+    let chain = op2_app.synthetic_chain().unwrap();
+    let gs = vec![mach.g_default; chain.len()];
+    let op2_out = run_distributed(&mut op2_app.dom, &layouts, |env| {
+        let mut dev = GpuDevice::v100();
+        gpu_place(env, &mut dev);
+        run_loop_gpu(env, &mut dev, &init);
+        let mut modelled = 0.0;
+        for _ in 0..iters {
+            run_loop_gpu(env, &mut dev, &write_pres);
+            for l in &chain.loops {
+                run_loop_gpu(env, &mut dev, l);
+            }
+        }
+        // Model the chain-loop records of the last iteration.
+        let n = chain.len();
+        for rec in env.trace.loops.iter().rev().take(n) {
+            modelled += loop_time(&mach, rec, mach.g_default);
+        }
+        (dev.xfer, modelled)
+    });
+
+    // CA on the GPUs.
+    let (mut ca_app, layouts) = build();
+    let init = ca_app.init_loop(0);
+    let write_pres = ca_app.write_pres_loop();
+    let chain = ca_app.synthetic_chain().unwrap();
+    let ca_out = run_distributed(&mut ca_app.dom, &layouts, |env| {
+        let mut dev = GpuDevice::v100();
+        gpu_place(env, &mut dev);
+        run_loop_gpu(env, &mut dev, &init);
+        let mut modelled = 0.0;
+        for _ in 0..iters {
+            run_loop_gpu(env, &mut dev, &write_pres);
+            run_chain_gpu(env, &mut dev, &chain);
+        }
+        let rec = env.trace.chains.last().expect("chain ran");
+        modelled += chain_time(&mach, rec, &gs);
+        (dev.xfer, modelled)
+    });
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "backend", "D2H events", "H2D events", "D2H bytes", "H2D bytes", "model t/chain"
+    );
+    for (label, out) in [("OP2", &op2_out), ("CA", &ca_out)] {
+        let d2h: usize = out.results.iter().map(|(x, _)| x.d2h_events).sum();
+        let h2d: usize = out.results.iter().map(|(x, _)| x.h2d_events).sum();
+        let d2hb: usize = out.results.iter().map(|(x, _)| x.d2h_bytes).sum();
+        let h2db: usize = out.results.iter().map(|(x, _)| x.h2d_bytes).sum();
+        let t = out
+            .results
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(0.0f64, f64::max);
+        println!("{label:<10} {d2h:>12} {h2d:>12} {d2hb:>12} {h2db:>12} {t:>13.3e}s");
+    }
+
+    // Numerics agree between the two GPU back-ends.
+    let max_err = op2_app
+        .dom
+        .dat(op2_app.dflux)
+        .data
+        .iter()
+        .zip(&ca_app.dom.dat(ca_app.dflux).data)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!("\nmax |OP2 - CA| on dflux: {max_err:.3e}");
+    assert!(max_err < 1e-9);
+
+    let op2_events: usize = op2_out
+        .results
+        .iter()
+        .map(|(x, _)| x.d2h_events + x.h2d_events)
+        .sum();
+    let ca_events: usize = ca_out
+        .results
+        .iter()
+        .map(|(x, _)| x.d2h_events + x.h2d_events)
+        .sum();
+    println!(
+        "staging events: OP2 = {op2_events}, CA = {ca_events} ({}x fewer)",
+        op2_events / ca_events.max(1)
+    );
+    assert!(ca_events < op2_events);
+    println!("ok");
+}

@@ -1,0 +1,346 @@
+//! Property-based tests (proptest) over randomly generated meshes,
+//! partitions and chain structures: the invariants DESIGN.md §7 lists.
+
+use op2::core::chain::{calc_halo_extents, calc_halo_layers, core_depths};
+use op2::core::{parse_chain_config, AccessMode, Arg, LoopSig, SetId};
+use op2::mesh::{Hex3D, Hex3DParams, Quad2D};
+use op2::partition::{build_layouts, derive_ownership, rcb_partition, rib_partition};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Partitioners assign every element exactly once and leave no
+    /// empty part (whenever `n >= nparts`).
+    #[test]
+    fn partitioners_cover_and_balance(
+        nx in 3usize..10,
+        ny in 3usize..10,
+        nz in 3usize..6,
+        nparts in 1usize..9,
+        rib in proptest::bool::ANY,
+    ) {
+        let m = Hex3D::generate(Hex3DParams { nx, ny, nz });
+        let owner = if rib {
+            rib_partition(m.node_coords(), 3, nparts)
+        } else {
+            rcb_partition(m.node_coords(), 3, nparts)
+        };
+        prop_assert_eq!(owner.len(), nx * ny * nz);
+        let mut sizes = vec![0usize; nparts];
+        for &o in &owner {
+            prop_assert!((o as usize) < nparts);
+            sizes[o as usize] += 1;
+        }
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        let target = (nx * ny * nz) as f64 / nparts as f64;
+        for &s in &sizes {
+            prop_assert!((s as f64) <= target * 1.1 + 2.0);
+        }
+    }
+
+    /// Halo-ring invariants on random meshes and partitions:
+    /// every map entry a→b satisfies ring(b) ≤ max(ring(a), 1) and
+    /// ring(a) ≤ ring(b) + 1 (within the built depth), and execute
+    /// ranges resolve entirely through localized maps.
+    #[test]
+    fn ring_invariants_random_mesh(
+        nx in 4usize..9,
+        ny in 4usize..9,
+        nparts in 2usize..6,
+        depth in 1usize..4,
+    ) {
+        let m = Quad2D::generate(nx, ny);
+        let base = rcb_partition(&m.dom.dat(m.coords).data, 2, nparts);
+        let own = derive_ownership(&m.dom, m.nodes, base, nparts);
+        let layouts = build_layouts(&m.dom, &own, depth);
+        for l in &layouts {
+            // Owned + imports per set never exceed the global size, and
+            // locals are unique.
+            for (sidx, sl) in l.sets.iter().enumerate() {
+                let mut seen = std::collections::HashSet::new();
+                for &g in &sl.locals {
+                    prop_assert!(seen.insert(g), "duplicate local");
+                    prop_assert!((g as usize) < m.dom.sets()[sidx].size);
+                }
+                // Core prefixes are monotone.
+                for k in 1..sl.core_prefix.len() {
+                    prop_assert!(sl.core_prefix[k] <= sl.core_prefix[k - 1]);
+                }
+            }
+            // Localized maps resolve for every element executable at
+            // the built depth.
+            for (mid, lm) in l.maps.iter().enumerate() {
+                let gm = &m.dom.maps()[mid];
+                let end = l.sets[gm.from.idx()].exec_end(depth);
+                for e in 0..end {
+                    for i in 0..lm.arity {
+                        let v = lm.values[e * lm.arity + i];
+                        prop_assert!(v != op2::partition::layout::NONLOCAL);
+                        prop_assert!((v as usize) < l.sets[gm.to.idx()].n_local());
+                    }
+                }
+            }
+            // Send/recv segment sizes mirror across the pair.
+            for n in &l.neighbors {
+                let peer = &layouts[n.rank as usize];
+                let back = peer.neighbors.iter().find(|p| p.rank == l.rank).unwrap();
+                let sent: usize = back.send.iter().map(|s| s.elems.len()).sum();
+                let recvd: usize = n.recv.iter().map(|r| r.len as usize).sum();
+                prop_assert_eq!(sent, recvd);
+            }
+        }
+    }
+
+    /// Algorithm 3 and the transitive closure both stay within
+    /// 1 ..= n, and the closure dominates per-dat demands.
+    #[test]
+    fn analysis_bounds(
+        n_loops in 1usize..7,
+        seed in 0u64..5000,
+    ) {
+        // Random chain: each loop INCs one dat and READs another.
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng >> 33) as usize
+        };
+        let sigs: Vec<LoopSig> = (0..n_loops)
+            .map(|i| {
+                let write_dat = op2::core::DatId((next() % 4) as u32);
+                let read_dat = op2::core::DatId((next() % 4) as u32);
+                let mut args = vec![Arg::dat_indirect(
+                    write_dat,
+                    op2::core::MapId(0),
+                    0,
+                    AccessMode::Inc,
+                )];
+                if read_dat != write_dat {
+                    args.push(Arg::dat_indirect(
+                        read_dat,
+                        op2::core::MapId(0),
+                        0,
+                        AccessMode::Read,
+                    ));
+                }
+                LoopSig { name: format!("l{i}"), set: SetId(0), args }
+            })
+            .collect();
+        let alg3 = calc_halo_layers(&sigs);
+        let safe = calc_halo_extents(&sigs);
+        let cores = core_depths(&sigs);
+        for l in 0..n_loops {
+            prop_assert!(alg3.per_loop[l] >= 1 && alg3.per_loop[l] <= n_loops);
+            prop_assert!(safe[l] >= 1 && safe[l] <= n_loops);
+            prop_assert!(cores[l] >= 1 && cores[l] <= n_loops);
+            // Note: neither analysis dominates the other — the literal
+            // Alg 3 *accumulates* consecutive indirect reads of a dat
+            // (branch 2 adds a layer per read), while the transitive
+            // closure takes the max demand; conversely Alg 3 misses
+            // transitive ladders. Only the bounds are invariant.
+        }
+        // The final loop never needs more than the standard halo.
+        prop_assert_eq!(safe[n_loops - 1], 1);
+    }
+
+    /// The chain configuration parser round-trips what it accepts.
+    #[test]
+    fn config_parser_roundtrip(
+        n_chains in 1usize..4,
+        n_loops in 1usize..6,
+        max_halo in proptest::option::of(1usize..5),
+    ) {
+        let mut text = String::new();
+        for c in 0..n_chains {
+            text.push_str(&format!("chain c{c} {{\n"));
+            let names: Vec<String> = (0..n_loops).map(|i| format!("loop{i}")).collect();
+            text.push_str(&format!("  loops = {}\n", names.join(", ")));
+            if let Some(h) = max_halo {
+                text.push_str(&format!("  max_halo = {h}\n"));
+            }
+            text.push_str("}\n");
+        }
+        let parsed = parse_chain_config(&text).unwrap();
+        prop_assert_eq!(parsed.len(), n_chains);
+        for c in &parsed {
+            prop_assert_eq!(c.loops.len(), n_loops);
+            prop_assert_eq!(c.max_halo, max_halo);
+        }
+    }
+
+    /// Lazy execution (automatic chain detection) matches eager per-loop
+    /// execution exactly for random sequences of produce/consume loops.
+    #[test]
+    fn lazy_matches_eager(
+        seq_len in 1usize..7,
+        seed in 0u64..1000,
+        max_chain in 2usize..5,
+    ) {
+        use op2::core::{seq, Arg as A, Args, LoopSpec};
+        use op2::runtime::LazyExec;
+        use op2::runtime::run_distributed;
+
+        // Both kernels: read args 0-1 (src), increment args 2-3 (dst).
+        fn k_produce(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) + 1.0);
+            args.inc(3, 0, args.get(1, 0) + 1.0);
+        }
+        fn k_consume(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) - args.get(1, 0));
+            args.inc(3, 0, args.get(1, 0));
+        }
+
+        let mut m = Quad2D::generate(8, 8);
+        let n = m.dom.set(m.nodes).size;
+        let s0: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 13) as f64).collect();
+        let dats = [
+            m.dom.decl_dat("d0", m.nodes, 1, s0),
+            m.dom.decl_dat_zeros("d1", m.nodes, 1),
+            m.dom.decl_dat_zeros("d2", m.nodes, 1),
+        ];
+
+        // Random loop sequence over the three dats.
+        let mut rng = seed;
+        let mut next = move || {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(7);
+            (rng >> 33) as usize
+        };
+        let loops: Vec<LoopSpec> = (0..seq_len)
+            .map(|i| {
+                // src and dst must differ: reading a dat while
+                // incrementing it through the same map is inherently
+                // order-dependent and outside the abstraction's
+                // commutativity contract.
+                let si = next() % 3;
+                let di = (si + 1 + next() % 2) % 3;
+                let (src, dst) = (dats[si], dats[di]);
+                LoopSpec::new(
+                    &format!("l{i}"),
+                    m.edges,
+                    vec![
+                        A::dat_indirect(src, m.e2n, 0, AccessMode::Read),
+                        A::dat_indirect(src, m.e2n, 1, AccessMode::Read),
+                        A::dat_indirect(dst, m.e2n, 0, AccessMode::Inc),
+                        A::dat_indirect(dst, m.e2n, 1, AccessMode::Inc),
+                    ],
+                    if i % 2 == 0 { k_produce } else { k_consume },
+                )
+            })
+            .collect();
+
+        let mut seq_dom = m.dom.clone();
+        for l in &loops {
+            seq::run_loop(&mut seq_dom, l);
+        }
+
+        let depth = 3;
+        let base = rcb_partition(&m.dom.dat(m.coords).data, 2, 3);
+        let own = derive_ownership(&m.dom, m.nodes, base, 3);
+        let layouts = build_layouts(&m.dom, &own, depth);
+        run_distributed(&mut m.dom, &layouts, |env| {
+            let mut lazy = LazyExec::new(depth, max_chain);
+            for l in &loops {
+                lazy.enqueue(env, l);
+            }
+            lazy.flush(env);
+        });
+        for &d in &dats {
+            prop_assert_eq!(&seq_dom.dat(d).data, &m.dom.dat(d).data);
+        }
+    }
+
+    /// Ownership inheritance covers every set and respects the base
+    /// assignment exactly.
+    #[test]
+    fn ownership_total_and_consistent(
+        nx in 3usize..8,
+        ny in 3usize..8,
+        nparts in 1usize..6,
+    ) {
+        let m = Quad2D::generate(nx, ny);
+        let base = rcb_partition(&m.dom.dat(m.coords).data, 2, nparts);
+        let own = derive_ownership(&m.dom, m.nodes, base.clone(), nparts);
+        prop_assert_eq!(&own.owner[m.nodes.idx()], &base);
+        for (sidx, o) in own.owner.iter().enumerate() {
+            prop_assert_eq!(o.len(), m.dom.sets()[sidx].size);
+            prop_assert!(o.iter().all(|&r| (r as usize) < nparts));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sparse-tiled chain execution equals plain sweeps exactly for
+    /// random meshes, chain lengths and tile counts (integer data).
+    #[test]
+    fn tiled_matches_plain_random(
+        nx in 4usize..9,
+        ny in 4usize..9,
+        n_pairs in 1usize..4,
+        n_tiles in 1usize..9,
+    ) {
+        use op2::core::tiling::{build_tile_plan, run_chain_tiled, seed_blocks};
+        use op2::core::{seq, Args, ChainSpec, LoopSpec};
+
+        fn produce(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) + 1.0);
+            args.inc(3, 0, args.get(1, 0) + 1.0);
+        }
+        fn consume(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) - args.get(1, 0));
+            args.inc(3, 0, args.get(1, 0));
+        }
+
+        let mut m = Quad2D::generate(nx, ny);
+        let n = m.dom.set(m.nodes).size;
+        let s0: Vec<f64> = (0..n).map(|i| ((i * 7 + 2) % 11) as f64).collect();
+        let d0 = m.dom.decl_dat("d0", m.nodes, 1, s0);
+        let d1 = m.dom.decl_dat_zeros("d1", m.nodes, 1);
+        let d2 = m.dom.decl_dat_zeros("d2", m.nodes, 1);
+
+        // Alternating produce(d0→d1) / consume(d1→d2) pairs.
+        let mut loops = Vec::new();
+        for _ in 0..n_pairs {
+            loops.push(LoopSpec::new(
+                "produce",
+                m.edges,
+                vec![
+                    Arg::dat_indirect(d0, m.e2n, 0, AccessMode::Read),
+                    Arg::dat_indirect(d0, m.e2n, 1, AccessMode::Read),
+                    Arg::dat_indirect(d1, m.e2n, 0, AccessMode::Inc),
+                    Arg::dat_indirect(d1, m.e2n, 1, AccessMode::Inc),
+                ],
+                produce,
+            ));
+            loops.push(LoopSpec::new(
+                "consume",
+                m.edges,
+                vec![
+                    Arg::dat_indirect(d1, m.e2n, 0, AccessMode::Read),
+                    Arg::dat_indirect(d1, m.e2n, 1, AccessMode::Read),
+                    Arg::dat_indirect(d2, m.e2n, 0, AccessMode::Inc),
+                    Arg::dat_indirect(d2, m.e2n, 1, AccessMode::Inc),
+                ],
+                consume,
+            ));
+        }
+        let chain = ChainSpec::new("rnd", loops, None, &[]).unwrap();
+
+        let mut plain = m.dom.clone();
+        for l in &chain.loops {
+            seq::run_loop(&mut plain, l);
+        }
+        let n_edges = m.dom.set(m.edges).size;
+        let seed = seed_blocks(n_edges, n_tiles);
+        let plan = build_tile_plan(&m.dom, &chain.sigs(), &seed);
+        // Every loop fully scheduled.
+        for j in 0..chain.len() {
+            prop_assert_eq!(plan.loop_total(j), n_edges);
+        }
+        run_chain_tiled(&mut m.dom, &chain, &plan);
+        for d in [d0, d1, d2] {
+            prop_assert_eq!(&plain.dat(d).data, &m.dom.dat(d).data);
+        }
+    }
+}
