@@ -24,7 +24,7 @@ use crate::device::GpuDevice;
 use op2_core::seq::LoopResult;
 use op2_core::{ChainSpec, DatId, LoopSpec};
 use op2_runtime::exec::{run_chain_hooked, run_loop_hooked, ExecHooks};
-use op2_runtime::RankEnv;
+use op2_runtime::{RankEnv, RuntimeError};
 
 /// Place a rank's working set on a device: accounts one allocation plus
 /// the initial host→device upload for every dat buffer.
@@ -64,13 +64,21 @@ impl ExecHooks for DeviceHooks<'_> {
 }
 
 /// Algorithm 1 on the simulated GPU cluster.
-pub fn run_loop_gpu(env: &mut RankEnv<'_>, dev: &mut GpuDevice, spec: &LoopSpec) -> LoopResult {
+pub fn run_loop_gpu(
+    env: &mut RankEnv<'_>,
+    dev: &mut GpuDevice,
+    spec: &LoopSpec,
+) -> Result<LoopResult, RuntimeError> {
     let mut hooks = DeviceHooks { dev };
     run_loop_hooked(env, spec, &mut hooks)
 }
 
 /// Algorithm 2 (CA) on the simulated GPU cluster.
-pub fn run_chain_gpu(env: &mut RankEnv<'_>, dev: &mut GpuDevice, chain: &ChainSpec) {
+pub fn run_chain_gpu(
+    env: &mut RankEnv<'_>,
+    dev: &mut GpuDevice,
+    chain: &ChainSpec,
+) -> Result<(), RuntimeError> {
     let mut hooks = DeviceHooks { dev };
     run_chain_hooked(env, chain, &mut hooks)
 }
@@ -195,15 +203,15 @@ mod tests {
         let out = run_distributed(&mut mesh.dom, &layouts, |env| {
             let mut dev = GpuDevice::v100();
             gpu_place(env, &mut dev);
-            run_loop_gpu(env, &mut dev, &produce); // dirties `a`
+            run_loop_gpu(env, &mut dev, &produce)?; // dirties `a`
             let after_init = dev.xfer;
-            run_chain_gpu(env, &mut dev, &chain);
-            (after_init, dev.xfer)
+            run_chain_gpu(env, &mut dev, &chain)?;
+            Ok((after_init, dev.xfer))
         });
         let _ = consume;
         assert_eq!(mesh.dom.dat(a).data, seq_dom.dat(a).data);
         assert_eq!(mesh.dom.dat(b).data, seq_dom.dat(b).data);
-        for (r, (before, after)) in out.results.iter().enumerate() {
+        for (r, (before, after)) in out.unwrap_results().iter().enumerate() {
             if layouts[r].neighbors.is_empty() {
                 continue;
             }
@@ -235,20 +243,20 @@ mod tests {
             let out = run_distributed(&mut dom, &layouts, |env| {
                 let mut dev = GpuDevice::v100();
                 gpu_place(env, &mut dev);
-                run_loop_gpu(env, &mut dev, &produce);
-                run_loop_gpu(env, &mut dev, &consume);
-                dev.xfer
+                run_loop_gpu(env, &mut dev, &produce)?;
+                run_loop_gpu(env, &mut dev, &consume)?;
+                Ok(dev.xfer)
             });
-            out.results
+            out.unwrap_results()
         };
         let ca_events = {
             let out = run_distributed(&mut mesh.dom, &layouts, |env| {
                 let mut dev = GpuDevice::v100();
                 gpu_place(env, &mut dev);
-                run_chain_gpu(env, &mut dev, &chain);
-                dev.xfer
+                run_chain_gpu(env, &mut dev, &chain)?;
+                Ok(dev.xfer)
             });
-            out.results
+            out.unwrap_results()
         };
         for (r, (op2, ca)) in op2_events.iter().zip(&ca_events).enumerate() {
             if layouts[r].neighbors.is_empty() {
@@ -261,18 +269,26 @@ mod tests {
         }
     }
 
-    /// Device capacity gates the per-rank working set (the panic crosses
-    /// the rank-thread boundary, so the harness rethrows it).
+    /// Device capacity gates the per-rank working set. The panic is
+    /// contained by the harness and reported as that rank's failure
+    /// instead of tearing down the whole run.
     #[test]
-    #[should_panic(expected = "rank thread panicked")]
-    fn oversized_working_set_panics() {
+    fn oversized_working_set_is_contained() {
         let Setup {
             mut mesh, layouts, ..
         } = setup(1);
-        run_distributed(&mut mesh.dom, &layouts, |env| {
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
             let mut dev = GpuDevice::new(64); // absurdly small device
             gpu_place(env, &mut dev);
+            Ok(())
         });
+        assert!(!out.all_ok());
+        match &out.results[0] {
+            Err(op2_runtime::RankFailure::Panicked { rank: 0, message }) => {
+                assert!(message.contains("does not fit on device"), "{message}");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
     }
 
     /// Transfer stats accumulate across loops.
@@ -289,13 +305,13 @@ mod tests {
             gpu_place(env, &mut dev);
             let mut total = TransferStats::default();
             for _ in 0..3 {
-                run_loop_gpu(env, &mut dev, &produce);
-                run_loop_gpu(env, &mut dev, &consume);
+                run_loop_gpu(env, &mut dev, &produce)?;
+                run_loop_gpu(env, &mut dev, &consume)?;
             }
             total.add(&dev.xfer);
-            total
+            Ok(total)
         });
-        for (r, xfer) in out.results.iter().enumerate() {
+        for (r, xfer) in out.unwrap_results().iter().enumerate() {
             // Initial upload + 3 iterations × exchanges for consume.
             assert!(xfer.h2d_events >= 1, "rank {r}");
             assert!(xfer.launches >= 6, "rank {r}");

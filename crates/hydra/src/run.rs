@@ -66,36 +66,41 @@ fn run_dist(
     let iteration = app.rk_iteration(ca, mode, stages);
     let norm_spec = app.norm_loop();
     let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
-    let exec_steps = |env: &mut op2_runtime::RankEnv<'_>, steps: &[Step]| {
+    let exec_steps = |env: &mut op2_runtime::RankEnv<'_>,
+                      steps: &[Step]|
+     -> Result<(), op2_runtime::RuntimeError> {
         for step in steps {
             match step {
                 Step::Loop(l) => {
-                    run_loop(env, l);
+                    run_loop(env, l)?;
                 }
                 Step::Chain(c, relaxed) => {
                     if *relaxed {
-                        run_chain_relaxed(env, c);
+                        run_chain_relaxed(env, c)?;
                     } else {
-                        run_chain(env, c);
+                        run_chain(env, c)?;
                     }
                 }
             }
         }
+        Ok(())
     };
     let out = run_distributed(&mut app.mesh.dom, layouts, |env| {
-        exec_steps(env, &setup);
+        exec_steps(env, &setup)?;
         let mut norm = 0.0;
         for _ in 0..iters {
-            exec_steps(env, &iteration);
-            let r = run_loop(env, &norm_spec);
+            exec_steps(env, &iteration)?;
+            let r = run_loop(env, &norm_spec)?;
             norm = (r.gbls[0][0] / n).sqrt();
         }
-        norm
+        Ok(norm)
     });
-    RunOutcome {
-        norm: out.results[0],
-        traces: out.traces,
-    }
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let norm = match &results[0] {
+        Ok(n) => *n,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { norm, traces }
 }
 
 /// Distributed, standard OP2 back-end (every chain flattened).

@@ -56,27 +56,29 @@ fn run_dist(app: &mut MgCfd, layouts: &[RankLayout], iters: usize, ca: bool) -> 
     let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
     let out = run_distributed(&mut app.dom, layouts, |env| {
         for l in &init {
-            run_loop(env, l);
+            run_loop(env, l)?;
         }
         let mut rms = 0.0;
         for iteration in &program {
             for step in iteration {
                 match step {
                     Step::Loop(l) => {
-                        run_loop(env, l);
+                        run_loop(env, l)?;
                     }
-                    Step::Chain(c) => run_chain(env, c),
+                    Step::Chain(c) => run_chain(env, c)?,
                 }
             }
-            let r = run_loop(env, &rms_spec);
+            let r = run_loop(env, &rms_spec)?;
             rms = (r.gbls[0][0] / n_fine).sqrt();
         }
-        rms
+        Ok(rms)
     });
-    RunOutcome {
-        rms: out.results[0],
-        traces: out.traces,
-    }
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let rms = match &results[0] {
+        Ok(r) => *r,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { rms, traces }
 }
 
 /// Run distributed with the standard OP2 back-end (Alg 1 per loop).
@@ -105,29 +107,31 @@ pub fn run_ca_tiled(
     let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
     let out = run_distributed(&mut app.dom, layouts, |env| {
         for l in &init {
-            run_loop(env, l);
+            run_loop(env, l)?;
         }
         let mut rms = 0.0;
         for iteration in &program {
             for step in iteration {
                 match step {
                     Step::Loop(l) => {
-                        run_loop(env, l);
+                        run_loop(env, l)?;
                     }
                     Step::Chain(c) => {
-                        op2_runtime::exec::run_chain_tiled(env, c, n_tiles)
+                        op2_runtime::exec::run_chain_tiled(env, c, n_tiles)?
                     }
                 }
             }
-            let r = run_loop(env, &rms_spec);
+            let r = run_loop(env, &rms_spec)?;
             rms = (r.gbls[0][0] / n_fine).sqrt();
         }
-        rms
+        Ok(rms)
     });
-    RunOutcome {
-        rms: out.results[0],
-        traces: out.traces,
-    }
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let rms = match &results[0] {
+        Ok(r) => *r,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { rms, traces }
 }
 
 #[cfg(test)]

@@ -10,51 +10,311 @@
 //! reduction arguments — the synchronisation point that terminates a
 //! loop-chain.
 //!
-//! Every send is counted and sized; the paper's central claim is about
-//! message counts and sizes, so these counters are the ground truth the
-//! tables are reproduced from.
+//! Unlike the first-cut transport, this one does **not** assume a perfect
+//! substrate. Every message carries a sequence number and a checksum;
+//! [`RankComm::recv`] verifies both under a configurable deadline with
+//! bounded retry/backoff and returns typed [`CommError`]s instead of
+//! panicking. A deterministic [`FaultPlan`](crate::fault::FaultPlan) can
+//! be attached to the world to delay, drop, duplicate or corrupt traffic
+//! (dropped/corrupted attempts are followed by scheduled retransmissions,
+//! modelling a sender-side retransmit timer), and `hangup` sentinels let
+//! a dying rank unblock its peers promptly instead of leaving them to
+//! deadlock.
+//!
+//! Every *logical* send is counted and sized (retransmissions and
+//! duplicates are tracked separately in [`CommCounters`]); the paper's
+//! central claim is about message counts and sizes, so these counters
+//! remain the ground truth the tables are reproduced from.
+//!
+//! ## Tag namespaces
+//!
+//! Caller-visible tags live below [`tags::USER_LIMIT`]. Collectives
+//! (allreduce, barrier) map their caller tag into a disjoint namespace at
+//! [`tags::COLLECTIVE_BASE`], so a collective can never collide with an
+//! adjacent point-to-point exchange no matter how callers pick tags; the
+//! control plane (hangup) sits above both at [`tags::CONTROL_BASE`].
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crate::fault::{Disposition, FaultPlan};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One message: payload plus a debug tag checked at receive time.
-#[derive(Debug)]
+/// Tag-namespace layout (disjoint ranges; see module docs).
+pub mod tags {
+    /// Exclusive upper bound for caller-supplied point-to-point tags.
+    pub const USER_LIMIT: u64 = 1 << 60;
+    /// Base of the collective-operation namespace.
+    pub const COLLECTIVE_BASE: u64 = 1 << 60;
+    /// Base of the control-plane namespace.
+    pub const CONTROL_BASE: u64 = 1 << 61;
+    /// Hangup sentinel: "this rank is dead; stop waiting for it".
+    pub const HANGUP: u64 = CONTROL_BASE;
+
+    /// Collective phases multiplexed onto one caller tag.
+    pub(super) const PHASE_TREE_GATHER: u64 = 0;
+    pub(super) const PHASE_TREE_BCAST: u64 = 1;
+    pub(super) const PHASE_LINEAR_GATHER: u64 = 2;
+    pub(super) const PHASE_LINEAR_BCAST: u64 = 3;
+
+    /// Map a caller tag + phase into the collective namespace.
+    pub(super) fn collective(tag: u64, phase: u64) -> u64 {
+        assert!(
+            tag < (1 << 57),
+            "collective tag {tag} too large to remap into the reserved namespace"
+        );
+        COLLECTIVE_BASE | (tag << 2) | phase
+    }
+}
+
+/// Typed transport failures. These replace the panics of the original
+/// transport: a misbehaving peer surfaces as an error the caller can
+/// propagate, not as an abort of the whole world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No (valid) message arrived within the deadline.
+    Timeout {
+        /// Peer we were waiting on.
+        from: u32,
+        /// Tag we were waiting for.
+        tag: u64,
+        /// Total time waited.
+        waited: Duration,
+        /// Discard-and-rewait rounds performed before giving up.
+        retries: u64,
+    },
+    /// A message arrived with the wrong tag — divergent program order.
+    TagMismatch {
+        /// Sending peer.
+        from: u32,
+        /// Tag the receiver expected.
+        expected: u64,
+        /// Tag that actually arrived.
+        got: u64,
+    },
+    /// The peer hung up (sent a hangup sentinel, or its channel closed).
+    PeerHangup {
+        /// The dead peer.
+        peer: u32,
+    },
+    /// Retries were exhausted while every arriving copy failed its
+    /// checksum.
+    Corrupt {
+        /// Sending peer.
+        from: u32,
+        /// Copies discarded.
+        discarded: u64,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout {
+                from,
+                tag,
+                waited,
+                retries,
+            } => write!(
+                f,
+                "timed out after {waited:?} ({retries} retries) waiting for tag {tag} from rank {from}"
+            ),
+            CommError::TagMismatch {
+                from,
+                expected,
+                got,
+            } => write!(
+                f,
+                "expected tag {expected} from rank {from}, got {got} (divergent program order)"
+            ),
+            CommError::PeerHangup { peer } => write!(f, "peer rank {peer} hung up"),
+            CommError::Corrupt { from, discarded } => write!(
+                f,
+                "gave up after {discarded} corrupt copies from rank {from}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Receive-side policy: how long to wait and how hard to retry.
+///
+/// The deadline is the transport-level reflection of the model's latency
+/// term `L` (Eq 1/3): a healthy exchange completes in ≪ `deadline`, so
+/// the deadline only binds when a peer is dead, stalled, or the fault
+/// plan has injected a permanent loss.
+#[derive(Debug, Clone, Copy)]
+pub struct CommConfig {
+    /// Total time `recv` may wait for a valid message.
+    pub deadline: Duration,
+    /// Sleep between discard-and-rewait rounds (backoff).
+    pub retry_backoff: Duration,
+    /// Maximum discard-and-rewait rounds per `recv`.
+    pub max_retries: u64,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            deadline: Duration::from_secs(10),
+            retry_backoff: Duration::from_micros(200),
+            max_retries: 256,
+        }
+    }
+}
+
+/// Counters for everything the recoverable transport observed — the
+/// ground truth the chaos tests and the fault-determinism property
+/// assert on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommCounters {
+    /// Receiver discard-and-rewait rounds (corrupt or duplicate copies).
+    pub retries: u64,
+    /// Receives that exhausted their deadline.
+    pub timeouts: u64,
+    /// Copies discarded for checksum mismatch.
+    pub corrupt_dropped: u64,
+    /// Copies discarded as duplicate sequence numbers.
+    pub duplicates_dropped: u64,
+    /// Messages whose delivery carried an injected delay.
+    pub delayed: u64,
+    /// Hangup sentinels (or closed channels) observed.
+    pub hangups_seen: u64,
+    /// Send attempts the fault plan dropped.
+    pub injected_drops: u64,
+    /// Send attempts the fault plan corrupted.
+    pub injected_corrupt: u64,
+    /// Extra deliveries the fault plan duplicated.
+    pub injected_dups: u64,
+    /// Retransmissions scheduled after dropped/corrupted attempts.
+    pub retransmits: u64,
+}
+
+impl CommCounters {
+    /// Accumulate another counter set.
+    pub fn add(&mut self, o: &CommCounters) {
+        self.retries += o.retries;
+        self.timeouts += o.timeouts;
+        self.corrupt_dropped += o.corrupt_dropped;
+        self.duplicates_dropped += o.duplicates_dropped;
+        self.delayed += o.delayed;
+        self.hangups_seen += o.hangups_seen;
+        self.injected_drops += o.injected_drops;
+        self.injected_corrupt += o.injected_corrupt;
+        self.injected_dups += o.injected_dups;
+        self.retransmits += o.retransmits;
+    }
+
+    /// True when any fault-recovery work happened at all.
+    pub fn any_recovery(&self) -> bool {
+        self.retries > 0
+            || self.corrupt_dropped > 0
+            || self.duplicates_dropped > 0
+            || self.retransmits > 0
+    }
+}
+
+/// One message: payload plus the integrity envelope checked at receive
+/// time.
+#[derive(Debug, Clone)]
 pub struct Msg {
     /// Sender rank.
     pub from: u32,
     /// Tag — must match the receiver's expectation (program-order bugs
-    /// surface as tag mismatches instead of silent corruption).
+    /// surface as tag-mismatch errors instead of silent corruption).
     pub tag: u64,
+    /// Per-(src,dst) sequence number, starting at 1. Duplicate detection.
+    pub seq: u64,
+    /// FNV-1a over (from, tag, seq, payload bits). Corruption detection.
+    pub checksum: u64,
     /// Payload.
     pub data: Vec<f64>,
+}
+
+/// Checksum covering the integrity envelope and the payload bits.
+pub fn checksum(from: u32, tag: u64, seq: u64, data: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |v: u64| {
+        for i in 0..8 {
+            h ^= (v >> (i * 8)) & 0xff;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    eat(from as u64);
+    eat(tag);
+    eat(seq);
+    for x in data {
+        eat(x.to_bits());
+    }
+    h
+}
+
+impl Msg {
+    fn is_intact(&self) -> bool {
+        self.checksum == checksum(self.from, self.tag, self.seq, &self.data)
+    }
+}
+
+/// What actually travels through a channel: the message plus simulated
+/// network conditions decided by the fault plan at send time.
+#[derive(Debug)]
+struct Packet {
+    msg: Msg,
+    /// Injected latency, enforced at the receiver (the wire was slow).
+    delay: Option<Duration>,
 }
 
 /// Factory wiring `n` ranks together with dedicated channels per ordered
 /// pair (so per-peer FIFO holds regardless of other traffic).
 pub struct CommWorld {
-    senders: Vec<Vec<Sender<Msg>>>,
-    receivers: Vec<Vec<Receiver<Msg>>>,
+    senders: Vec<Vec<Sender<Packet>>>,
+    receivers: Vec<Vec<Receiver<Packet>>>,
+    plan: Option<Arc<FaultPlan>>,
+    config: CommConfig,
 }
 
 impl CommWorld {
-    /// Create a world of `n` ranks.
+    /// Create a world of `n` ranks with a perfect network.
     pub fn new(n: usize) -> Self {
-        let mut senders: Vec<Vec<Sender<Msg>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
-        let mut receivers: Vec<Vec<Receiver<Msg>>> =
+        Self::build(n, None, CommConfig::default())
+    }
+
+    /// Create a world of `n` ranks whose traffic is subjected to `plan`.
+    pub fn with_faults(n: usize, plan: Arc<FaultPlan>) -> Self {
+        Self::build(n, Some(plan), CommConfig::default())
+    }
+
+    /// Override the receive policy for every rank.
+    pub fn with_config(mut self, config: CommConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    fn build(n: usize, plan: Option<Arc<FaultPlan>>, config: CommConfig) -> Self {
+        let mut senders: Vec<Vec<Sender<Packet>>> = (0..n).map(|_| Vec::with_capacity(n)).collect();
+        let mut receivers: Vec<Vec<Receiver<Packet>>> =
             (0..n).map(|_| Vec::with_capacity(n)).collect();
         // senders[src][dst] and receivers[dst][src].
         for dst in 0..n {
             for src in 0..n {
-                let (tx, rx) = unbounded();
+                let (tx, rx) = channel();
                 senders[src].push(tx);
                 receivers[dst].push(rx);
             }
         }
-        CommWorld { senders, receivers }
+        CommWorld {
+            senders,
+            receivers,
+            plan,
+            config,
+        }
     }
 
     /// Split into per-rank endpoints (call once; consumes the world).
     pub fn into_ranks(self) -> Vec<RankComm> {
         let n = self.senders.len();
+        let plan = self.plan;
+        let config = self.config;
         self.senders
             .into_iter()
             .zip(self.receivers)
@@ -66,6 +326,12 @@ impl CommWorld {
                 recvs,
                 sent_msgs: 0,
                 sent_bytes: 0,
+                next_seq: vec![1; n],
+                last_seq: vec![0; n],
+                config,
+                counters: CommCounters::default(),
+                plan: plan.clone(),
+                hung_up: false,
             })
             .collect()
     }
@@ -77,84 +343,338 @@ pub struct RankComm {
     pub rank: u32,
     /// World size.
     pub n: usize,
-    sends: Vec<Sender<Msg>>,
-    recvs: Vec<Receiver<Msg>>,
-    /// Messages sent so far.
+    sends: Vec<Sender<Packet>>,
+    recvs: Vec<Receiver<Packet>>,
+    /// Logical messages sent so far (retransmits/duplicates excluded —
+    /// this is the paper's message count).
     pub sent_msgs: u64,
-    /// Payload bytes sent so far.
+    /// Logical payload bytes sent so far.
     pub sent_bytes: u64,
+    /// Next sequence number per destination.
+    next_seq: Vec<u64>,
+    /// Highest accepted sequence number per source.
+    last_seq: Vec<u64>,
+    /// Receive policy.
+    pub config: CommConfig,
+    /// Everything observed (see [`CommCounters`]).
+    pub counters: CommCounters,
+    plan: Option<Arc<FaultPlan>>,
+    hung_up: bool,
 }
 
 impl RankComm {
     /// Non-blocking send (buffered like `MPI_Isend` + internal copy).
+    ///
+    /// Under a fault plan the message may be delivered late, twice,
+    /// corrupted, or have attempts dropped — in which case a
+    /// retransmission is scheduled, modelling the sender's retransmit
+    /// timer. Sends to an already-dead peer are silently buffered and
+    /// discarded (like `MPI_Isend` into a failed rank: the *receive*
+    /// side is where the failure surfaces).
     pub fn isend(&mut self, to: u32, tag: u64, data: Vec<f64>) {
+        let seq = self.next_seq[to as usize];
+        self.next_seq[to as usize] += 1;
         self.sent_msgs += 1;
         self.sent_bytes += (data.len() * std::mem::size_of::<f64>()) as u64;
-        self.sends[to as usize]
-            .send(Msg {
+        let msg = Msg {
+            from: self.rank,
+            tag,
+            seq,
+            checksum: checksum(self.rank, tag, seq, &data),
+            data,
+        };
+        let Some(plan) = self.plan.clone() else {
+            self.push(to, msg, None);
+            return;
+        };
+        let schedule = plan.send_schedule(self.rank, to, seq);
+        let mut delivered_once = false;
+        for attempt in schedule.attempts {
+            match attempt.disposition {
+                Disposition::Drop => {
+                    self.counters.injected_drops += 1;
+                    self.counters.retransmits += 1;
+                }
+                Disposition::Corrupt => {
+                    self.counters.injected_corrupt += 1;
+                    self.counters.retransmits += 1;
+                    let mut bad = msg.clone();
+                    let victim = (seq as usize) % bad.data.len().max(1);
+                    if let Some(x) = bad.data.get_mut(victim) {
+                        *x = f64::from_bits(x.to_bits() ^ (1 << 17));
+                    } else {
+                        bad.checksum ^= 0xdead_beef;
+                    }
+                    self.push(to, bad, attempt.delay);
+                }
+                Disposition::Deliver => {
+                    if delivered_once {
+                        self.counters.injected_dups += 1;
+                    }
+                    delivered_once = true;
+                    self.push(to, msg.clone(), attempt.delay);
+                }
+            }
+        }
+    }
+
+    fn push(&mut self, to: u32, msg: Msg, delay: Option<Duration>) {
+        if delay.is_some() {
+            self.counters.delayed += 1;
+        }
+        // A closed channel means the peer is gone; the error surfaces on
+        // our next receive from it, exactly like buffered MPI.
+        let _ = self.sends[to as usize].send(Packet { msg, delay });
+    }
+
+    /// Blocking receive of the next valid message from `from`.
+    ///
+    /// Waits up to `config.deadline` in total. Copies failing their
+    /// checksum and duplicate sequence numbers are discarded (each
+    /// discard counts one retry and sleeps `config.retry_backoff`),
+    /// relying on the scheduled retransmission to bring a good copy.
+    /// Tag mismatches, hangups, exhausted retries and deadline expiry
+    /// surface as typed [`CommError`]s.
+    pub fn recv(&mut self, from: u32, tag: u64) -> Result<Vec<f64>, CommError> {
+        let start = Instant::now();
+        let deadline = start + self.config.deadline;
+        let mut retries = 0u64;
+        let mut corrupt_seen = 0u64;
+        loop {
+            if retries > self.config.max_retries {
+                return if corrupt_seen > 0 {
+                    Err(CommError::Corrupt {
+                        from,
+                        discarded: corrupt_seen,
+                    })
+                } else {
+                    self.counters.timeouts += 1;
+                    Err(CommError::Timeout {
+                        from,
+                        tag,
+                        waited: start.elapsed(),
+                        retries,
+                    })
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                self.counters.timeouts += 1;
+                return Err(CommError::Timeout {
+                    from,
+                    tag,
+                    waited: start.elapsed(),
+                    retries,
+                });
+            }
+            let packet = match self.recvs[from as usize].recv_timeout(deadline - now) {
+                Ok(p) => p,
+                Err(RecvTimeoutError::Timeout) => {
+                    self.counters.timeouts += 1;
+                    return Err(CommError::Timeout {
+                        from,
+                        tag,
+                        waited: start.elapsed(),
+                        retries,
+                    });
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.counters.hangups_seen += 1;
+                    return Err(CommError::PeerHangup { peer: from });
+                }
+            };
+            if let Some(d) = packet.delay {
+                // The wire was slow: the payload only becomes visible
+                // after the injected latency has elapsed.
+                std::thread::sleep(d);
+            }
+            let msg = packet.msg;
+            if msg.tag >= tags::CONTROL_BASE {
+                self.counters.hangups_seen += 1;
+                return Err(CommError::PeerHangup { peer: from });
+            }
+            if !msg.is_intact() {
+                self.counters.corrupt_dropped += 1;
+                self.counters.retries += 1;
+                retries += 1;
+                corrupt_seen += 1;
+                std::thread::sleep(self.config.retry_backoff);
+                continue;
+            }
+            if msg.seq <= self.last_seq[from as usize] {
+                self.counters.duplicates_dropped += 1;
+                self.counters.retries += 1;
+                retries += 1;
+                continue;
+            }
+            self.last_seq[from as usize] = msg.seq;
+            if msg.tag != tag {
+                return Err(CommError::TagMismatch {
+                    from,
+                    expected: tag,
+                    got: msg.tag,
+                });
+            }
+            return Ok(msg.data);
+        }
+    }
+
+    /// The fault plan this endpoint's traffic is subjected to, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.plan.clone()
+    }
+
+    /// Broadcast a hangup sentinel to every peer: "this rank is dead,
+    /// stop waiting". Idempotent. Called by the harness when a rank
+    /// fails, so survivors unwind with [`CommError::PeerHangup`] instead
+    /// of blocking until their deadlines.
+    pub fn hangup_all(&mut self) {
+        if self.hung_up {
+            return;
+        }
+        self.hung_up = true;
+        for peer in 0..self.n as u32 {
+            if peer == self.rank {
+                continue;
+            }
+            let msg = Msg {
                 from: self.rank,
-                tag,
-                data,
-            })
-            .expect("peer rank hung up");
+                tag: tags::HANGUP,
+                seq: 0,
+                checksum: 0,
+                data: Vec::new(),
+            };
+            let _ = self.sends[peer as usize].send(Packet { msg, delay: None });
+        }
     }
 
-    /// Blocking receive of the next message from `from`; panics on tag
-    /// mismatch (indicates divergent program order — always a bug).
-    pub fn recv(&mut self, from: u32, tag: u64) -> Vec<f64> {
-        let msg = self.recvs[from as usize]
-            .recv()
-            .expect("peer rank hung up");
-        assert_eq!(
-            msg.tag, tag,
-            "rank {} expected tag {tag} from {from}, got {}",
-            self.rank, msg.tag
-        );
-        msg.data
-    }
-
-    /// Sum-allreduce: gather to rank 0 in rank order (deterministic
-    /// floating-point result), then broadcast.
-    pub fn allreduce_sum(&mut self, vals: &mut [f64], tag: u64) {
+    /// Sum-allreduce (tree-based; see [`RankComm::allreduce`]).
+    pub fn allreduce_sum(&mut self, vals: &mut [f64], tag: u64) -> Result<(), CommError> {
         self.allreduce(vals, tag, op2_core::access::GblOp::Sum)
     }
 
-    /// Allreduce with an arbitrary combining operator (sum / min / max):
-    /// gather to rank 0 in rank order (deterministic), then broadcast.
-    pub fn allreduce(&mut self, vals: &mut [f64], tag: u64, op: op2_core::access::GblOp) {
-        if self.n == 1 {
-            return;
+    /// Allreduce with an arbitrary combining operator (sum / min / max).
+    ///
+    /// Binomial-tree gather of the per-rank contribution *lists* (kept in
+    /// rank order), a single rank-ordered combine at the root, then a
+    /// binomial-tree broadcast — `O(log n)` rounds with a combine order
+    /// **identical to the linear gather**, so the result is bitwise
+    /// reproducible and bitwise equal to [`RankComm::allreduce_linear`].
+    ///
+    /// The caller tag is remapped into the reserved collective namespace;
+    /// adjacent caller tags can never collide with collective traffic.
+    pub fn allreduce(
+        &mut self,
+        vals: &mut [f64],
+        tag: u64,
+        op: op2_core::access::GblOp,
+    ) -> Result<(), CommError> {
+        if self.n == 1 || vals.is_empty() {
+            return Ok(());
         }
+        let dim = vals.len();
+        let up = tags::collective(tag, tags::PHASE_TREE_GATHER);
+        let down = tags::collective(tag, tags::PHASE_TREE_BCAST);
+        let rank = self.rank as usize;
+        let n = self.n;
+
+        // Gather phase: `flat` holds the contributions of the contiguous
+        // rank range [rank, rank + subtree) in rank order.
+        let mut flat = vals.to_vec();
+        let mut step = 1usize;
+        let mut parent: Option<usize> = None;
+        while step < n {
+            if rank & step != 0 {
+                parent = Some(rank - step);
+                break;
+            }
+            if rank + step < n {
+                let part = self.recv((rank + step) as u32, up)?;
+                debug_assert_eq!(part.len() % dim.max(1), 0);
+                flat.extend_from_slice(&part);
+            }
+            step <<= 1;
+        }
+
+        let acc = if let Some(p) = parent {
+            self.isend(p as u32, up, flat);
+            self.recv(p as u32, down)?
+        } else {
+            // Root: combine every rank's contribution in ascending rank
+            // order — the exact order of the linear gather.
+            let mut acc = flat[..dim].to_vec();
+            for r in 1..n {
+                for (a, &p) in acc.iter_mut().zip(&flat[r * dim..(r + 1) * dim]) {
+                    *a = op.combine(*a, p);
+                }
+            }
+            acc
+        };
+
+        // Broadcast phase: forward down the same tree, largest child
+        // first.
+        let lsb = if rank == 0 {
+            n.next_power_of_two()
+        } else {
+            rank & rank.wrapping_neg()
+        };
+        let mut child_step = lsb >> 1;
+        while child_step >= 1 {
+            if rank + child_step < n {
+                self.isend((rank + child_step) as u32, down, acc.clone());
+            }
+            child_step >>= 1;
+        }
+        vals.copy_from_slice(&acc);
+        Ok(())
+    }
+
+    /// The original O(n) rank-0 linear gather + broadcast, kept as the
+    /// reference the tree path is asserted bitwise-equal against.
+    pub fn allreduce_linear(
+        &mut self,
+        vals: &mut [f64],
+        tag: u64,
+        op: op2_core::access::GblOp,
+    ) -> Result<(), CommError> {
+        if self.n == 1 {
+            return Ok(());
+        }
+        let up = tags::collective(tag, tags::PHASE_LINEAR_GATHER);
+        let down = tags::collective(tag, tags::PHASE_LINEAR_BCAST);
         if self.rank == 0 {
             let mut acc = vals.to_vec();
             for src in 1..self.n as u32 {
-                let part = self.recv(src, tag);
+                let part = self.recv(src, up)?;
                 assert_eq!(part.len(), acc.len());
                 for (a, p) in acc.iter_mut().zip(&part) {
                     *a = op.combine(*a, *p);
                 }
             }
             for dst in 1..self.n as u32 {
-                self.isend(dst, tag + 1, acc.clone());
+                self.isend(dst, down, acc.clone());
             }
             vals.copy_from_slice(&acc);
         } else {
-            self.isend(0, tag, vals.to_vec());
-            let acc = self.recv(0, tag + 1);
+            self.isend(0, up, vals.to_vec());
+            let acc = self.recv(0, down)?;
             vals.copy_from_slice(&acc);
         }
+        Ok(())
     }
 
     /// Barrier built on the allreduce.
-    pub fn barrier(&mut self, tag: u64) {
+    pub fn barrier(&mut self, tag: u64) -> Result<(), CommError> {
         let mut dummy = [0.0];
-        self.allreduce_sum(&mut dummy, tag);
+        self.allreduce_sum(&mut dummy, tag)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultSpec;
+    use op2_core::access::GblOp;
 
     #[test]
     fn point_to_point_fifo() {
@@ -167,11 +687,40 @@ mod tests {
             r0.isend(1, 8, vec![3.0]);
             r0
         });
-        assert_eq!(r1.recv(0, 7), vec![1.0, 2.0]);
-        assert_eq!(r1.recv(0, 8), vec![3.0]);
+        assert_eq!(r1.recv(0, 7).unwrap(), vec![1.0, 2.0]);
+        assert_eq!(r1.recv(0, 8).unwrap(), vec![3.0]);
         let r0 = t.join().unwrap();
         assert_eq!(r0.sent_msgs, 2);
         assert_eq!(r0.sent_bytes, 24);
+    }
+
+    fn spawn_allreduce(
+        n: usize,
+        linear: bool,
+    ) -> Vec<Vec<f64>> {
+        let ranks = CommWorld::new(n).into_ranks();
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|mut rc| {
+                std::thread::spawn(move || {
+                    // Values chosen to make float combine order visible:
+                    // wildly different magnitudes per rank.
+                    let r = rc.rank as f64;
+                    let mut v = vec![
+                        (r + 1.0) * 1e-3 + 0.1,
+                        10.0_f64.powf(r - 2.0),
+                        -(r * 7.0 + 0.3),
+                    ];
+                    if linear {
+                        rc.allreduce_linear(&mut v, 100, GblOp::Sum).unwrap();
+                    } else {
+                        rc.allreduce(&mut v, 100, GblOp::Sum).unwrap();
+                    }
+                    v
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
     }
 
     #[test]
@@ -182,7 +731,7 @@ mod tests {
             .map(|mut rc| {
                 std::thread::spawn(move || {
                     let mut v = [rc.rank as f64 + 1.0, 10.0];
-                    rc.allreduce_sum(&mut v, 100);
+                    rc.allreduce_sum(&mut v, 100).unwrap();
                     v
                 })
             })
@@ -193,14 +742,182 @@ mod tests {
         }
     }
 
+    /// The tree reduction is bitwise identical to the linear gather for
+    /// every world size (including non-powers of two), because both
+    /// combine contributions in ascending rank order.
     #[test]
-    #[should_panic(expected = "expected tag")]
-    fn tag_mismatch_panics() {
+    fn tree_allreduce_matches_linear_bitwise() {
+        for n in [2usize, 3, 4, 5, 7, 8] {
+            let tree = spawn_allreduce(n, false);
+            let linear = spawn_allreduce(n, true);
+            for (t, l) in tree.iter().zip(&linear) {
+                for (a, b) in t.iter().zip(l) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "n={n}");
+                }
+            }
+            // And min/max agree too.
+            let ranks = CommWorld::new(n).into_ranks();
+            let hs: Vec<_> = ranks
+                .into_iter()
+                .map(|mut rc| {
+                    std::thread::spawn(move || {
+                        let mut v = [rc.rank as f64, -(rc.rank as f64)];
+                        rc.allreduce(&mut v, 7, GblOp::Max).unwrap();
+                        v
+                    })
+                })
+                .collect();
+            for h in hs {
+                let v = h.join().unwrap();
+                assert_eq!(v, [(n - 1) as f64, 0.0], "n={n}");
+            }
+        }
+    }
+
+    /// Tag mismatch is a typed error now, not a panic.
+    #[test]
+    fn tag_mismatch_is_typed_error() {
         let ranks = CommWorld::new(2).into_ranks();
         let mut iter = ranks.into_iter();
         let mut r0 = iter.next().unwrap();
         let mut r1 = iter.next().unwrap();
         r0.isend(1, 1, vec![]);
-        let _ = r1.recv(0, 2);
+        match r1.recv(0, 2) {
+            Err(CommError::TagMismatch {
+                from,
+                expected,
+                got,
+            }) => {
+                assert_eq!((from, expected, got), (0, 2, 1));
+            }
+            other => panic!("expected TagMismatch, got {other:?}"),
+        }
+    }
+
+    /// An empty channel bounded by a short deadline times out with the
+    /// waited duration reported.
+    #[test]
+    fn recv_times_out_with_typed_error() {
+        let ranks = CommWorld::new(2)
+            .with_config(CommConfig {
+                deadline: Duration::from_millis(20),
+                ..CommConfig::default()
+            })
+            .into_ranks();
+        let mut iter = ranks.into_iter();
+        // Keep rank 0 alive (dropping it would close the channel and
+        // surface as PeerHangup instead); it just never sends.
+        let _r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let t0 = Instant::now();
+        match r1.recv(0, 5) {
+            Err(CommError::Timeout { from, tag, .. }) => {
+                assert_eq!((from, tag), (0, 5));
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(2), "deadline not honoured");
+        assert_eq!(r1.counters.timeouts, 1);
+    }
+
+    /// A hangup sentinel surfaces as PeerHangup without waiting for the
+    /// deadline.
+    #[test]
+    fn hangup_unblocks_receiver_promptly() {
+        let ranks = CommWorld::new(2)
+            .with_config(CommConfig {
+                deadline: Duration::from_secs(30),
+                ..CommConfig::default()
+            })
+            .into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        r0.hangup_all();
+        let t0 = Instant::now();
+        match r1.recv(0, 1) {
+            Err(CommError::PeerHangup { peer }) => assert_eq!(peer, 0),
+            other => panic!("expected PeerHangup, got {other:?}"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+    }
+
+    /// Dropped and corrupted attempts are recovered via the scheduled
+    /// retransmissions; duplicates are filtered by sequence number; the
+    /// payload arrives intact.
+    #[test]
+    fn faulty_link_still_delivers_exact_payloads() {
+        let spec = FaultSpec {
+            seed: 0xfeed,
+            drop_permille: 200,
+            dup_permille: 200,
+            corrupt_permille: 200,
+            delay_permille: 100,
+            max_delay: Duration::from_micros(300),
+            ..FaultSpec::default()
+        };
+        let ranks = CommWorld::with_faults(2, Arc::new(FaultPlan::new(spec))).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let payloads: Vec<Vec<f64>> = (0..200)
+            .map(|i| vec![i as f64, i as f64 * 0.5, -(i as f64)])
+            .collect();
+        let expect = payloads.clone();
+        let t = std::thread::spawn(move || {
+            for (i, p) in payloads.into_iter().enumerate() {
+                r0.isend(1, i as u64, p);
+            }
+            r0
+        });
+        for (i, want) in expect.iter().enumerate() {
+            let got = r1.recv(0, i as u64).unwrap();
+            assert_eq!(&got, want, "message {i}");
+        }
+        let r0 = t.join().unwrap();
+        assert_eq!(r0.sent_msgs, 200, "logical count excludes retransmits");
+        assert!(
+            r0.counters.injected_drops + r0.counters.injected_corrupt > 0,
+            "fault plan never fired: {:?}",
+            r0.counters
+        );
+        assert!(r1.counters.any_recovery(), "receiver saw no faults");
+    }
+
+    /// Collective traffic lives in its own tag namespace: an allreduce
+    /// on base tag `t` coexists with point-to-point messages tagged
+    /// `t+1` (the old ad-hoc scheme used `t`/`t+1` for its gather and
+    /// broadcast, so an adjacent caller tag was indistinguishable from
+    /// the reduction result — a dropped broadcast would silently accept
+    /// the user payload in its place).
+    #[test]
+    fn collective_tags_disjoint_from_user_tags() {
+        // Structural: remapped tags are in the reserved range, phases
+        // distinct, user tags untouched.
+        let g = tags::collective(100, tags::PHASE_TREE_GATHER);
+        let b = tags::collective(100, tags::PHASE_TREE_BCAST);
+        let lg = tags::collective(100, tags::PHASE_LINEAR_GATHER);
+        assert!((tags::COLLECTIVE_BASE..tags::CONTROL_BASE).contains(&g));
+        assert!(g != b && b != lg && g != lg);
+        assert!(101 < tags::USER_LIMIT && g != 101 && b != 101);
+
+        // Behavioural: allreduce on tag 100 + p2p on the adjacent tag
+        // 101, in program order, both deliver their own payloads.
+        let ranks = CommWorld::new(2).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let tag = 100u64;
+        let t = std::thread::spawn(move || {
+            let mut v = [1.0];
+            r0.allreduce_sum(&mut v, tag).unwrap();
+            r0.isend(1, tag + 1, vec![42.0]);
+            v
+        });
+        let mut v = [2.0];
+        r1.allreduce_sum(&mut v, tag).unwrap();
+        assert_eq!(r1.recv(0, tag + 1).unwrap(), vec![42.0]);
+        assert_eq!(t.join().unwrap(), [3.0]);
+        assert_eq!(v, [3.0]);
     }
 }

@@ -28,7 +28,8 @@
 //! touching data: an analysis bug becomes a loud panic, never silent
 //! numerical corruption.
 
-use crate::comm::RankComm;
+use crate::comm::{CommError, RankComm};
+use crate::fault::{BoundaryAction, BoundaryKind};
 use crate::trace::{ExchangeRec, RankTrace};
 use op2_core::{AccessMode, Arg, Args, DatId, Domain, LoopSpec};
 use op2_core::kernel::ArgSlot;
@@ -57,6 +58,9 @@ pub struct RankEnv<'a> {
     pub trace: RankTrace,
     /// Monotone tag sequence (identical across ranks by construction).
     pub tag_seq: u64,
+    /// Boundaries crossed so far, per [`BoundaryKind`] — the coordinates
+    /// fault plans name crash/stall points by.
+    boundaries: [u64; 3],
 }
 
 impl<'a> RankEnv<'a> {
@@ -79,6 +83,7 @@ impl<'a> RankEnv<'a> {
                 ..Default::default()
             },
             tag_seq: 0,
+            boundaries: [0; 3],
         }
     }
 
@@ -86,6 +91,36 @@ impl<'a> RankEnv<'a> {
     pub fn next_tag(&mut self) -> u64 {
         self.tag_seq += 64;
         self.tag_seq
+    }
+
+    /// Executor hook: this rank crossed a loop/chain boundary. If the
+    /// attached fault plan names this boundary, act on it: a stall is a
+    /// plain sleep (long enough to trip peers' deadlines when configured
+    /// so); a crash hangs up the transport — so peers unwind promptly
+    /// with [`CommError::PeerHangup`] — and panics, which the harness
+    /// contains via `catch_unwind` and reports as a per-rank failure.
+    pub fn boundary(&mut self, kind: BoundaryKind) {
+        let slot = match kind {
+            BoundaryKind::Loop => 0,
+            BoundaryKind::Chain => 1,
+            BoundaryKind::ChainLoop => 2,
+        };
+        let index = self.boundaries[slot];
+        self.boundaries[slot] += 1;
+        let Some(plan) = self.comm.fault_plan() else {
+            return;
+        };
+        match plan.boundary_action(self.rank, kind, index) {
+            None => {}
+            Some(BoundaryAction::Stall(dur)) => std::thread::sleep(dur),
+            Some(BoundaryAction::Crash) => {
+                self.comm.hangup_all();
+                panic!(
+                    "fault injection: rank {} crashed at {kind:?} boundary {index}",
+                    self.rank
+                );
+            }
+        }
     }
 
     /// Execute `spec`'s kernel over local iterations `[start, end)`.
@@ -250,9 +285,14 @@ impl<'a> RankEnv<'a> {
 
     /// Complete the exchange posted by [`RankEnv::exchange`] (the
     /// `MPI_Wait` of Algs 1–2): receive and unpack from every neighbour.
-    pub fn exchange_wait(&mut self, dats: &[(DatId, u8)], grouped: bool) {
+    ///
+    /// Transport failures (timeout, hangup, corruption past the retry
+    /// budget) surface as [`CommError`]; validity is only raised after
+    /// *every* neighbour delivered, so a failed wait never leaves rings
+    /// marked valid that were not actually filled.
+    pub fn exchange_wait(&mut self, dats: &[(DatId, u8)], grouped: bool) -> Result<(), CommError> {
         if dats.is_empty() {
-            return;
+            return Ok(());
         }
         let tag = self.tag_seq;
         // Collect neighbor ranks first (borrow discipline).
@@ -263,7 +303,7 @@ impl<'a> RankEnv<'a> {
                 if expect == 0 {
                     continue;
                 }
-                let payload = self.comm.recv(*peer, tag);
+                let payload = self.comm.recv(*peer, tag)?;
                 assert_eq!(payload.len(), expect, "grouped message length mismatch");
                 let mut off = 0;
                 for &(dat, depth) in dats {
@@ -276,7 +316,7 @@ impl<'a> RankEnv<'a> {
                     if expect == 0 {
                         continue;
                     }
-                    let payload = self.comm.recv(*peer, tag);
+                    let payload = self.comm.recv(*peer, tag)?;
                     assert_eq!(payload.len(), expect, "per-dat message length mismatch");
                     let off = self.unpack_dat(ni, dat, depth, &payload, 0);
                     debug_assert_eq!(off, payload.len());
@@ -286,6 +326,7 @@ impl<'a> RankEnv<'a> {
         for &(dat, depth) in dats {
             self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
         }
+        Ok(())
     }
 
     /// Bytes-in-f64s this rank will receive from neighbour index `ni`
@@ -384,7 +425,7 @@ mod tests {
         let mut mesh = Quad2D::generate(6, 6);
         let n = mesh.dom.set(mesh.nodes).size;
         let vals: Vec<f64> = (0..n * 2).map(|i| i as f64).collect();
-        let d = mesh.dom.decl_dat("v", mesh.nodes, 2, vals);
+        let _ = mesh.dom.decl_dat("v", mesh.nodes, 2, vals);
         let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 2);
         let own = derive_ownership(&mesh.dom, mesh.nodes, base, 2);
         let layouts = build_layouts(&mesh.dom, &own, 2);
@@ -410,7 +451,7 @@ mod tests {
                         env.valid[dat.idx()] = 0;
                         let spec = [(dat, 2u8)];
                         let _ = env.exchange(&spec, true);
-                        env.exchange_wait(&spec, true);
+                        env.exchange_wait(&spec, true).unwrap();
                         assert_eq!(env.valid[dat.idx()], 2);
                         // Every local copy must now equal the owner's
                         // global values.
@@ -452,7 +493,7 @@ mod tests {
                     let mut env = RankEnv::new(layout, dom, comm);
                     env.valid[d.idx()] = 0;
                     let rec = env.exchange(&[], true);
-                    env.exchange_wait(&[], true);
+                    env.exchange_wait(&[], true).unwrap();
                     assert_eq!(rec.n_msgs, 0);
                     assert_eq!(env.valid[d.idx()], 0);
                     assert_eq!(env.comm.sent_msgs, 0);

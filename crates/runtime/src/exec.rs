@@ -12,6 +12,8 @@
 //! `r` layers replacing the eliminated per-loop messages.
 
 use crate::env::RankEnv;
+use crate::error::RuntimeError;
+use crate::fault::BoundaryKind;
 use crate::trace::{ChainRec, LoopRec};
 use op2_core::seq::LoopResult;
 use op2_core::{Arg, ChainSpec, DatId, LoopSpec};
@@ -66,8 +68,10 @@ pub fn exchange_list(env: &RankEnv<'_>, spec: &LoopSpec, ext: usize) -> Vec<(Dat
 
 /// Algorithm 1: execute one loop with per-loop halo exchange and
 /// latency hiding. Returns final global-argument values (reductions are
-/// summed across ranks deterministically).
-pub fn run_loop(env: &mut RankEnv<'_>, spec: &LoopSpec) -> LoopResult {
+/// summed across ranks deterministically). Transport failures —
+/// timeouts, hangups, corruption beyond the retry budget — surface as
+/// [`RuntimeError`]s instead of panics.
+pub fn run_loop(env: &mut RankEnv<'_>, spec: &LoopSpec) -> Result<LoopResult, RuntimeError> {
     run_loop_hooked(env, spec, &mut NoHooks)
 }
 
@@ -76,7 +80,7 @@ pub fn run_loop_hooked(
     env: &mut RankEnv<'_>,
     spec: &LoopSpec,
     hooks: &mut dyn ExecHooks,
-) -> LoopResult {
+) -> Result<LoopResult, RuntimeError> {
     let ext = standalone_extent(spec);
     let exch = exchange_list(env, spec, ext);
     debug_assert!(
@@ -102,7 +106,7 @@ pub fn run_loop_hooked(
     env.exec_range(spec, 0, core_end, &mut gbls);
 
     // Wait (line 6).
-    env.exchange_wait(&exch, false);
+    env.exchange_wait(&exch, false)?;
     hooks.stage_in(env.expected_recv_bytes(&exch));
 
     // Boundary-owned iterations contribute to reductions; redundant ring
@@ -145,7 +149,7 @@ pub fn run_loop_hooked(
                 if mode.modifies() {
                     let op = spec.gbls[*idx as usize].op;
                     env.comm
-                        .allreduce(&mut gbls[*idx as usize], tag + *idx as u64 * 2, op);
+                        .allreduce(&mut gbls[*idx as usize], tag + *idx as u64 * 2, op)?;
                 }
             }
         }
@@ -159,7 +163,8 @@ pub fn run_loop_hooked(
         exch: rec,
     });
 
-    LoopResult { gbls }
+    env.boundary(BoundaryKind::Loop);
+    Ok(LoopResult { gbls })
 }
 
 /// The grouped-import plan of a chain: per dat, the depth the initial
@@ -187,8 +192,9 @@ pub fn chain_import_depths_relaxed(env: &RankEnv<'_>, chain: &ChainSpec) -> Vec<
 
 /// Algorithm 2: execute a loop-chain with the communication-avoiding
 /// back-end. Panics if the chain requires deeper halos than the layout
-/// was built with.
-pub fn run_chain(env: &mut RankEnv<'_>, chain: &ChainSpec) {
+/// was built with (a program error); transport failures surface as
+/// [`RuntimeError`]s.
+pub fn run_chain(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), RuntimeError> {
     run_chain_mode(env, chain, &mut NoHooks, false)
 }
 
@@ -198,12 +204,16 @@ pub fn run_chain(env: &mut RankEnv<'_>, chain: &ChainSpec) {
 /// values — the paper's one-sync-per-chain semantics), and every such
 /// potentially-stale read is counted in the chain record instead of
 /// asserted against.
-pub fn run_chain_relaxed(env: &mut RankEnv<'_>, chain: &ChainSpec) {
+pub fn run_chain_relaxed(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), RuntimeError> {
     run_chain_mode(env, chain, &mut NoHooks, true)
 }
 
 /// [`run_chain`] with observation hooks (see [`ExecHooks`]).
-pub fn run_chain_hooked(env: &mut RankEnv<'_>, chain: &ChainSpec, hooks: &mut dyn ExecHooks) {
+pub fn run_chain_hooked(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+    hooks: &mut dyn ExecHooks,
+) -> Result<(), RuntimeError> {
     run_chain_mode(env, chain, hooks, false)
 }
 
@@ -212,7 +222,7 @@ pub fn run_chain_relaxed_hooked(
     env: &mut RankEnv<'_>,
     chain: &ChainSpec,
     hooks: &mut dyn ExecHooks,
-) {
+) -> Result<(), RuntimeError> {
     run_chain_mode(env, chain, hooks, true)
 }
 
@@ -221,7 +231,7 @@ fn run_chain_mode(
     chain: &ChainSpec,
     hooks: &mut dyn ExecHooks,
     relaxed: bool,
-) {
+) -> Result<(), RuntimeError> {
     let depth = chain.max_halo_layers();
     assert!(
         depth <= env.layout.depth,
@@ -260,7 +270,7 @@ fn run_chain_mode(
     }
 
     // Wait (line 13).
-    env.exchange_wait(&exch, true);
+    env.exchange_wait(&exch, true)?;
     hooks.stage_in(env.expected_recv_bytes(&exch));
 
     // Halo regions in loop order (lines 14-18), with validity checked
@@ -305,6 +315,7 @@ fn run_chain_mode(
                 }
             }
         }
+        env.boundary(BoundaryKind::ChainLoop);
     }
 
     env.trace.chains.push(ChainRec {
@@ -315,6 +326,8 @@ fn run_chain_mode(
         exch: rec,
         stale_reads,
     });
+    env.boundary(BoundaryKind::Chain);
+    Ok(())
 }
 
 /// Algorithm 2 combined with §2.2's shared-memory sparse tiling: the
@@ -327,7 +340,11 @@ fn run_chain_mode(
 /// completes before the tiled execution starts), in exchange for the
 /// cache locality. This mirrors the paper's two levels: MPI-rank = outer
 /// tile, `n_tiles` inner tiles per rank.
-pub fn run_chain_tiled(env: &mut RankEnv<'_>, chain: &ChainSpec, n_tiles: usize) {
+pub fn run_chain_tiled(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+    n_tiles: usize,
+) -> Result<(), RuntimeError> {
     use op2_core::tiling::{build_tile_plan_raw, seed_blocks};
     let depth = chain.max_halo_layers();
     assert!(
@@ -338,7 +355,7 @@ pub fn run_chain_tiled(env: &mut RankEnv<'_>, chain: &ChainSpec, n_tiles: usize)
     );
     let exch = chain_import_depths(env, chain);
     let rec = env.exchange(&exch, true);
-    env.exchange_wait(&exch, true);
+    env.exchange_wait(&exch, true)?;
 
     // Per-loop execute regions (owned + rings ≤ extent) and the local
     // tile schedule over them.
@@ -401,6 +418,8 @@ pub fn run_chain_tiled(env: &mut RankEnv<'_>, chain: &ChainSpec, n_tiles: usize)
         exch: rec,
         stale_reads: 0,
     });
+    env.boundary(BoundaryKind::Chain);
+    Ok(())
 }
 
 #[cfg(test)]

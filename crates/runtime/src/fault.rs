@@ -1,0 +1,361 @@
+//! Deterministic fault injection for the rank runtime.
+//!
+//! A [`FaultPlan`] is a pure function from (seed, src, dst, seq) to a
+//! *send schedule*: the exact list of delivery attempts — drops,
+//! corrupted copies, duplicates, injected delays — that the transport
+//! will perform for that logical message. Because the schedule depends
+//! only on the plan's seed and the message coordinates (never on wall
+//! clock or thread interleaving), replaying the same seeded plan over
+//! the same program produces bit-identical traffic and bit-identical
+//! [`CommCounters`](crate::comm::CommCounters), which is what the
+//! fault-determinism property test asserts.
+//!
+//! Besides link-level faults, a plan can name *boundary actions*:
+//! crash or stall a specific rank when it reaches a configured loop /
+//! chain boundary. Crashes are delivered as panics from the executor's
+//! boundary hook and contained by the harness's `catch_unwind`; stalls
+//! are plain sleeps, long enough to trip peers' receive deadlines when
+//! configured that way.
+//!
+//! Every schedule for a non-blackholed link terminates in at least one
+//! [`Disposition::Deliver`]: injected drops and corruptions model a
+//! lossy wire *with* a sender-side retransmit timer, so they delay
+//! progress (and bump retry counters) but never lose a message
+//! permanently. Permanent loss is expressed explicitly via
+//! [`FaultSpec::blackhole`], and rank death via [`FaultSpec::crash`].
+
+use std::time::Duration;
+
+/// What happens to one delivery attempt of a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// The attempt arrives intact.
+    Deliver,
+    /// The attempt vanishes on the wire (a retransmission follows).
+    Drop,
+    /// The attempt arrives with flipped payload bits (checksum will
+    /// fail at the receiver; a retransmission follows).
+    Corrupt,
+}
+
+/// One delivery attempt in a [`SendSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// Fate of this attempt.
+    pub disposition: Disposition,
+    /// Injected wire latency, if any (enforced at the receiver).
+    pub delay: Option<Duration>,
+}
+
+/// The full, pre-decided fate of one logical message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SendSchedule {
+    /// Attempts in wire order. Empty means the link is blackholed.
+    pub attempts: Vec<Attempt>,
+}
+
+/// Where in the executed program a boundary action fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryKind {
+    /// After finishing the `index`-th `par_loop` (Alg 1 path).
+    Loop,
+    /// After finishing the `index`-th loop-chain (Alg 2 path).
+    Chain,
+    /// After finishing the `index`-th loop *inside* a chain.
+    ChainLoop,
+}
+
+/// A specific boundary: the `index`-th occurrence of `kind` on a rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Boundary {
+    /// Kind of boundary counted.
+    pub kind: BoundaryKind,
+    /// Zero-based occurrence count on the rank in question.
+    pub index: u64,
+}
+
+impl Boundary {
+    /// Convenience constructor.
+    pub fn new(kind: BoundaryKind, index: u64) -> Self {
+        Boundary { kind, index }
+    }
+}
+
+/// What a rank does when it reaches a configured boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryAction {
+    /// Panic (the harness contains it and notifies survivors).
+    Crash,
+    /// Sleep for the given duration before continuing.
+    Stall(Duration),
+}
+
+/// Declarative description of the faults to inject. All probabilities
+/// are in permille (0–1000) and are rolled independently per message /
+/// attempt from a stream derived from `seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for every probabilistic decision the plan makes.
+    pub seed: u64,
+    /// Probability (‰) that a delivery attempt is dropped.
+    pub drop_permille: u16,
+    /// Probability (‰) that a message is delivered twice.
+    pub dup_permille: u16,
+    /// Probability (‰) that a delivery attempt arrives corrupted.
+    pub corrupt_permille: u16,
+    /// Probability (‰) that a delivered copy carries extra latency.
+    pub delay_permille: u16,
+    /// Upper bound for injected latency (uniform in `1..=max_delay`).
+    pub max_delay: Duration,
+    /// Cap on consecutive faulted attempts per message, after which the
+    /// final attempt is forced to deliver. Keeps every schedule finite
+    /// and every non-blackholed message eventually delivered.
+    pub max_faults_per_msg: u8,
+    /// Ranks to crash (panic) at a boundary: `(rank, boundary)`.
+    pub crash: Vec<(u32, Boundary)>,
+    /// Ranks to stall at a boundary: `(rank, boundary, how_long)`.
+    pub stall: Vec<(u32, Boundary, Duration)>,
+    /// Ordered links `(src, dst)` that lose *everything* — permanent
+    /// loss, unlike drop_permille which is always retransmitted.
+    pub blackhole: Vec<(u32, u32)>,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            drop_permille: 0,
+            dup_permille: 0,
+            corrupt_permille: 0,
+            delay_permille: 0,
+            max_delay: Duration::from_micros(200),
+            max_faults_per_msg: 2,
+            crash: Vec::new(),
+            stall: Vec::new(),
+            blackhole: Vec::new(),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A moderately hostile network: 10% drops, 10% duplicates, 10%
+    /// corruption, 20% delayed up to 200µs. No crashes or blackholes —
+    /// every message still arrives, so results must be exact.
+    pub fn chaos(seed: u64) -> Self {
+        FaultSpec {
+            seed,
+            drop_permille: 100,
+            dup_permille: 100,
+            corrupt_permille: 100,
+            delay_permille: 200,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Add a crash of `rank` at `boundary` (builder style).
+    pub fn with_crash(mut self, rank: u32, boundary: Boundary) -> Self {
+        self.crash.push((rank, boundary));
+        self
+    }
+
+    /// Add a stall of `rank` at `boundary` for `dur` (builder style).
+    pub fn with_stall(mut self, rank: u32, boundary: Boundary, dur: Duration) -> Self {
+        self.stall.push((rank, boundary, dur));
+        self
+    }
+}
+
+/// SplitMix64 step — the same generator the `rand` shim uses, so the
+/// whole workspace shares one deterministic stream construction.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A compiled, shareable fault plan (wrap in `Arc` and hand to
+/// [`CommWorld::with_faults`](crate::comm::CommWorld::with_faults)).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+}
+
+impl FaultPlan {
+    /// Compile a spec into a plan.
+    pub fn new(spec: FaultSpec) -> Self {
+        FaultPlan { spec }
+    }
+
+    /// The spec this plan was built from.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Derive the deterministic decision stream for one message.
+    fn stream(&self, src: u32, dst: u32, seq: u64) -> u64 {
+        // Mix the coordinates so that nearby (src,dst,seq) triples land
+        // far apart in the stream space.
+        let mut s = self.spec.seed ^ 0x51ed_270b_9f9c_4cb1;
+        s = s
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add((src as u64) << 32 | dst as u64);
+        s = s.wrapping_mul(0x100_0000_01b3).wrapping_add(seq);
+        // One warm-up step decorrelates similar seeds.
+        splitmix64(&mut s);
+        s
+    }
+
+    /// Roll a permille probability from the stream.
+    fn roll(state: &mut u64, permille: u16) -> bool {
+        permille > 0 && splitmix64(state) % 1000 < permille as u64
+    }
+
+    /// Injected delay for one attempt, if the delay roll fires.
+    fn maybe_delay(&self, state: &mut u64) -> Option<Duration> {
+        if !Self::roll(state, self.spec.delay_permille) {
+            return None;
+        }
+        let span = self.spec.max_delay.as_micros().max(1) as u64;
+        Some(Duration::from_micros(1 + splitmix64(state) % span))
+    }
+
+    /// The full fate of logical message `seq` from `src` to `dst`.
+    ///
+    /// Pure in (seed, src, dst, seq): calling this twice returns the
+    /// identical schedule. Non-blackholed schedules always contain at
+    /// least one [`Disposition::Deliver`].
+    pub fn send_schedule(&self, src: u32, dst: u32, seq: u64) -> SendSchedule {
+        if self.spec.blackhole.contains(&(src, dst)) {
+            return SendSchedule {
+                attempts: Vec::new(),
+            };
+        }
+        let mut state = self.stream(src, dst, seq);
+        let mut attempts = Vec::with_capacity(2);
+        // Faulted attempts (each one models a retransmit-timer firing
+        // on the sender), capped so the schedule stays finite.
+        for _ in 0..self.spec.max_faults_per_msg {
+            if Self::roll(&mut state, self.spec.drop_permille) {
+                attempts.push(Attempt {
+                    disposition: Disposition::Drop,
+                    delay: None,
+                });
+            } else if Self::roll(&mut state, self.spec.corrupt_permille) {
+                let delay = self.maybe_delay(&mut state);
+                attempts.push(Attempt {
+                    disposition: Disposition::Corrupt,
+                    delay,
+                });
+            } else {
+                break;
+            }
+        }
+        // The attempt that finally lands.
+        let delay = self.maybe_delay(&mut state);
+        attempts.push(Attempt {
+            disposition: Disposition::Deliver,
+            delay,
+        });
+        // Optional duplicate delivery of the same message.
+        if Self::roll(&mut state, self.spec.dup_permille) {
+            let delay = self.maybe_delay(&mut state);
+            attempts.push(Attempt {
+                disposition: Disposition::Deliver,
+                delay,
+            });
+        }
+        SendSchedule { attempts }
+    }
+
+    /// Action (if any) when `rank` reaches its `index`-th boundary of
+    /// `kind`. Crash takes precedence over stall if both are named.
+    pub fn boundary_action(&self, rank: u32, kind: BoundaryKind, index: u64) -> Option<BoundaryAction> {
+        let b = Boundary { kind, index };
+        if self.spec.crash.iter().any(|&(r, cb)| r == rank && cb == b) {
+            return Some(BoundaryAction::Crash);
+        }
+        self.spec
+            .stall
+            .iter()
+            .find(|&&(r, sb, _)| r == rank && sb == b)
+            .map(|&(_, _, dur)| BoundaryAction::Stall(dur))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic() {
+        let plan = FaultPlan::new(FaultSpec::chaos(42));
+        for seq in 1..500u64 {
+            assert_eq!(
+                plan.send_schedule(0, 1, seq),
+                plan.send_schedule(0, 1, seq),
+                "seq {seq}"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::new(FaultSpec::chaos(1));
+        let b = FaultPlan::new(FaultSpec::chaos(2));
+        let same = (1..200u64)
+            .filter(|&s| a.send_schedule(0, 1, s) == b.send_schedule(0, 1, s))
+            .count();
+        assert!(same < 200, "seeds produced identical plans");
+    }
+
+    #[test]
+    fn every_schedule_terminates_in_delivery() {
+        let plan = FaultPlan::new(FaultSpec {
+            drop_permille: 900,
+            corrupt_permille: 900,
+            dup_permille: 900,
+            ..FaultSpec::chaos(7)
+        });
+        for seq in 1..300u64 {
+            let s = plan.send_schedule(2, 3, seq);
+            assert!(
+                s.attempts
+                    .iter()
+                    .any(|a| a.disposition == Disposition::Deliver),
+                "seq {seq} never delivers: {s:?}"
+            );
+            assert!(s.attempts.len() <= 2 + 2); // faults cap + deliver + dup
+        }
+    }
+
+    #[test]
+    fn blackhole_schedules_are_empty() {
+        let spec = FaultSpec {
+            blackhole: vec![(0, 1)],
+            ..FaultSpec::chaos(3)
+        };
+        let plan = FaultPlan::new(spec);
+        assert!(plan.send_schedule(0, 1, 1).attempts.is_empty());
+        assert!(!plan.send_schedule(1, 0, 1).attempts.is_empty());
+    }
+
+    #[test]
+    fn boundary_actions_resolve() {
+        let spec = FaultSpec::default()
+            .with_crash(1, Boundary::new(BoundaryKind::Chain, 2))
+            .with_stall(0, Boundary::new(BoundaryKind::Loop, 4), Duration::from_millis(5));
+        let plan = FaultPlan::new(spec);
+        assert_eq!(
+            plan.boundary_action(1, BoundaryKind::Chain, 2),
+            Some(BoundaryAction::Crash)
+        );
+        assert_eq!(plan.boundary_action(1, BoundaryKind::Chain, 1), None);
+        assert_eq!(plan.boundary_action(0, BoundaryKind::Chain, 2), None);
+        assert_eq!(
+            plan.boundary_action(0, BoundaryKind::Loop, 4),
+            Some(BoundaryAction::Stall(Duration::from_millis(5)))
+        );
+    }
+}

@@ -1,74 +1,209 @@
-//! The rank harness: spawn, run, collect.
+//! The rank harness: spawn, run, contain, collect.
 //!
 //! [`run_distributed`] is the reproduction's `mpirun`: it wires a
-//! [`CommWorld`], spawns one OS thread per rank,
-//! hands each a fresh [`RankEnv`] over its layout, runs the caller's
-//! program closure, and afterwards scatters every rank's **owned** data
-//! back into the global domain (halo copies are discarded — owners are
+//! [`CommWorld`], spawns one OS thread per rank, hands each a fresh
+//! [`RankEnv`] over its layout, runs the caller's program closure, and
+//! afterwards scatters every **successful** rank's owned data back into
+//! the global domain (halo copies are discarded — owners are
 //! authoritative, exactly as in OP2's fetch semantics).
+//!
+//! Unlike a real `mpirun`, a failing rank does not take the job down:
+//! each rank runs under `catch_unwind`, and both panics (including
+//! fault-injected crashes) and [`RuntimeError`]s are reported as that
+//! rank's [`RankFailure`] in [`DistOutcome::results`]. Whenever a rank
+//! exits — success or failure — it broadcasts a hangup sentinel, so
+//! peers blocked on it unwind promptly with
+//! [`PeerHangup`](crate::comm::CommError::PeerHangup) instead of
+//! sitting out their full receive deadline. The data of failed ranks is
+//! *not* scattered back: their owned elements keep the pre-run values,
+//! mirroring the data loss of a real rank failure.
 
-use crate::comm::CommWorld;
+use crate::comm::{CommConfig, CommWorld};
 use crate::env::RankEnv;
+use crate::error::{RankFailure, RuntimeError};
+use crate::fault::FaultPlan;
 use crate::trace::RankTrace;
 use op2_core::{DatId, Domain};
 use op2_partition::RankLayout;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Knobs for a distributed run beyond the program itself.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Fault plan to subject the run's traffic (and boundaries) to.
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Receive-side deadline/retry policy.
+    pub comm: CommConfig,
+}
+
+impl RunOptions {
+    /// Options for a chaos run under `plan`.
+    pub fn with_faults(plan: FaultPlan) -> Self {
+        RunOptions {
+            faults: Some(Arc::new(plan)),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Override the receive policy (builder style).
+    pub fn comm_config(mut self, comm: CommConfig) -> Self {
+        self.comm = comm;
+        self
+    }
+}
 
 /// Everything a distributed run returns.
 #[derive(Debug)]
 pub struct DistOutcome<R> {
-    /// Per-rank instrumentation, indexed by rank.
+    /// Per-rank instrumentation, indexed by rank. Present for failed
+    /// ranks too (whatever they recorded before dying), including the
+    /// transport recovery counters in [`RankTrace::comm`].
     pub traces: Vec<RankTrace>,
-    /// Per-rank program results, indexed by rank.
-    pub results: Vec<R>,
+    /// Per-rank program verdicts, indexed by rank.
+    pub results: Vec<Result<R, RankFailure>>,
 }
 
-/// Execute `program` on every rank concurrently. On return, the global
-/// domain's dats hold each owner's final values.
+impl<R> DistOutcome<R> {
+    /// True when every rank completed.
+    pub fn all_ok(&self) -> bool {
+        self.results.iter().all(Result::is_ok)
+    }
+
+    /// The failures, in rank order.
+    pub fn failures(&self) -> Vec<&RankFailure> {
+        self.results
+            .iter()
+            .filter_map(|r| r.as_ref().err())
+            .collect()
+    }
+
+    /// Unwrap every rank's result, panicking with a readable listing if
+    /// any rank failed. The migration path for healthy-network callers.
+    pub fn unwrap_results(self) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.results.len());
+        let mut errs = Vec::new();
+        for r in self.results {
+            match r {
+                Ok(v) => out.push(v),
+                Err(f) => errs.push(f.to_string()),
+            }
+        }
+        if !errs.is_empty() {
+            panic!("{} rank(s) failed:\n  {}", errs.len(), errs.join("\n  "));
+        }
+        out
+    }
+
+    /// Summed transport recovery counters across all ranks.
+    pub fn total_comm_counters(&self) -> crate::comm::CommCounters {
+        let mut total = crate::comm::CommCounters::default();
+        for t in &self.traces {
+            total.add(&t.comm);
+        }
+        total
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute `program` on every rank concurrently over a perfect network.
+/// On return, the global domain's dats hold each successful owner's
+/// final values. See [`run_distributed_with`] for fault injection and
+/// receive-policy overrides.
 pub fn run_distributed<F, R>(
     dom: &mut Domain,
     layouts: &[RankLayout],
     program: F,
 ) -> DistOutcome<R>
 where
-    F: Fn(&mut RankEnv<'_>) -> R + Sync,
+    F: Fn(&mut RankEnv<'_>) -> Result<R, RuntimeError> + Sync,
     R: Send,
 {
-    // One rank's homeward payload: its local dat buffers, trace, result.
-    type RankYield<R> = (Vec<Vec<f64>>, RankTrace, R);
+    run_distributed_with(dom, layouts, &RunOptions::default(), program)
+}
+
+/// [`run_distributed`] with explicit [`RunOptions`] (fault plan,
+/// receive deadline/retry policy).
+pub fn run_distributed_with<F, R>(
+    dom: &mut Domain,
+    layouts: &[RankLayout],
+    opts: &RunOptions,
+    program: F,
+) -> DistOutcome<R>
+where
+    F: Fn(&mut RankEnv<'_>) -> Result<R, RuntimeError> + Sync,
+    R: Send,
+{
+    // One rank's homeward payload: local dats (successful ranks only),
+    // trace, verdict.
+    type RankYield<R> = (Option<Vec<Vec<f64>>>, RankTrace, Result<R, RankFailure>);
     let nparts = layouts.len();
     assert!(nparts >= 1);
-    let comms = CommWorld::new(nparts).into_ranks();
+    let world = match &opts.faults {
+        Some(plan) => CommWorld::with_faults(nparts, plan.clone()),
+        None => CommWorld::new(nparts),
+    }
+    .with_config(opts.comm);
+    let comms = world.into_ranks();
 
     let dom_ref: &Domain = dom;
     let program_ref = &program;
-    let mut collected: Vec<Option<RankYield<R>>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = comms
-                .into_iter()
-                .zip(layouts.iter())
-                .map(|(comm, layout)| {
-                    scope.spawn(move || {
-                        let mut env = RankEnv::new(layout, dom_ref, comm);
-                        let result = program_ref(&mut env);
-                        (env.dats, env.trace, result)
-                    })
+    let mut collected: Vec<Option<RankYield<R>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = comms
+            .into_iter()
+            .zip(layouts.iter())
+            .map(|(comm, layout)| {
+                scope.spawn(move || {
+                    let mut env = RankEnv::new(layout, dom_ref, comm);
+                    let run = catch_unwind(AssertUnwindSafe(|| program_ref(&mut env)));
+                    let verdict = match run {
+                        Ok(Ok(r)) => Ok(r),
+                        Ok(Err(error)) => Err(RankFailure::Failed {
+                            rank: env.rank,
+                            error,
+                        }),
+                        Err(payload) => Err(RankFailure::Panicked {
+                            rank: env.rank,
+                            message: panic_message(payload),
+                        }),
+                    };
+                    // Exit broadcast, success or not: peers blocked on
+                    // this rank unwind with PeerHangup instead of
+                    // waiting out their deadlines. FIFO order keeps the
+                    // sentinel behind every real message.
+                    env.comm.hangup_all();
+                    env.trace.comm = env.comm.counters;
+                    let dats = verdict.is_ok().then_some(env.dats);
+                    (dats, env.trace, verdict)
                 })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| Some(h.join().expect("rank thread panicked")))
-                .collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| Some(h.join().expect("rank thread died outside catch_unwind")))
+            .collect()
+    });
 
     let mut traces = Vec::with_capacity(nparts);
     let mut results = Vec::with_capacity(nparts);
     for (layout, slot) in layouts.iter().zip(collected.iter_mut()) {
-        let (dats, trace, result) = slot.take().expect("every rank joined");
-        for (didx, local) in dats.iter().enumerate() {
-            layout.scatter_owned(dom, DatId(didx as u32), local);
+        let (dats, trace, verdict) = slot.take().expect("every rank joined");
+        if let Some(dats) = dats {
+            for (didx, local) in dats.iter().enumerate() {
+                layout.scatter_owned(dom, DatId(didx as u32), local);
+            }
         }
         traces.push(trace);
-        results.push(result);
+        results.push(verdict);
     }
     DistOutcome { traces, results }
 }
@@ -119,8 +254,10 @@ mod tests {
         op2_core::seq::run_loop(&mut seq_dom, &spec);
 
         run_distributed(&mut m.dom, &layouts, |env| {
-            run_loop(env, &spec);
-        });
+            run_loop(env, &spec)?;
+            Ok(())
+        })
+        .unwrap_results();
         assert_eq!(m.dom.dat(deg).data, seq_dom.dat(deg).data);
     }
 
@@ -145,7 +282,7 @@ mod tests {
         );
         let n_nodes = m.dom.set(m.nodes).size as f64;
         let out = run_distributed(&mut m.dom, &layouts, |env| run_loop(env, &spec));
-        for r in &out.results {
+        for r in out.unwrap_results() {
             assert_eq!(r.gbls[0], vec![n_nodes]);
         }
     }
@@ -182,22 +319,16 @@ mod tests {
             ],
             consume_kernel,
         );
-        let chain = ChainSpec::new(
-            "pc",
-            vec![produce.clone(), consume.clone()],
-            None,
-            &[],
-        )
-        .unwrap();
+        let chain = ChainSpec::new("pc", vec![produce.clone(), consume.clone()], None, &[])
+            .unwrap();
         assert_eq!(chain.halo_ext, vec![2, 1]);
 
         let mut seq_dom = m.dom.clone();
         op2_core::seq::run_loop(&mut seq_dom, &produce);
         op2_core::seq::run_loop(&mut seq_dom, &consume);
 
-        let out = run_distributed(&mut m.dom, &layouts, |env| {
-            run_chain(env, &chain);
-        });
+        let out = run_distributed(&mut m.dom, &layouts, |env| run_chain(env, &chain));
+        assert!(out.all_ok());
         assert_eq!(m.dom.dat(a).data, seq_dom.dat(a).data);
         assert_eq!(m.dom.dat(b).data, seq_dom.dat(b).data);
         // One grouped message per neighbour.
@@ -221,11 +352,74 @@ mod tests {
             ],
             count_kernel,
         );
-        let out = run_distributed(&mut m.dom, &layouts, |env| {
-            run_loop(env, &spec);
-        });
+        let out = run_distributed(&mut m.dom, &layouts, |env| run_loop(env, &spec));
+        assert!(out.all_ok());
         assert_eq!(out.traces[0].loops[0].exch.n_msgs, 0);
         let total: f64 = m.dom.dat(deg).data.iter().sum();
         assert_eq!(total, 2.0 * m.dom.set(m.edges).size as f64);
+    }
+
+    /// A panicking rank no longer brings the harness down: its failure
+    /// is contained and reported; other ranks unwind via hangup; their
+    /// data still scatters back.
+    #[test]
+    fn rank_panic_is_contained() {
+        let (mut m, layouts) = setup(6, 6, 3, 1);
+        let d = m.dom.decl_dat_zeros("d", m.nodes, 1);
+        let before = m.dom.dat(d).data.clone();
+        let spec = LoopSpec::new(
+            "count",
+            m.edges,
+            vec![
+                Arg::dat_indirect(d, m.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(d, m.e2n, 1, AccessMode::Inc),
+            ],
+            count_kernel,
+        );
+        let out = run_distributed(&mut m.dom, &layouts, |env| {
+            if env.rank == 1 {
+                panic!("deliberate test panic on rank 1");
+            }
+            run_loop(env, &spec)?;
+            Ok(env.rank)
+        });
+        assert!(!out.all_ok());
+        match &out.results[1] {
+            Err(RankFailure::Panicked { rank, message }) => {
+                assert_eq!(*rank, 1);
+                assert!(message.contains("deliberate test panic"), "{message}");
+            }
+            other => panic!("expected rank 1 panic, got {other:?}"),
+        }
+        // Rank 1's owned elements keep their pre-run values.
+        let own = &layouts[1];
+        let dd = m.dom.dat(d);
+        for set_l in [&own.sets[dd.set.idx()]] {
+            for &g in set_l.locals.iter().take(set_l.n_owned) {
+                assert_eq!(dd.data[g as usize], before[g as usize]);
+            }
+        }
+    }
+
+    /// Returning a RuntimeError from the program closure is a per-rank
+    /// failure, not a panic.
+    #[test]
+    fn rank_error_is_reported() {
+        let (mut m, layouts) = setup(4, 4, 2, 1);
+        let out: DistOutcome<()> = run_distributed(&mut m.dom, &layouts, |env| {
+            if env.rank == 0 {
+                Err(RuntimeError::Comm(crate::comm::CommError::PeerHangup {
+                    peer: 9,
+                }))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(matches!(
+            &out.results[0],
+            Err(RankFailure::Failed { rank: 0, .. })
+        ));
+        assert!(out.results[1].is_ok());
+        assert_eq!(out.failures().len(), 1);
     }
 }

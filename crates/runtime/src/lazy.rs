@@ -20,6 +20,7 @@
 //! analysis is a pure function of the (identical) loop stream.
 
 use crate::env::RankEnv;
+use crate::error::RuntimeError;
 use crate::exec::{run_chain, run_loop};
 use op2_core::chain::calc_halo_extents;
 use op2_core::seq::LoopResult;
@@ -55,34 +56,38 @@ impl LazyExec {
     /// Queue a loop. Reductions force an immediate flush-and-run (their
     /// result is needed synchronously, and they terminate any chain);
     /// other loops defer until a flush condition triggers.
-    pub fn enqueue(&mut self, env: &mut RankEnv<'_>, spec: &LoopSpec) -> Option<LoopResult> {
+    pub fn enqueue(
+        &mut self,
+        env: &mut RankEnv<'_>,
+        spec: &LoopSpec,
+    ) -> Result<Option<LoopResult>, RuntimeError> {
         if spec.has_reduction() {
-            self.flush(env);
+            self.flush(env)?;
             self.singles_run += 1;
-            return Some(run_loop(env, spec));
+            return run_loop(env, spec).map(Some);
         }
         // Would appending this loop exceed the supported halo depth?
         let mut sigs: Vec<LoopSig> = self.queue.iter().map(|l| l.sig()).collect();
         sigs.push(spec.sig());
         let extents = calc_halo_extents(&sigs);
         if extents.iter().any(|&e| e > self.max_depth) {
-            self.flush(env);
+            self.flush(env)?;
         }
         self.queue.push(spec.clone());
         if self.queue.len() >= self.max_chain_len {
-            self.flush(env);
+            self.flush(env)?;
         }
-        None
+        Ok(None)
     }
 
     /// Execute everything pending: one loop runs standalone, several run
     /// as an automatically formed chain.
-    pub fn flush(&mut self, env: &mut RankEnv<'_>) {
+    pub fn flush(&mut self, env: &mut RankEnv<'_>) -> Result<(), RuntimeError> {
         match self.queue.len() {
             0 => {}
             1 => {
                 let spec = self.queue.pop().expect("len checked");
-                run_loop(env, &spec);
+                run_loop(env, &spec)?;
                 self.singles_run += 1;
             }
             _ => {
@@ -90,10 +95,11 @@ impl LazyExec {
                 let chain = ChainSpec::new("lazy", loops, None, &[])
                     .expect("queued loops form a valid chain");
                 debug_assert!(chain.max_halo_layers() <= self.max_depth);
-                run_chain(env, &chain);
+                run_chain(env, &chain)?;
                 self.chains_formed += 1;
             }
         }
+        Ok(())
     }
 
     /// Pending loop count.
@@ -191,16 +197,16 @@ mod tests {
         let layouts = build_layouts(&mesh.dom, &own, 2);
         let out = run_distributed(&mut mesh.dom, &layouts, |env| {
             let mut lazy = LazyExec::new(2, 8);
-            lazy.enqueue(env, &f.produce);
-            lazy.enqueue(env, &f.consume);
-            let red = lazy.enqueue(env, &f.reduce).expect("reduction runs eagerly");
+            lazy.enqueue(env, &f.produce)?;
+            lazy.enqueue(env, &f.consume)?;
+            let red = lazy.enqueue(env, &f.reduce)?.expect("reduction runs eagerly");
             assert_eq!(lazy.pending(), 0);
-            (lazy.chains_formed, lazy.singles_run, red)
+            Ok((lazy.chains_formed, lazy.singles_run, red))
         });
         for &d in &f.dats {
             assert_eq!(seq_dom.dat(d).data, mesh.dom.dat(d).data);
         }
-        for (chains, singles, red) in out.results {
+        for (chains, singles, red) in out.unwrap_results() {
             assert_eq!(chains, 1, "produce+consume must fuse");
             assert_eq!(singles, 1, "the reduction runs standalone");
             assert_eq!(red.gbls[0], seq_red.gbls[0]);
@@ -242,17 +248,17 @@ mod tests {
         let layouts = build_layouts(&mesh.dom, &own, 2);
         let out = run_distributed(&mut mesh.dom, &layouts, |env| {
             let mut lazy = LazyExec::new(2, 8);
-            lazy.enqueue(env, &f.produce);
-            lazy.enqueue(env, &f.consume);
-            lazy.enqueue(env, &third); // depth 3 > 2: must flush first
-            lazy.flush(env);
-            (lazy.chains_formed, lazy.singles_run)
+            lazy.enqueue(env, &f.produce)?;
+            lazy.enqueue(env, &f.consume)?;
+            lazy.enqueue(env, &third)?; // depth 3 > 2: must flush first
+            lazy.flush(env)?;
+            Ok((lazy.chains_formed, lazy.singles_run))
         });
         for &d in &f.dats {
             assert_eq!(seq_dom.dat(d).data, mesh.dom.dat(d).data);
         }
         assert_eq!(seq_dom.dat(c).data, mesh.dom.dat(c).data);
-        for (chains, singles) in out.results {
+        for (chains, singles) in out.unwrap_results() {
             // produce+consume fused; third ran alone (or vice versa,
             // depending on where the split lands — but exactly one
             // chain and one single).
@@ -276,13 +282,13 @@ mod tests {
         let out = run_distributed(&mut mesh.dom, &layouts, |env| {
             let mut lazy = LazyExec::new(2, 2);
             for _ in 0..4 {
-                lazy.enqueue(env, &f.produce);
+                lazy.enqueue(env, &f.produce)?;
             }
-            lazy.flush(env);
-            lazy.chains_formed
+            lazy.flush(env)?;
+            Ok(lazy.chains_formed)
         });
         assert_eq!(seq_dom.dat(f.dats[1]).data, mesh.dom.dat(f.dats[1]).data);
-        for chains in out.results {
+        for chains in out.unwrap_results() {
             assert_eq!(chains, 2, "4 loops at bound 2 → two chains");
         }
     }

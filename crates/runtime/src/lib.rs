@@ -33,14 +33,18 @@
 
 pub mod comm;
 pub mod env;
+pub mod error;
 pub mod exec;
+pub mod fault;
 pub mod harness;
 pub mod lazy;
 pub mod trace;
 
-pub use comm::{CommWorld, RankComm};
+pub use comm::{CommConfig, CommCounters, CommError, CommWorld, RankComm};
 pub use env::RankEnv;
+pub use error::{RankFailure, RuntimeError};
 pub use exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop, ExecHooks, NoHooks};
-pub use harness::{run_distributed, DistOutcome};
+pub use fault::{Boundary, BoundaryAction, BoundaryKind, FaultPlan, FaultSpec};
+pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
 pub use trace::{ChainRec, ExchangeRec, LoopRec, RankTrace};

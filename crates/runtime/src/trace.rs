@@ -32,7 +32,7 @@ impl ExchangeRec {
 }
 
 /// One standard (Alg 1) loop execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LoopRec {
     /// Loop name.
     pub name: String,
@@ -47,7 +47,7 @@ pub struct LoopRec {
 }
 
 /// One CA (Alg 2) chain execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ChainRec {
     /// Chain name.
     pub name: String,
@@ -78,7 +78,7 @@ impl ChainRec {
 }
 
 /// Everything one rank recorded during a program.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RankTrace {
     /// This rank.
     pub rank: u32,
@@ -86,6 +86,11 @@ pub struct RankTrace {
     pub loops: Vec<LoopRec>,
     /// CA chain executions, in program order.
     pub chains: Vec<ChainRec>,
+    /// Transport recovery counters (retries, timeouts, discarded
+    /// corrupt/duplicate copies, injected faults observed). All zero on
+    /// a healthy network; the harness copies them out of the comm layer
+    /// when the rank finishes — including when it fails.
+    pub comm: crate::comm::CommCounters,
 }
 
 impl RankTrace {

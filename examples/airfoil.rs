@@ -160,15 +160,13 @@ fn main() {
     let out = run_distributed(&mut m.dom, &layouts, |env| {
         let mut rms = 0.0;
         for _ in 0..iters {
-            run_loop(env, &save);
-            run_chain(env, &chain);
-            let r = run_loop(env, &update);
+            run_loop(env, &save)?;
+            run_chain(env, &chain)?;
+            let r = run_loop(env, &update)?;
             rms = (r.gbls[0][0] / n_cells as f64).sqrt();
         }
-        rms
+        Ok(rms)
     });
-
-    println!("final rms residual after {iters} iterations: {:.6e}", out.results[0]);
     let total_msgs: usize = out.traces.iter().map(|t| t.total_msgs()).sum();
     let chain_msgs: usize = out
         .traces
@@ -176,7 +174,10 @@ fn main() {
         .flat_map(|t| t.chains.iter())
         .map(|c| c.exch.n_msgs)
         .sum();
+    let rms = out.unwrap_results()[0];
+
+    println!("final rms residual after {iters} iterations: {rms:.6e}");
     println!("messages total: {total_msgs} (chains contributed {chain_msgs})");
-    assert!(out.results[0].is_finite());
+    assert!(rms.is_finite());
     println!("ok");
 }

@@ -48,12 +48,12 @@ fn main() {
     let op2_out = run_distributed(&mut op2_app.dom, &layouts, |env| {
         let mut dev = GpuDevice::v100();
         gpu_place(env, &mut dev);
-        run_loop_gpu(env, &mut dev, &init);
+        run_loop_gpu(env, &mut dev, &init)?;
         let mut modelled = 0.0;
         for _ in 0..iters {
-            run_loop_gpu(env, &mut dev, &write_pres);
+            run_loop_gpu(env, &mut dev, &write_pres)?;
             for l in &chain.loops {
-                run_loop_gpu(env, &mut dev, l);
+                run_loop_gpu(env, &mut dev, l)?;
             }
         }
         // Model the chain-loop records of the last iteration.
@@ -61,8 +61,9 @@ fn main() {
         for rec in env.trace.loops.iter().rev().take(n) {
             modelled += loop_time(&mach, rec, mach.g_default);
         }
-        (dev.xfer, modelled)
-    });
+        Ok((dev.xfer, modelled))
+    })
+    .unwrap_results();
 
     // CA on the GPUs.
     let (mut ca_app, layouts) = build();
@@ -72,31 +73,28 @@ fn main() {
     let ca_out = run_distributed(&mut ca_app.dom, &layouts, |env| {
         let mut dev = GpuDevice::v100();
         gpu_place(env, &mut dev);
-        run_loop_gpu(env, &mut dev, &init);
+        run_loop_gpu(env, &mut dev, &init)?;
         let mut modelled = 0.0;
         for _ in 0..iters {
-            run_loop_gpu(env, &mut dev, &write_pres);
-            run_chain_gpu(env, &mut dev, &chain);
+            run_loop_gpu(env, &mut dev, &write_pres)?;
+            run_chain_gpu(env, &mut dev, &chain)?;
         }
         let rec = env.trace.chains.last().expect("chain ran");
         modelled += chain_time(&mach, rec, &gs);
-        (dev.xfer, modelled)
-    });
+        Ok((dev.xfer, modelled))
+    })
+    .unwrap_results();
 
     println!(
         "{:<10} {:>12} {:>12} {:>12} {:>12} {:>14}",
         "backend", "D2H events", "H2D events", "D2H bytes", "H2D bytes", "model t/chain"
     );
     for (label, out) in [("OP2", &op2_out), ("CA", &ca_out)] {
-        let d2h: usize = out.results.iter().map(|(x, _)| x.d2h_events).sum();
-        let h2d: usize = out.results.iter().map(|(x, _)| x.h2d_events).sum();
-        let d2hb: usize = out.results.iter().map(|(x, _)| x.d2h_bytes).sum();
-        let h2db: usize = out.results.iter().map(|(x, _)| x.h2d_bytes).sum();
-        let t = out
-            .results
-            .iter()
-            .map(|&(_, t)| t)
-            .fold(0.0f64, f64::max);
+        let d2h: usize = out.iter().map(|(x, _)| x.d2h_events).sum();
+        let h2d: usize = out.iter().map(|(x, _)| x.h2d_events).sum();
+        let d2hb: usize = out.iter().map(|(x, _)| x.d2h_bytes).sum();
+        let h2db: usize = out.iter().map(|(x, _)| x.h2d_bytes).sum();
+        let t = out.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
         println!("{label:<10} {d2h:>12} {h2d:>12} {d2hb:>12} {h2db:>12} {t:>13.3e}s");
     }
 
@@ -113,12 +111,10 @@ fn main() {
     assert!(max_err < 1e-9);
 
     let op2_events: usize = op2_out
-        .results
         .iter()
         .map(|(x, _)| x.d2h_events + x.h2d_events)
         .sum();
     let ca_events: usize = ca_out
-        .results
         .iter()
         .map(|(x, _)| x.d2h_events + x.h2d_events)
         .sum();

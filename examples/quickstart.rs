@@ -131,19 +131,23 @@ fn main() {
     let mut op2_dom = m.dom.clone();
     let op2 = run_distributed(&mut op2_dom, &layouts, |env| {
         for _ in 0..iters {
-            run_loop(env, &perturb_loop);
-            run_loop(env, &update_loop);
-            run_loop(env, &flux_loop);
+            run_loop(env, &perturb_loop)?;
+            run_loop(env, &update_loop)?;
+            run_loop(env, &flux_loop)?;
         }
+        Ok(())
     });
+    assert!(op2.all_ok());
 
     // 3. CA back-end (one grouped exchange per chain execution).
     let ca = run_distributed(&mut m.dom, &layouts, |env| {
         for _ in 0..iters {
-            run_loop(env, &perturb_loop);
-            run_chain(env, &chain);
+            run_loop(env, &perturb_loop)?;
+            run_chain(env, &chain)?;
         }
+        Ok(())
     });
+    assert!(ca.all_ok());
 
     // Same numbers, fewer messages.
     let max_err = seq_dom

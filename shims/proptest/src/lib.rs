@@ -1,0 +1,300 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! `proptest!` macro (with `#![proptest_config(...)]`), integer-range /
+//! bool / option strategies, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Unlike real proptest there is no shrinking: cases are sampled from a
+//! deterministic per-test stream (seeded by the test name), so a failure
+//! reproduces exactly on rerun — which is what the repo's determinism
+//! tests (fault-injection replay, seeded meshes) actually require.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+pub use rand::{Rng, RngCore};
+
+/// Test-case failure raised by `prop_assert!` and friends.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError { message }
+    }
+}
+
+/// Per-test run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to sample.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// The deterministic per-test sampling stream.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// Seed a runner from the test's name and the case index.
+    pub fn new(test_name: &str, case: u32) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRunner {
+            rng: StdRng::seed_from_u64(h ^ ((case as u64) << 32)),
+        }
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range_u64(bound)
+    }
+}
+
+/// A value generator. The strategies here sample directly (no shrink
+/// trees).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, runner: &mut TestRunner) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + runner.below(span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, runner: &mut TestRunner) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                lo + runner.below(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(usize, u64, u32, u16, u8);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// Constant strategy (always yields its value).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+pub mod bool {
+    use super::{Strategy, TestRunner};
+
+    /// Uniform boolean strategy.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical instance (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, runner: &mut TestRunner) -> bool {
+            runner.below(2) == 1
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRunner};
+
+    /// Strategy for `Option<S::Value>`: ~25% `None`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `proptest::option::of(inner)`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, runner: &mut TestRunner) -> Self::Value {
+            if runner.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.sample(runner))
+            }
+        }
+    }
+}
+
+/// Everything a test file needs (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestRunner,
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_eq failed: {:?} != {:?}: {}",
+                l, r, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "prop_assert_ne failed: both {:?}",
+                l
+            )));
+        }
+    }};
+}
+
+/// The `proptest!` block macro: a config header plus test functions
+/// whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __runner = $crate::TestRunner::new(stringify!($name), __case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __runner);)*
+                let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = __outcome {
+                    panic!(
+                        "proptest `{}` case {} failed: {}",
+                        stringify!($name), __case, e.message
+                    );
+                }
+            }
+        }
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..5) {
+            prop_assert!(x >= 3 && x < 10);
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn options_and_bools_sample(
+            flag in crate::bool::ANY,
+            opt in crate::option::of(1usize..4),
+        ) {
+            let _ = flag;
+            if let Some(v) = opt {
+                prop_assert!((1..4).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_test_name() {
+        let mut a = TestRunner::new("t", 0);
+        let mut b = TestRunner::new("t", 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRunner::new("t", 1);
+        assert_ne!(TestRunner::new("t", 0).next_u64(), c.next_u64());
+    }
+}

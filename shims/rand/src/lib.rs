@@ -1,0 +1,144 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this shim
+//! provides exactly the subset of the `rand` 0.8 API the workspace
+//! consumes: a deterministic seedable generator (`rngs::StdRng` via
+//! `SeedableRng::seed_from_u64`), the `RngCore`/`Rng` sampling traits,
+//! and `seq::SliceRandom::shuffle` (Fisher–Yates). The generator is
+//! SplitMix64 — statistically fine for mesh shuffles and test-case
+//! generation, and fully reproducible across platforms, which is what
+//! the repo's seeded tests rely on.
+
+/// Core generator interface: raw 32/64-bit output.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+    /// Next raw 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step — also reused by the deterministic fault plans.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience sampling on top of [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform value in `[0, bound)` (Lemire-style rejection-free
+    /// widening multiply; bias is negligible for the bounds used here).
+    fn gen_range_u64(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// Deterministic seeded generator (SplitMix64 core).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // One warm-up step decorrelates small adjacent seeds.
+            let mut state = seed ^ 0x5D58_8B65_6C07_8965;
+            let _ = splitmix64(&mut state);
+            StdRng { state }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            splitmix64(&mut self.state)
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice utilities (the `shuffle` subset).
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range_u64(i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut w = v.clone();
+        v.shuffle(&mut StdRng::seed_from_u64(7));
+        w.shuffle(&mut StdRng::seed_from_u64(7));
+        assert_eq!(v, w);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle must move something");
+    }
+
+    #[test]
+    fn bounded_sampling_stays_in_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        for bound in [1u64, 2, 7, 100] {
+            for _ in 0..200 {
+                assert!(r.gen_range_u64(bound) < bound);
+            }
+        }
+        for _ in 0..200 {
+            let x = r.gen_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -100,14 +100,14 @@ fn assert_equivalence(dom: &Domain, chain3: &Chain3, layouts: &[RankLayout]) {
     let mut op2_dom = dom.clone();
     run_distributed(&mut op2_dom, layouts, |env| {
         for l in &chain3.loops {
-            run_loop(env, l);
+            run_loop(env, l)?;
         }
-    });
+        Ok(())
+    })
+    .unwrap_results();
 
     let mut ca_dom = dom.clone();
-    run_distributed(&mut ca_dom, layouts, |env| {
-        run_chain(env, &chain);
-    });
+    run_distributed(&mut ca_dom, layouts, |env| run_chain(env, &chain)).unwrap_results();
 
     for &d in &chain3.dats {
         let name = &seq_dom.dat(d).name;
@@ -238,9 +238,7 @@ fn tet_mesh_arity4_chain() {
     let base = rcb_partition(m.node_coords(), 3, 4);
     let own = derive_ownership(&m.dom, m.nodes, base, 4);
     let layouts = build_layouts(&m.dom, &own, 2);
-    run_distributed(&mut m.dom, &layouts, |env| {
-        run_chain(env, &chain);
-    });
+    run_distributed(&mut m.dom, &layouts, |env| run_chain(env, &chain)).unwrap_results();
     assert_eq!(seq_dom.dat(acc).data, m.dom.dat(acc).data);
     assert_eq!(seq_dom.dat(out).data, m.dom.dat(out).data);
 }
@@ -287,12 +285,13 @@ fn repeated_chain_executions_match() {
         }
     }
     let out = run_distributed(&mut m.dom, &layouts, |env| {
-        run_loop(env, &bump);
+        run_loop(env, &bump)?;
         for _ in 0..3 {
-            run_chain(env, &chain);
+            run_chain(env, &chain)?;
         }
-        env.trace.chains.len()
+        Ok(env.trace.chains.len())
     });
+    assert!(out.all_ok());
     for &d in &chain3.dats {
         assert_eq!(seq_dom.dat(d).data, m.dom.dat(d).data);
     }
@@ -361,9 +360,7 @@ fn mixed_set_chain() {
     let base = rcb_partition(m.node_coords(), 3, 4);
     let own = derive_ownership(&m.dom, m.nodes, base, 4);
     let layouts = build_layouts(&m.dom, &own, 2);
-    run_distributed(&mut m.dom, &layouts, |env| {
-        run_chain(env, &chain);
-    });
+    run_distributed(&mut m.dom, &layouts, |env| run_chain(env, &chain)).unwrap_results();
     assert_eq!(seq_dom.dat(acc).data, m.dom.dat(acc).data);
     assert_eq!(seq_dom.dat(out_dat).data, m.dom.dat(out_dat).data);
 }
@@ -388,8 +385,9 @@ fn distributed_tiled_chain_matches() {
         let own = derive_ownership(&m.dom, m.nodes, base, 4);
         let layouts = build_layouts(&m.dom, &own, 3);
         let out = run_distributed(&mut m.dom, &layouts, |env| {
-            run_chain_tiled(env, &chain, n_tiles);
+            run_chain_tiled(env, &chain, n_tiles)
         });
+        assert!(out.all_ok());
         for &d in &chain3.dats {
             assert_eq!(
                 seq_dom.dat(d).data,

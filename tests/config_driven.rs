@@ -47,9 +47,10 @@ fn mgcfd_config_resolves_and_runs() {
     let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, 4);
     let layouts = build_layouts(&app.dom, &own, 2);
     run_distributed(&mut app.dom, &layouts, |env| {
-        run_loop(env, &write_pres);
-        run_chain(env, &chain);
-    });
+        run_loop(env, &write_pres)?;
+        run_chain(env, &chain)
+    })
+    .unwrap_results();
     for d in [app.dres, app.dflux] {
         let a = &seq_dom.dat(d).data;
         let b = &app.dom.dat(d).data;
@@ -120,12 +121,13 @@ fn hydra_config_driven_execution_runs_relaxed() {
     let own = derive_ownership(&app.mesh.dom, app.mesh.nodes, base, 3);
     let layouts = build_layouts(&app.mesh.dom, &own, 2);
     let out = run_distributed(&mut app.mesh.dom, &layouts, |env| {
-        run_loop(env, &init);
-        run_chain_relaxed(env, &vflux);
-        env.trace.chains[0].d_exchanged
-    });
+        run_loop(env, &init)?;
+        run_chain_relaxed(env, &vflux)?;
+        Ok(env.trace.chains[0].d_exchanged)
+    })
+    .unwrap_results();
     // Five dats grouped, per Table 4.
-    for (rank, d) in out.results.iter().enumerate() {
+    for (rank, d) in out.iter().enumerate() {
         if layouts[rank].neighbors.is_empty() {
             continue;
         }

@@ -75,10 +75,12 @@ fn exchanges_follow_dirty_bits() {
     let inc_loop = f.inc_loop.clone();
     let read_loop = f.read_loop.clone();
     let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-        run_loop(env, &inc_loop); // dirties a; INC itself needs no halo
-        run_loop(env, &read_loop); // must exchange a
-        run_loop(env, &read_loop); // a clean again: no exchange
+        run_loop(env, &inc_loop)?; // dirties a; INC itself needs no halo
+        run_loop(env, &read_loop)?; // must exchange a
+        run_loop(env, &read_loop)?; // a clean again: no exchange
+        Ok(())
     });
+    assert!(out.all_ok());
     for (rank, t) in out.traces.iter().enumerate() {
         if f.layouts[rank].neighbors.is_empty() {
             continue;
@@ -97,8 +99,9 @@ fn per_loop_message_count_matches_neighbour_count() {
     let inc_loop = f.inc_loop.clone();
     let read_loop = f.read_loop.clone();
     let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-        run_loop(env, &inc_loop);
-        run_loop(env, &read_loop);
+        run_loop(env, &inc_loop)?;
+        run_loop(env, &read_loop)?;
+        Ok(())
     });
     for (rank, t) in out.traces.iter().enumerate() {
         let nbrs = f.layouts[rank].neighbors.len();
@@ -126,7 +129,7 @@ fn reductions_match_across_rank_counts() {
             sum_kernel,
         );
         let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| run_loop(env, &red));
-        for r in &out.results {
+        for r in out.unwrap_results() {
             assert_eq!(r.gbls[0][0], seq_sum, "nparts {nparts}");
         }
         match expected {
@@ -145,8 +148,9 @@ fn runs_are_deterministic() {
         let inc_loop = f.inc_loop.clone();
         let read_loop = f.read_loop.clone();
         let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-            run_loop(env, &inc_loop);
-            run_loop(env, &read_loop);
+            run_loop(env, &inc_loop)?;
+            run_loop(env, &read_loop)?;
+            Ok(())
         });
         let msgs: Vec<usize> = out.traces.iter().map(|t| t.total_msgs()).collect();
         let bytes: Vec<usize> = out.traces.iter().map(|t| t.total_bytes()).collect();
@@ -163,7 +167,7 @@ fn core_iterations_are_majority_on_few_ranks() {
     let mut f = fixture(2);
     let inc_loop = f.inc_loop.clone();
     let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-        run_loop(env, &inc_loop);
+        run_loop(env, &inc_loop).map(|_| ())
     });
     for (rank, t) in out.traces.iter().enumerate() {
         let rec = &t.loops[0];
@@ -241,11 +245,11 @@ fn min_max_reductions_match() {
         assert_eq!(seq::run_loop(&mut seq_dom, &min_loop).gbls[0], vec![seq_min]);
 
         let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-            let mn = run_loop(env, &min_loop);
-            let mx = run_loop(env, &max_loop);
-            (mn.gbls[0][0], mx.gbls[0][0])
+            let mn = run_loop(env, &min_loop)?;
+            let mx = run_loop(env, &max_loop)?;
+            Ok((mn.gbls[0][0], mx.gbls[0][0]))
         });
-        for &(mn, mx) in &out.results {
+        for (mn, mx) in out.unwrap_results() {
             assert_eq!(mn, seq_min, "nparts {nparts}");
             assert_eq!(mx, seq_max, "nparts {nparts}");
         }
@@ -254,9 +258,10 @@ fn min_max_reductions_match() {
 }
 
 /// Failure injection: a chain requiring deeper halos than the layouts
-/// were built with must fail loudly, not corrupt data.
+/// were built with must fail loudly, not corrupt data. The rank panics
+/// are contained by the harness and reported as typed
+/// [`RankFailure::Panicked`] values naming each failed rank.
 #[test]
-#[should_panic(expected = "rank thread panicked")]
 fn chain_deeper_than_layout_panics() {
     use op2::core::ChainSpec;
     use op2::runtime::exec::run_chain;
@@ -282,9 +287,22 @@ fn chain_deeper_than_layout_panics() {
     );
     let chain = ChainSpec::new("deep3", vec![inc_loop, read_loop, deeper], None, &[]).unwrap();
     assert_eq!(chain.max_halo_layers(), 3);
-    run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
-        run_chain(env, &chain); // depth 3 > built 2: asserts on every rank
+    let out = run_distributed(&mut f.mesh.dom, &f.layouts, |env| {
+        run_chain(env, &chain) // depth 3 > built 2: asserts on every rank
     });
+    assert!(!out.all_ok());
+    for (rank, r) in out.results.iter().enumerate() {
+        match r {
+            Err(op2::runtime::RankFailure::Panicked { rank: fr, message }) => {
+                assert_eq!(*fr as usize, rank);
+                assert!(
+                    message.contains("needs 3 halo layers"),
+                    "rank {rank}: {message}"
+                );
+            }
+            other => panic!("rank {rank}: expected contained panic, got {other:?}"),
+        }
+    }
 }
 
 /// Failure injection: resolving a config against a program missing the

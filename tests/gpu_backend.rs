@@ -100,9 +100,10 @@ fn gpu_ca_exact_equivalence() {
     run_distributed(&mut mesh.dom, &layouts, |env| {
         let mut dev = GpuDevice::v100();
         gpu_place(env, &mut dev);
-        run_loop_gpu(env, &mut dev, &seed_bump);
-        run_chain_gpu(env, &mut dev, &chain);
-    });
+        run_loop_gpu(env, &mut dev, &seed_bump)?;
+        run_chain_gpu(env, &mut dev, &chain)
+    })
+    .unwrap_results();
     for d in dats {
         assert_eq!(seq_dom.dat(d).data, mesh.dom.dat(d).data);
     }
@@ -127,17 +128,17 @@ fn ca_stages_fewer_events_than_per_loop() {
             let mut dev = GpuDevice::v100();
             gpu_place(env, &mut dev);
             for _ in 0..4 {
-                run_loop_gpu(env, &mut dev, &seed_bump);
+                run_loop_gpu(env, &mut dev, &seed_bump)?;
                 if ca {
-                    run_chain_gpu(env, &mut dev, &chain);
+                    run_chain_gpu(env, &mut dev, &chain)?;
                 } else {
-                    run_loop_gpu(env, &mut dev, &produce);
-                    run_loop_gpu(env, &mut dev, &consume);
+                    run_loop_gpu(env, &mut dev, &produce)?;
+                    run_loop_gpu(env, &mut dev, &consume)?;
                 }
             }
-            dev.xfer
+            Ok(dev.xfer)
         });
-        out.results
+        out.unwrap_results()
             .iter()
             .map(|x| x.h2d_events + x.d2h_events)
             .sum::<usize>()
@@ -160,9 +161,9 @@ fn device_allocation_covers_working_set() {
         let mut dev = GpuDevice::v100();
         gpu_place(env, &mut dev);
         let expect: usize = env.dats.iter().map(|d| d.len() * 8).sum();
-        (dev.allocated, expect)
+        Ok((dev.allocated, expect))
     });
-    for (allocated, expect) in out.results {
+    for (allocated, expect) in out.unwrap_results() {
         assert_eq!(allocated, expect);
         assert!(allocated > 0);
     }

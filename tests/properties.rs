@@ -240,10 +240,11 @@ proptest! {
         run_distributed(&mut m.dom, &layouts, |env| {
             let mut lazy = LazyExec::new(depth, max_chain);
             for l in &loops {
-                lazy.enqueue(env, l);
+                lazy.enqueue(env, l)?;
             }
-            lazy.flush(env);
-        });
+            lazy.flush(env)
+        })
+        .unwrap_results();
         for &d in &dats {
             prop_assert_eq!(&seq_dom.dat(d).data, &m.dom.dat(d).data);
         }
@@ -341,6 +342,128 @@ proptest! {
         run_chain_tiled(&mut m.dom, &chain, &plan);
         for d in [d0, d1, d2] {
             prop_assert_eq!(&plain.dat(d).data, &m.dom.dat(d).data);
+        }
+    }
+
+    /// Fault injection is deterministic: replaying the same seeded
+    /// [`FaultPlan`] over the same program yields bit-identical traces —
+    /// same loop/chain records, same recovery counters per rank — and
+    /// bit-identical data, regardless of thread scheduling. The faults
+    /// are recoverable (no blackholes/crashes), so the results also
+    /// equal the sequential reference exactly.
+    #[test]
+    fn fault_replay_is_deterministic(
+        fault_seed in 0u64..10_000,
+        nparts in 2usize..5,
+        drop in 0u16..400,
+        dup in 0u16..400,
+        corrupt in 0u16..400,
+    ) {
+        use op2::core::{seq, Args, ChainSpec, LoopSpec};
+        use op2::runtime::exec::{run_chain, run_loop};
+        use op2::runtime::{run_distributed_with, FaultPlan, FaultSpec, RunOptions};
+
+        fn bump(args: &Args<'_>) {
+            args.set(0, 0, args.get(0, 0) + 1.0);
+        }
+        fn produce(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) + 1.0);
+            args.inc(3, 0, args.get(1, 0) + 1.0);
+        }
+        fn consume(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) - args.get(1, 0));
+            args.inc(3, 0, args.get(1, 0));
+        }
+
+        let build = || {
+            let mut m = Quad2D::generate(8, 7);
+            let n = m.dom.set(m.nodes).size;
+            let s0: Vec<f64> = (0..n).map(|i| ((i * 3 + 2) % 17) as f64).collect();
+            let d0 = m.dom.decl_dat("d0", m.nodes, 1, s0);
+            let d1 = m.dom.decl_dat_zeros("d1", m.nodes, 1);
+            let d2 = m.dom.decl_dat_zeros("d2", m.nodes, 1);
+            let bump_loop = LoopSpec::new(
+                "bump",
+                m.nodes,
+                vec![Arg::dat_direct(d0, AccessMode::Rw)],
+                bump,
+            );
+            let chain = ChainSpec::new(
+                "pc",
+                vec![
+                    LoopSpec::new(
+                        "produce",
+                        m.edges,
+                        vec![
+                            Arg::dat_indirect(d0, m.e2n, 0, AccessMode::Read),
+                            Arg::dat_indirect(d0, m.e2n, 1, AccessMode::Read),
+                            Arg::dat_indirect(d1, m.e2n, 0, AccessMode::Inc),
+                            Arg::dat_indirect(d1, m.e2n, 1, AccessMode::Inc),
+                        ],
+                        produce,
+                    ),
+                    LoopSpec::new(
+                        "consume",
+                        m.edges,
+                        vec![
+                            Arg::dat_indirect(d1, m.e2n, 0, AccessMode::Read),
+                            Arg::dat_indirect(d1, m.e2n, 1, AccessMode::Read),
+                            Arg::dat_indirect(d2, m.e2n, 0, AccessMode::Inc),
+                            Arg::dat_indirect(d2, m.e2n, 1, AccessMode::Inc),
+                        ],
+                        consume,
+                    ),
+                ],
+                None,
+                &[],
+            )
+            .unwrap();
+            (m, bump_loop, chain, [d0, d1, d2])
+        };
+
+        let run = || {
+            let (mut m, bump_loop, chain, dats) = build();
+            let base = rcb_partition(&m.dom.dat(m.coords).data, 2, nparts);
+            let own = derive_ownership(&m.dom, m.nodes, base, nparts);
+            let layouts = build_layouts(&m.dom, &own, 2);
+            let spec = FaultSpec {
+                drop_permille: drop,
+                dup_permille: dup,
+                corrupt_permille: corrupt,
+                delay_permille: 150,
+                ..FaultSpec::chaos(fault_seed)
+            };
+            let opts = RunOptions::with_faults(FaultPlan::new(spec));
+            let out = run_distributed_with(&mut m.dom, &layouts, &opts, |env| {
+                for _ in 0..2 {
+                    run_loop(env, &bump_loop)?;
+                    run_chain(env, &chain)?;
+                }
+                Ok(())
+            });
+            assert!(out.all_ok(), "failures: {:?}", out.failures());
+            let data: Vec<Vec<f64>> = dats.iter().map(|&d| m.dom.dat(d).data.clone()).collect();
+            (out.traces, data, dats, m)
+        };
+
+        let (traces_a, data_a, dats, _m) = run();
+        let (traces_b, data_b, _, _) = run();
+        // Bit-identical replay: full traces (loop/chain records AND
+        // per-rank transport recovery counters) and final data.
+        prop_assert_eq!(&traces_a, &traces_b);
+        prop_assert_eq!(&data_a, &data_b);
+
+        // Recoverable faults leave the numerics untouched: equal to the
+        // sequential reference exactly.
+        let (mut m_seq, bump_loop, chain, _) = build();
+        for _ in 0..2 {
+            seq::run_loop(&mut m_seq.dom, &bump_loop);
+            for l in &chain.loops {
+                seq::run_loop(&mut m_seq.dom, l);
+            }
+        }
+        for (i, &d) in dats.iter().enumerate() {
+            prop_assert_eq!(&m_seq.dom.dat(d).data, &data_a[i]);
         }
     }
 }
