@@ -40,9 +40,9 @@ fn bench_grouping(c: &mut Criterion) {
                             env.valid[d.idx()] = 0;
                         }
                         let _ = env.exchange(&spec, grouped);
-                        env.exchange_wait(&spec, grouped);
+                        env.exchange_wait(&spec, grouped)?;
                     }
-                    env.comm.sent_msgs
+                    Ok(env.comm.sent_msgs)
                 })
             })
         });
@@ -57,10 +57,10 @@ fn bench_grouping(c: &mut Criterion) {
                 env.valid[d.idx()] = 0;
             }
             let rec = env.exchange(&spec, grouped);
-            env.exchange_wait(&spec, grouped);
-            rec.n_msgs
+            env.exchange_wait(&spec, grouped)?;
+            Ok(rec.n_msgs)
         });
-        let total: usize = out.results.iter().sum();
+        let total: usize = out.unwrap_results().into_iter().sum();
         eprintln!("grouping={grouped}: {total} messages per round (all ranks)");
     }
 }

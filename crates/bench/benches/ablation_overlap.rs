@@ -55,8 +55,9 @@ fn bench_overlap(c: &mut Criterion) {
             run_distributed(&mut mesh.dom, &layouts, |env| {
                 for _ in 0..rounds {
                     env.valid[src.idx()] = 0; // keep the exchange live
-                    run_loop(env, &flux);
+                    run_loop(env, &flux)?;
                 }
+                Ok(())
             })
         })
     });
@@ -71,11 +72,12 @@ fn bench_overlap(c: &mut Criterion) {
                     let ext = standalone_extent(&flux2);
                     let exch = exchange_list(env, &flux2, ext);
                     let _ = env.exchange(&exch, false);
-                    env.exchange_wait(&exch, false);
+                    env.exchange_wait(&exch, false)?;
                     let end = env.layout.sets[flux2.set.idx()].exec_end(ext);
                     let mut gbls = Vec::new();
                     env.exec_range(&flux2, 0, end, &mut gbls);
                 }
+                Ok(())
             })
         })
     });

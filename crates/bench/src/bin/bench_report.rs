@@ -1,0 +1,87 @@
+//! `BENCH_runtime.json`: machine-readable runtime-counter report.
+//!
+//! Runs the MG-CFD solver through the adaptive (tuner + plan-cache)
+//! back-end and emits one JSON record per rank: communication totals,
+//! transport recovery counters, plan-cache hit/miss/invalidation
+//! counters and every tuner decision (backend, class, predicted vs
+//! measured times). The CI/regression side can diff these without
+//! scraping human-readable tables.
+//!
+//! Flags: the common `--scale`, plus `--out <path>` (default
+//! `BENCH_runtime.json` in the working directory) and `--iters N`
+//! (default 3 — enough for calibration *and* cached-plan repeats).
+
+use mg_cfd::{run_auto, MgCfd, MgCfdParams};
+use op2_bench::json::{trace_summary, Json};
+use op2_model::Machine;
+use op2_partition::{build_layouts, derive_ownership, rcb_partition};
+use op2_runtime::TunerMode;
+
+fn main() {
+    let mut out_path = String::from("BENCH_runtime.json");
+    let mut iters = 3usize;
+    let mut size = 7usize;
+    let mut ranks = 4usize;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).expect("--out needs a path").clone();
+            }
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).expect("--iters needs a count").parse().unwrap();
+            }
+            "--size" => {
+                i += 1;
+                size = args.get(i).expect("--size needs an edge count").parse().unwrap();
+            }
+            "--ranks" => {
+                i += 1;
+                ranks = args.get(i).expect("--ranks needs a count").parse().unwrap();
+            }
+            "--help" | "-h" => {
+                eprintln!("flags: --out path  --iters N  --size N  --ranks N");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+
+    let params = MgCfdParams::small(size);
+    let mut app = MgCfd::new(params);
+    let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+    let base = rcb_partition(coords, 3, ranks);
+    let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+    let layouts = build_layouts(&app.dom, &own, 2);
+
+    let out = run_auto(
+        &mut app,
+        &layouts,
+        iters,
+        &Machine::archer2(),
+        TunerMode::from_env(),
+        None,
+    );
+
+    let report = Json::obj(vec![
+        ("app", Json::Str("mg-cfd".into())),
+        (
+            "backend",
+            Json::Str(std::env::var("OP2_TUNER").unwrap_or_else(|_| "auto".into())),
+        ),
+        ("iters", Json::U64(iters as u64)),
+        ("ranks", Json::U64(ranks as u64)),
+        ("rms", Json::F64(out.rms)),
+        (
+            "per_rank",
+            Json::Arr(out.traces.iter().map(trace_summary).collect()),
+        ),
+    ]);
+    std::fs::write(&out_path, report.pretty())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path} ({} ranks, {iters} iters)", out.traces.len());
+}

@@ -1,0 +1,211 @@
+//! Minimal JSON emission for the machine-readable benchmark reports.
+//!
+//! The workspace deliberately carries no serde; the report schema is a
+//! handful of flat counter objects, so a tiny value tree + escaping
+//! writer covers it. [`trace_summary`] converts one [`RankTrace`] into
+//! the `BENCH_*.json` per-rank record: transport recovery counters
+//! (PR 1), plan-cache hit/miss counters, and the tuner's decisions.
+
+use op2_runtime::{RankTrace, TunerRec};
+use std::fmt::Write as _;
+
+/// A JSON value. Numbers are split into signed/unsigned/float variants
+/// so counters round-trip exactly.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (the counter case).
+    U64(u64),
+    /// Signed integer (milli-percent gains).
+    I64(i64),
+    /// Finite float; non-finite values are emitted as `null`.
+    F64(f64),
+    /// String (escaped on emission).
+    Str(String),
+    /// Ordered array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience object constructor.
+    pub fn obj(fields: Vec<(&str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Serialise with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::I64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::F64(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::F64(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                newline(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One tuner decision as a JSON object.
+pub fn tuner_json(r: &TunerRec) -> Json {
+    Json::obj(vec![
+        ("chain", Json::Str(r.chain.clone())),
+        ("backend", Json::Str(format!("{:?}", r.backend).to_lowercase())),
+        ("class", Json::Str(format!("{:?}", r.class))),
+        ("t_op2_pred_ns", Json::U64(r.t_op2_pred_ns)),
+        ("t_ca_pred_ns", Json::U64(r.t_ca_pred_ns)),
+        ("t_measured_ns", Json::U64(r.t_measured_ns)),
+        ("gain_milli_pct", Json::I64(r.gain_milli_pct)),
+    ])
+}
+
+/// Per-rank report record: communication totals, transport recovery
+/// counters, plan-cache counters and tuner decisions.
+pub fn trace_summary(t: &RankTrace) -> Json {
+    Json::obj(vec![
+        ("rank", Json::U64(t.rank as u64)),
+        ("total_msgs", Json::U64(t.total_msgs() as u64)),
+        ("total_bytes", Json::U64(t.total_bytes() as u64)),
+        (
+            "comm",
+            Json::obj(vec![
+                ("retries", Json::U64(t.comm.retries)),
+                ("timeouts", Json::U64(t.comm.timeouts)),
+                ("corrupt_dropped", Json::U64(t.comm.corrupt_dropped)),
+                ("duplicates_dropped", Json::U64(t.comm.duplicates_dropped)),
+                ("delayed", Json::U64(t.comm.delayed)),
+                ("hangups_seen", Json::U64(t.comm.hangups_seen)),
+                ("injected_drops", Json::U64(t.comm.injected_drops)),
+                ("injected_corrupt", Json::U64(t.comm.injected_corrupt)),
+                ("injected_dups", Json::U64(t.comm.injected_dups)),
+                ("retransmits", Json::U64(t.comm.retransmits)),
+            ]),
+        ),
+        (
+            "plan",
+            Json::obj(vec![
+                ("hits", Json::U64(t.plan.hits)),
+                ("misses", Json::U64(t.plan.misses)),
+                ("invalidations", Json::U64(t.plan.invalidations)),
+                ("tile_hits", Json::U64(t.plan.tile_hits)),
+                ("tile_misses", Json::U64(t.plan.tile_misses)),
+            ]),
+        ),
+        ("tuner", Json::Arr(t.tuner.iter().map(tuner_json).collect())),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_and_shapes() {
+        let j = Json::obj(vec![
+            ("s", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::U64(42)),
+            ("g", Json::I64(-7)),
+            ("x", Json::F64(f64::NAN)),
+            ("e", Json::Arr(vec![])),
+        ]);
+        let s = j.pretty();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""));
+        assert!(s.contains("\"n\": 42"));
+        assert!(s.contains("\"g\": -7"));
+        assert!(s.contains("\"x\": null"));
+        assert!(s.contains("\"e\": []"));
+    }
+
+    #[test]
+    fn trace_summary_carries_all_counter_groups() {
+        let mut t = RankTrace {
+            rank: 3,
+            ..Default::default()
+        };
+        t.comm.retries = 2;
+        t.plan.hits = 5;
+        t.plan.misses = 1;
+        t.tuner.push(TunerRec {
+            chain: "synthetic".into(),
+            gain_milli_pct: 1250,
+            ..Default::default()
+        });
+        let s = trace_summary(&t).pretty();
+        assert!(s.contains("\"rank\": 3"));
+        assert!(s.contains("\"retries\": 2"));
+        assert!(s.contains("\"hits\": 5"));
+        assert!(s.contains("\"chain\": \"synthetic\""));
+        assert!(s.contains("\"gain_milli_pct\": 1250"));
+    }
+}

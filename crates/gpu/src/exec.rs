@@ -74,6 +74,11 @@ pub fn run_loop_gpu(
 }
 
 /// Algorithm 2 (CA) on the simulated GPU cluster.
+///
+/// Runs through the planned chain path, so repeat invocations reuse the
+/// cached [`op2_runtime::ChainPlan`] — in particular the per-neighbour
+/// pack index lists — instead of re-inspecting; only the staged byte
+/// counts are re-accounted against the device.
 pub fn run_chain_gpu(
     env: &mut RankEnv<'_>,
     dev: &mut GpuDevice,
@@ -288,6 +293,38 @@ mod tests {
                 assert!(message.contains("does not fit on device"), "{message}");
             }
             other => panic!("expected contained panic, got {other:?}"),
+        }
+    }
+
+    /// Repeated GPU chain invocations reuse the cached plan (and its
+    /// pack index lists): the trace shows cache hits, not re-inspection.
+    #[test]
+    fn gpu_chains_hit_the_plan_cache() {
+        let Setup {
+            mut mesh,
+            layouts,
+            produce,
+            consume,
+        } = setup(4);
+        let chain =
+            ChainSpec::new("pc", vec![produce.clone(), consume.clone()], None, &[]).unwrap();
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut dev = GpuDevice::v100();
+            gpu_place(env, &mut dev);
+            for _ in 0..4 {
+                run_chain_gpu(env, &mut dev, &chain)?;
+            }
+            Ok(())
+        });
+        assert!(out.all_ok());
+        for t in &out.traces {
+            assert!(
+                t.plan.hits >= 1,
+                "rank {}: expected plan reuse, {:?}",
+                t.rank,
+                t.plan
+            );
+            assert!(t.plan.misses <= 2, "rank {}: {:?}", t.rank, t.plan);
         }
     }
 

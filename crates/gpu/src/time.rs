@@ -84,6 +84,7 @@ mod tests {
                 max_msg_bytes: 4000,
                 n_neighbors: 6,
                 packed_elems: 6000,
+                ..Default::default()
             },
         };
         let t_op2: f64 = (0..8).map(|_| loop_time_gpu(&mach, &loop_rec, g)).sum();
@@ -98,6 +99,7 @@ mod tests {
                 max_msg_bytes: 16_000,
                 n_neighbors: 6,
                 packed_elems: 12_000,
+                ..Default::default()
             },
             stale_reads: 0,
         };

@@ -36,4 +36,7 @@ pub mod kernels;
 pub mod run;
 
 pub use app::{ExtentMode, Hydra, HydraParams};
-pub use run::{run_ca, run_ca_staged, run_op2, run_op2_staged, run_sequential, run_sequential_staged};
+pub use run::{
+    run_auto, run_ca, run_ca_staged, run_op2, run_op2_staged, run_sequential,
+    run_sequential_staged, run_tuned,
+};

@@ -1,10 +1,12 @@
-//! Drivers: sequential reference, OP2 baseline, CA back-end.
+//! Drivers: sequential reference, OP2 baseline, CA back-end, and the
+//! model-driven adaptive back-end ([`run_auto`]).
 
 use crate::app::{ExtentMode, Hydra, Step};
 use op2_core::seq;
+use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_loop};
-use op2_runtime::{run_distributed, RankTrace};
+use op2_runtime::{run_distributed, RankTrace, Tuner, TunerMode};
 
 /// Result of a driver run.
 #[derive(Debug)]
@@ -140,6 +142,86 @@ pub fn run_ca_staged(
     run_dist(app, layouts, iters, true, mode, stages)
 }
 
+/// Distributed, **adaptive** back-end: strict chains go through a
+/// per-rank [`Tuner`] (calibrate once, classify with the §3.2 model on
+/// `mach`, dispatch repeats to the winner); relaxed chains — whose
+/// pinned extents encode an application-level accuracy contract, not a
+/// performance choice — always run the planned relaxed chain executor.
+/// `fixed_g` pins the per-iteration cost for deterministic decisions.
+pub fn run_auto(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    mach: &Machine,
+    tmode: TunerMode,
+    fixed_g: Option<f64>,
+) -> RunOutcome {
+    let setup = app.setup(true, mode);
+    let iteration = app.rk_iteration(true, mode, 1);
+    let norm_spec = app.norm_loop();
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let out = run_distributed(&mut app.mesh.dom, layouts, |env| {
+        let mut tuner = Tuner::new(mach.clone(), tmode);
+        if let Some(g) = fixed_g {
+            tuner = tuner.with_fixed_g(g);
+        }
+        let exec_steps = |env: &mut op2_runtime::RankEnv<'_>,
+                          tuner: &mut Tuner,
+                          steps: &[Step]|
+         -> Result<(), op2_runtime::RuntimeError> {
+            for step in steps {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l)?;
+                    }
+                    Step::Chain(c, relaxed) => {
+                        if *relaxed {
+                            run_chain_relaxed(env, c)?;
+                        } else {
+                            tuner.run_chain(env, c)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+        exec_steps(env, &mut tuner, &setup)?;
+        let mut norm = 0.0;
+        for _ in 0..iters {
+            exec_steps(env, &mut tuner, &iteration)?;
+            let r = run_loop(env, &norm_spec)?;
+            norm = (r.gbls[0][0] / n).sqrt();
+        }
+        Ok(norm)
+    });
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let norm = match &results[0] {
+        Ok(n) => *n,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { norm, traces }
+}
+
+/// [`run_auto`] with deployment defaults: ARCHER2-like machine model,
+/// measured costs, policy from the `OP2_TUNER` env var.
+pub fn run_tuned(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+) -> RunOutcome {
+    run_auto(
+        app,
+        layouts,
+        iters,
+        mode,
+        &Machine::archer2(),
+        TunerMode::from_env(),
+        None,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +316,63 @@ mod tests {
             .map(|cr| cr.stale_reads)
             .sum();
         assert!(total_stale > 0, "expected counted stale reads");
+    }
+
+    /// The adaptive back-end matches the sequential reference in safe
+    /// mode; strict chains get rank-agreed tuner decisions, relaxed
+    /// chains bypass the tuner, and repeat iterations hit the plan cache.
+    #[test]
+    fn tuned_matches_sequential() {
+        let params = HydraParams::small(7);
+        let iters = 3;
+
+        let mut seq_app = Hydra::new(params);
+        let s = run_sequential(&mut seq_app, iters);
+
+        let mut app = Hydra::new(params);
+        let l = layouts_for(&app, 4, app.required_depth(ExtentMode::Safe));
+        let c = run_auto(
+            &mut app,
+            &l,
+            iters,
+            ExtentMode::Safe,
+            &Machine::archer2(),
+            TunerMode::Auto,
+            Some(5e-8),
+        );
+        assert!(c.norm.is_finite());
+        assert!(
+            (s.norm - c.norm).abs() <= 1e-10 * s.norm.abs().max(1e-30),
+            "adaptive norm diverged: {} vs {}",
+            c.norm,
+            s.norm
+        );
+
+        // One calibration record per distinct strict chain, identical
+        // across ranks (modulo the per-rank measured wall clock).
+        let agreed = |t: &RankTrace| -> Vec<_> {
+            t.tuner
+                .iter()
+                .map(|r| op2_runtime::TunerRec {
+                    t_measured_ns: 0,
+                    ..r.clone()
+                })
+                .collect()
+        };
+        let first = agreed(&c.traces[0]);
+        assert!(!first.is_empty(), "strict chains must be calibrated");
+        for t in &c.traces[1..] {
+            assert_eq!(agreed(t), first, "rank {} decided differently", t.rank);
+        }
+        // Repeat iterations re-dispatch the same chains: plans amortize.
+        for t in &c.traces {
+            assert!(
+                t.plan.hits > 0,
+                "rank {}: expected plan-cache hits, {:?}",
+                t.rank,
+                t.plan
+            );
+        }
     }
 
     /// Per chain, CA sends fewer messages than the flattened baseline

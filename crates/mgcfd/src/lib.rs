@@ -27,4 +27,4 @@ pub mod kernels;
 pub mod run;
 
 pub use app::{MgCfd, MgCfdParams};
-pub use run::{run_ca, run_ca_tiled, run_op2, run_sequential};
+pub use run::{run_auto, run_ca, run_ca_tiled, run_op2, run_sequential, run_tuned, RunOutcome};

@@ -1,10 +1,12 @@
-//! Drivers: sequential reference, OP2 baseline, CA back-end.
+//! Drivers: sequential reference, OP2 baseline, CA back-end, and the
+//! model-driven adaptive back-end ([`run_auto`] / [`run_tuned`]).
 
 use crate::app::{MgCfd, Step};
 use op2_core::seq;
+use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
-use op2_runtime::{run_distributed, RankTrace};
+use op2_runtime::{run_distributed, RankTrace, Tuner, TunerMode};
 
 /// Outcome of a driver run: final RMS residual plus (for distributed
 /// runs) the per-rank traces.
@@ -134,6 +136,70 @@ pub fn run_ca_tiled(
     RunOutcome { rms, traces }
 }
 
+/// Run distributed with the **adaptive** back-end: every chain goes
+/// through a per-rank [`Tuner`] that measures the first invocation
+/// (flattened Alg 1), classifies the chain with the §3.2 model on
+/// `mach`, and dispatches repeats to the winning backend. Decisions are
+/// rank-agreed (allreduced components) and recorded in the traces'
+/// `tuner` lists. `fixed_g` pins the per-iteration cost for
+/// deterministic decisions (tests); pass `None` to measure.
+pub fn run_auto(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    mach: &Machine,
+    mode: TunerMode,
+    fixed_g: Option<f64>,
+) -> RunOutcome {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let program: Vec<Vec<Step>> = (0..iters).map(|_| app.iteration(true)).collect();
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let out = run_distributed(&mut app.dom, layouts, |env| {
+        let mut tuner = Tuner::new(mach.clone(), mode);
+        if let Some(g) = fixed_g {
+            tuner = tuner.with_fixed_g(g);
+        }
+        for l in &init {
+            run_loop(env, l)?;
+        }
+        let mut rms = 0.0;
+        for iteration in &program {
+            for step in iteration {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l)?;
+                    }
+                    Step::Chain(c) => tuner.run_chain(env, c)?,
+                }
+            }
+            let r = run_loop(env, &rms_spec)?;
+            rms = (r.gbls[0][0] / n_fine).sqrt();
+        }
+        Ok(rms)
+    });
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let rms = match &results[0] {
+        Ok(r) => *r,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { rms, traces }
+}
+
+/// [`run_auto`] with the deployment defaults: an ARCHER2-like machine
+/// model, measured per-iteration costs, and the dispatch policy taken
+/// from the `OP2_TUNER` env var (`auto|op2|ca|tiled`, default `auto`).
+pub fn run_tuned(app: &mut MgCfd, layouts: &[RankLayout], iters: usize) -> RunOutcome {
+    run_auto(
+        app,
+        layouts,
+        iters,
+        &Machine::archer2(),
+        TunerMode::from_env(),
+        None,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +306,129 @@ mod tests {
             let out = run_ca_tiled(&mut app, &layouts, iters, n_tiles);
             let err = (reference.rms - out.rms).abs() / reference.rms.abs().max(1e-30);
             assert!(err < 1e-10, "n_tiles {n_tiles}: {err}");
+        }
+    }
+
+    /// The adaptive back-end matches the sequential reference and makes
+    /// the identical decision on every rank.
+    #[test]
+    fn tuned_matches_sequential_with_identical_decisions() {
+        let params = MgCfdParams::small(7);
+        let iters = 3;
+        let mut seq_app = MgCfd::new(params);
+        let reference = run_sequential(&mut seq_app, iters);
+
+        let mut app = MgCfd::new(params);
+        let layouts = layouts_for(&app, 4);
+        let out = run_auto(
+            &mut app,
+            &layouts,
+            iters,
+            &op2_model::Machine::archer2(),
+            TunerMode::Auto,
+            Some(5e-8),
+        );
+        let err = (reference.rms - out.rms).abs() / reference.rms.abs().max(1e-30);
+        assert!(err < 1e-10, "adaptive back-end diverged: {err}");
+
+        // Everything but the per-rank measured wall clock is rank-agreed.
+        let agreed = |t: &RankTrace| -> Vec<_> {
+            t.tuner
+                .iter()
+                .map(|r| op2_runtime::TunerRec {
+                    t_measured_ns: 0,
+                    ..r.clone()
+                })
+                .collect()
+        };
+        let first = agreed(&out.traces[0]);
+        assert!(!first.is_empty(), "calibration must record a decision");
+        for t in &out.traces[1..] {
+            assert_eq!(agreed(t), first, "rank {} decided differently", t.rank);
+        }
+    }
+
+    /// Acceptance criterion: on the synthetic `update`/`edge_flux` chain
+    /// fixture, the tuner's online (allreduced, layout-derived) decision
+    /// matches `profit::classify` evaluated offline on the same
+    /// partition's `HaloStats` — and repeat dispatches hit the plan
+    /// cache when the chain executor is chosen.
+    #[test]
+    fn tuner_decision_matches_offline_classify() {
+        use op2_model::{chain_components, classify, shape_from_sigs, Machine};
+        use op2_partition::collect_stats;
+        use op2_runtime::Backend;
+
+        const G: f64 = 5e-8;
+        let mut params = MgCfdParams::small(7);
+        params.nchains = 4;
+        let mut app = MgCfd::new(params);
+        let chain = app
+            .iteration(true)
+            .into_iter()
+            .find_map(|s| match s {
+                Step::Chain(c) => Some(c),
+                _ => None,
+            })
+            .expect("the synthetic chain");
+
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let base = rcb_partition(coords, 3, 4);
+        let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, 4);
+        let stats = collect_stats(&app.dom, &own, 2, 2);
+        let layouts = build_layouts(&app.dom, &own, 2);
+
+        // Offline judgement, same entry state (chain dats dirty).
+        let g = vec![G; chain.len()];
+        let shape = shape_from_sigs(
+            &app.dom,
+            &chain.name,
+            &chain.sigs(),
+            &chain.halo_ext,
+            &g,
+            &|_| 0,
+        );
+        let prof = classify(&Machine::archer2(), &chain_components(&stats, &shape));
+        let expected = if prof.enable_ca {
+            Backend::Ca
+        } else {
+            Backend::Op2
+        };
+
+        let chain_ref = &chain;
+        let out = op2_runtime::run_distributed(&mut app.dom, &layouts, |env| {
+            let mut tuner =
+                Tuner::new(Machine::archer2(), TunerMode::Auto).with_fixed_g(G);
+            for sig in chain_ref.sigs() {
+                for d in sig.dats() {
+                    env.valid[d.idx()] = 0;
+                }
+            }
+            for _ in 0..4 {
+                tuner.run_chain(env, chain_ref)?;
+            }
+            Ok(tuner.decision(chain_ref).expect("calibrated"))
+        });
+        for t in &out.traces {
+            assert_eq!(t.tuner.len(), 1);
+            assert_eq!(t.tuner[0].backend, expected, "rank {}", t.rank);
+            assert_eq!(
+                t.tuner[0].class,
+                prof.class.into(),
+                "rank {} class mismatch",
+                t.rank
+            );
+            if expected == Backend::Ca {
+                assert!(
+                    t.plan.hits >= 1,
+                    "rank {}: repeat dispatches must hit the plan cache, {:?}",
+                    t.rank,
+                    t.plan
+                );
+            }
+        }
+        for decided in out.unwrap_results() {
+            assert_eq!(decided, expected);
         }
     }
 

@@ -30,6 +30,7 @@
 
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
+use crate::plan::{ChainPlan, PlanCache};
 use crate::trace::{ExchangeRec, RankTrace};
 use op2_core::{AccessMode, Arg, Args, DatId, Domain, LoopSpec};
 use op2_core::kernel::ArgSlot;
@@ -56,6 +57,9 @@ pub struct RankEnv<'a> {
     pub valid: Vec<u8>,
     /// Instrumentation.
     pub trace: RankTrace,
+    /// Inspector–executor plan cache: one [`ChainPlan`] per (chain
+    /// signature, dirty-state class), invalidated by layout-epoch bumps.
+    pub plans: PlanCache,
     /// Monotone tag sequence (identical across ranks by construction).
     pub tag_seq: u64,
     /// Boundaries crossed so far, per [`BoundaryKind`] — the coordinates
@@ -82,6 +86,7 @@ impl<'a> RankEnv<'a> {
                 rank: layout.rank,
                 ..Default::default()
             },
+            plans: PlanCache::new(),
             tag_seq: 0,
             boundaries: [0; 3],
         }
@@ -263,6 +268,7 @@ impl<'a> RankEnv<'a> {
                     rec.bytes += bytes;
                     rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
                     rec.packed_elems += payload.len();
+                    rec.nbr_bits |= 1u128 << nbr.rank.min(127);
                     self.comm.isend(nbr.rank, tag, payload);
                 }
             } else {
@@ -275,6 +281,7 @@ impl<'a> RankEnv<'a> {
                         rec.bytes += bytes;
                         rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
                         rec.packed_elems += payload.len();
+                        rec.nbr_bits |= 1u128 << nbr.rank.min(127);
                         self.comm.isend(nbr.rank, tag, payload);
                     }
                 }
@@ -324,6 +331,82 @@ impl<'a> RankEnv<'a> {
             }
         }
         for &(dat, depth) in dats {
+            self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
+        }
+        Ok(())
+    }
+
+    /// Grouped (Alg 2 style) exchange driven by a cached [`ChainPlan`]:
+    /// the executor-side fast path. Pack index lists and per-neighbour
+    /// message sizes come straight from the plan — no per-call segment
+    /// filtering — and the wire layout is identical to
+    /// [`RankEnv::exchange`] with `grouped = true` over `plan.import`,
+    /// so planned and unplanned ranks interoperate. Consumes no tag when
+    /// the plan imports nothing, matching the unplanned path exactly.
+    pub fn exchange_planned(&mut self, plan: &ChainPlan) -> ExchangeRec {
+        let mut rec = ExchangeRec::default();
+        if plan.import.is_empty() {
+            return rec;
+        }
+        let tag = self.next_tag();
+        rec.n_neighbors = self.layout.neighbors.len();
+        for pack in &plan.packs {
+            let mut payload = Vec::with_capacity(pack.send_f64s);
+            for (di, &(dat, _)) in plan.import.iter().enumerate() {
+                let dim = self.dom.dat(dat).dim;
+                let buf = &self.dats[dat.idx()];
+                for &e in &pack.send[di] {
+                    let e = e as usize;
+                    payload.extend_from_slice(&buf[e * dim..(e + 1) * dim]);
+                }
+            }
+            debug_assert_eq!(payload.len(), pack.send_f64s);
+            if !payload.is_empty() {
+                rec.n_msgs += 1;
+                let bytes = payload.len() * 8;
+                rec.bytes += bytes;
+                rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
+                rec.packed_elems += payload.len();
+                rec.nbr_bits |= 1u128 << pack.rank.min(127);
+                self.comm.isend(pack.rank, tag, payload);
+            }
+        }
+        rec
+    }
+
+    /// Complete a planned exchange: receive each neighbour's grouped
+    /// message (size known from the plan) and scatter it through the
+    /// plan's contiguous copy ranges. Raises validity to each dat's
+    /// planned import depth only after every neighbour delivered.
+    pub fn exchange_wait_planned(&mut self, plan: &ChainPlan) -> Result<(), CommError> {
+        if plan.import.is_empty() {
+            return Ok(());
+        }
+        let tag = self.tag_seq;
+        for pack in &plan.packs {
+            if pack.recv_f64s == 0 {
+                continue;
+            }
+            let payload = self.comm.recv(pack.rank, tag)?;
+            assert_eq!(
+                payload.len(),
+                pack.recv_f64s,
+                "planned grouped message length mismatch"
+            );
+            let mut off = 0;
+            for (di, &(dat, _)) in plan.import.iter().enumerate() {
+                let dim = self.dom.dat(dat).dim;
+                let buf = &mut self.dats[dat.idx()];
+                for &(start, len) in &pack.recv[di] {
+                    let n = len as usize * dim;
+                    let s = start as usize * dim;
+                    buf[s..s + n].copy_from_slice(&payload[off..off + n]);
+                    off += n;
+                }
+            }
+            debug_assert_eq!(off, payload.len());
+        }
+        for &(dat, depth) in &plan.import {
             self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
         }
         Ok(())

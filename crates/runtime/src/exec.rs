@@ -10,6 +10,15 @@
 //! (per-position shrinking) core overlapped with it, then each loop's
 //! halo region executed in order, with redundant computation over up to
 //! `r` layers replacing the eliminated per-loop messages.
+//!
+//! The chain executors are **inspector–executor** split since the plan
+//! subsystem landed: all analysis (import depths, core depths, execute
+//! ranges, pack lists, tile schedules) comes from a cached
+//! [`crate::plan::ChainPlan`] — repeat invocations of the same chain in
+//! the same dirty-state class do zero re-analysis, which the plan-cache
+//! hit counters in the trace make assertable. [`run_chain_unplanned`]
+//! keeps the original inline-analysis path as the reference executor
+//! the planned path is tested bitwise-equal against.
 
 use crate::env::RankEnv;
 use crate::error::RuntimeError;
@@ -232,6 +241,111 @@ fn run_chain_mode(
     hooks: &mut dyn ExecHooks,
     relaxed: bool,
 ) -> Result<(), RuntimeError> {
+    // Inspector: cached plan lookup — analysis runs only on a miss.
+    let plan = crate::plan::plan_for(env, chain, relaxed);
+    assert!(
+        plan.depth <= env.layout.depth,
+        "chain `{}` needs {} halo layers but the layout was built \
+         with {}",
+        chain.name,
+        plan.depth,
+        env.layout.depth
+    );
+
+    // Grouped message per neighbour (lines 5-7 of Alg 2), packed via the
+    // plan's index lists.
+    let rec = env.exchange_planned(&plan);
+    hooks.stage_out(rec.bytes);
+
+    // Core of every loop while the exchange is in flight (lines 8-12).
+    // The safe core retracts by the loop's in-chain dependency depth;
+    // relaxed mode keeps the standard depth-1 core everywhere (the
+    // paper's behaviour — staleness tolerated and counted).
+    let mut gbls: Vec<Vec<f64>> = Vec::new();
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        debug_assert!(!spec.has_reduction());
+        let core_end = plan.core_end[pos];
+        gbls.clear();
+        gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+        hooks.launch(core_end);
+        env.exec_range(spec, 0, core_end, &mut gbls);
+    }
+
+    // Wait (line 13).
+    env.exchange_wait_planned(&plan)?;
+    hooks.stage_in(plan.recv_bytes);
+
+    // Halo regions in loop order (lines 14-18), with validity checked
+    // (strict) or staleness counted (relaxed) and updated per loop. The
+    // checks run against *live* validity — the plan stores the static
+    // requirements, the env tracks how validity actually evolves.
+    let mut per_loop = Vec::with_capacity(chain.len());
+    let mut stale_reads = 0usize;
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        for &(d, req) in &plan.reqs[pos] {
+            if env.valid[d.idx()] < req {
+                if relaxed {
+                    stale_reads += 1;
+                } else {
+                    panic!(
+                        "rank {}: chain `{}` loop `{}` needs dat `{}` \
+                         valid to {req}, have {}",
+                        env.rank,
+                        chain.name,
+                        spec.name,
+                        env.dom.dat(d).name,
+                        env.valid[d.idx()],
+                    );
+                }
+            }
+        }
+        let core_end = plan.core_end[pos];
+        let exec_end = plan.exec_end[pos];
+        gbls.clear();
+        gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+        hooks.launch(exec_end - core_end);
+        env.exec_range(spec, core_end, exec_end, &mut gbls);
+        per_loop.push((core_end, exec_end - core_end));
+        for &(d, v) in &plan.produces[pos] {
+            env.valid[d.idx()] = v;
+        }
+        env.boundary(BoundaryKind::ChainLoop);
+    }
+
+    env.trace.chains.push(ChainRec {
+        name: chain.name.clone(),
+        per_loop,
+        d_exchanged: plan.import.len(),
+        depth: plan.depth,
+        exch: rec,
+        stale_reads,
+    });
+    env.boundary(BoundaryKind::Chain);
+    Ok(())
+}
+
+/// The original Algorithm 2 executor with **inline analysis** — import
+/// depths, core depths and execute ranges re-derived on every call, and
+/// the exchange packed through the per-call segment filter. Kept as the
+/// reference path: property tests assert the planned executor is
+/// bitwise-equal to this one on random meshes.
+pub fn run_chain_unplanned(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), RuntimeError> {
+    run_chain_unplanned_mode(env, chain, false)
+}
+
+/// Relaxed-mode companion of [`run_chain_unplanned`].
+pub fn run_chain_unplanned_relaxed(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+) -> Result<(), RuntimeError> {
+    run_chain_unplanned_mode(env, chain, true)
+}
+
+fn run_chain_unplanned_mode(
+    env: &mut RankEnv<'_>,
+    chain: &ChainSpec,
+    relaxed: bool,
+) -> Result<(), RuntimeError> {
     let depth = chain.max_halo_layers();
     assert!(
         depth <= env.layout.depth,
@@ -248,12 +362,8 @@ fn run_chain_mode(
 
     // Grouped message per neighbour (lines 5-7 of Alg 2).
     let rec = env.exchange(&exch, true);
-    hooks.stage_out(rec.bytes);
 
     // Core of every loop while the exchange is in flight (lines 8-12).
-    // The safe core retracts by the loop's in-chain dependency depth;
-    // relaxed mode keeps the standard depth-1 core everywhere (the
-    // paper's behaviour — staleness tolerated and counted).
     let cdepth = if relaxed {
         vec![1usize; chain.len()]
     } else {
@@ -265,16 +375,13 @@ fn run_chain_mode(
         let core_end = env.layout.sets[spec.set.idx()].core_end(cdepth[pos] - 1);
         gbls.clear();
         gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
-        hooks.launch(core_end);
         env.exec_range(spec, 0, core_end, &mut gbls);
     }
 
     // Wait (line 13).
     env.exchange_wait(&exch, true)?;
-    hooks.stage_in(env.expected_recv_bytes(&exch));
 
-    // Halo regions in loop order (lines 14-18), with validity checked
-    // (strict) or staleness counted (relaxed) and updated per loop.
+    // Halo regions in loop order (lines 14-18).
     let mut per_loop = Vec::with_capacity(chain.len());
     let mut stale_reads = 0usize;
     for (pos, spec) in chain.loops.iter().enumerate() {
@@ -305,7 +412,6 @@ fn run_chain_mode(
         let exec_end = sl.exec_end(ext);
         gbls.clear();
         gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
-        hooks.launch(exec_end - core_end);
         env.exec_range(spec, core_end, exec_end, &mut gbls);
         per_loop.push((core_end, exec_end - core_end));
         for d in sig.dats() {
@@ -345,76 +451,63 @@ pub fn run_chain_tiled(
     chain: &ChainSpec,
     n_tiles: usize,
 ) -> Result<(), RuntimeError> {
-    use op2_core::tiling::{build_tile_plan_raw, seed_blocks};
-    let depth = chain.max_halo_layers();
+    // Inspector: cached chain plan, plus its lazily-built tile schedule
+    // for this tile count (the expensive growth inspection runs once).
+    let plan = crate::plan::plan_for(env, chain, false);
     assert!(
-        depth <= env.layout.depth,
-        "chain `{}` needs {depth} halo layers but the layout was built with {}",
+        plan.depth <= env.layout.depth,
+        "chain `{}` needs {} halo layers but the layout was built with {}",
         chain.name,
+        plan.depth,
         env.layout.depth
     );
-    let exch = chain_import_depths(env, chain);
-    let rec = env.exchange(&exch, true);
-    env.exchange_wait(&exch, true)?;
+    let rec = env.exchange_planned(&plan);
+    env.exchange_wait_planned(&plan)?;
 
-    // Per-loop execute regions (owned + rings ≤ extent) and the local
-    // tile schedule over them.
-    let sigs = chain.sigs();
-    let set_sizes: Vec<usize> = env.layout.sets.iter().map(|s| s.n_local()).collect();
-    let ranges: Vec<usize> = sigs
-        .iter()
-        .zip(&chain.halo_ext)
-        .map(|(s, &e)| env.layout.sets[s.set.idx()].exec_end(e))
-        .collect();
-    let seed = seed_blocks(ranges[0], n_tiles);
-    let plan = build_tile_plan_raw(&set_sizes, &env.layout.maps, &sigs, &ranges, &seed);
+    let (tiles, built) = plan.tile_plan(env.layout, chain, n_tiles);
+    if built {
+        env.plans.stats.tile_misses += 1;
+    } else {
+        env.plans.stats.tile_hits += 1;
+    }
 
     // Validity requirements are those of run_chain's halo phase.
-    for (pos, sig) in sigs.iter().enumerate() {
-        let ext = chain.halo_ext[pos];
-        for d in sig.dats() {
-            if let Some((mode, indirect)) = sig.access_of(d) {
-                let req = read_requirement(mode, indirect, ext);
-                assert!(
-                    env.valid[d.idx()] as usize >= req,
-                    "rank {}: tiled chain `{}` loop `{}` needs dat `{}` valid to {req}, have {}",
-                    env.rank,
-                    chain.name,
-                    sig.name,
-                    env.dom.dat(d).name,
-                    env.valid[d.idx()],
-                );
-            }
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        for &(d, req) in &plan.reqs[pos] {
+            assert!(
+                env.valid[d.idx()] >= req,
+                "rank {}: tiled chain `{}` loop `{}` needs dat `{}` valid to {req}, have {}",
+                env.rank,
+                chain.name,
+                spec.name,
+                env.dom.dat(d).name,
+                env.valid[d.idx()],
+            );
         }
     }
 
     let mut gbls: Vec<Vec<f64>> = Vec::new();
-    for tile in 0..plan.n_tiles {
+    for tile in 0..tiles.n_tiles {
         for (j, spec) in chain.loops.iter().enumerate() {
             debug_assert!(!spec.has_reduction());
             gbls.clear();
             gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
-            env.exec_indexed(spec, &plan.iters[j][tile], &mut gbls);
+            env.exec_indexed(spec, &tiles.iters[j][tile], &mut gbls);
         }
     }
 
     // Validity transitions, as in run_chain.
-    for (pos, sig) in sigs.iter().enumerate() {
-        let ext = chain.halo_ext[pos];
-        for d in sig.dats() {
-            if let Some((mode, indirect)) = sig.access_of(d) {
-                if let Some(v) = produced_validity(mode, indirect, ext) {
-                    env.valid[d.idx()] = v as u8;
-                }
-            }
+    for pos in 0..chain.len() {
+        for &(d, v) in &plan.produces[pos] {
+            env.valid[d.idx()] = v;
         }
     }
 
     env.trace.chains.push(ChainRec {
         name: chain.name.clone(),
-        per_loop: ranges.iter().map(|&r| (0, r)).collect(),
-        d_exchanged: exch.len(),
-        depth,
+        per_loop: plan.exec_end.iter().map(|&r| (0, r)).collect(),
+        d_exchanged: plan.import.len(),
+        depth: plan.depth,
         exch: rec,
         stale_reads: 0,
     });

@@ -182,6 +182,7 @@ where
                     // sentinel behind every real message.
                     env.comm.hangup_all();
                     env.trace.comm = env.comm.counters;
+                    env.trace.plan = env.plans.stats;
                     let dats = verdict.is_ok().then_some(env.dats);
                     (dats, env.trace, verdict)
                 })

@@ -82,6 +82,13 @@ impl LazyExec {
 
     /// Execute everything pending: one loop runs standalone, several run
     /// as an automatically formed chain.
+    ///
+    /// Chains go through [`run_chain`]'s planned path: the chain's
+    /// signature hashes only its structure (not the `ChainSpec` identity),
+    /// so repeated flushes of the same loop sequence in the same
+    /// dirty-state class reuse one cached [`crate::plan::ChainPlan`] —
+    /// the inspection cost of automatic chaining amortises exactly like
+    /// a hand-named chain's.
     pub fn flush(&mut self, env: &mut RankEnv<'_>) -> Result<(), RuntimeError> {
         match self.queue.len() {
             0 => {}
@@ -291,5 +298,33 @@ mod tests {
         for chains in out.unwrap_results() {
             assert_eq!(chains, 2, "4 loops at bound 2 → two chains");
         }
+    }
+
+    /// Repeated flushes of the same auto-formed chain reuse one cached
+    /// plan: flush 1 misses (fresh-gather validity class), flush 2
+    /// misses (post-chain validity class), every later flush hits —
+    /// the freshly created `ChainSpec` per flush doesn't matter because
+    /// plans are keyed by structure hash.
+    #[test]
+    fn repeated_flushes_hit_the_plan_cache() {
+        let f = fix();
+        let mut mesh = f.mesh;
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 2);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 2);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        let out = run_distributed(&mut mesh.dom, &layouts, |env| {
+            let mut lazy = LazyExec::new(2, 8);
+            for _ in 0..4 {
+                lazy.enqueue(env, &f.produce)?;
+                lazy.enqueue(env, &f.consume)?;
+                lazy.flush(env)?;
+            }
+            Ok(())
+        });
+        for t in &out.traces {
+            assert_eq!(t.plan.misses, 2, "rank {}: {:?}", t.rank, t.plan);
+            assert_eq!(t.plan.hits, 2, "rank {}: {:?}", t.rank, t.plan);
+        }
+        out.unwrap_results();
     }
 }

@@ -25,6 +25,14 @@
 //!   the paper's §5 future-work item (lazy evaluation à la OPS),
 //!   implemented here as a queue that fuses compatible loops into Alg 2
 //!   chains and flushes on reductions, depth pressure or length bounds.
+//! * [`plan`] — the inspector–executor plan subsystem: cached
+//!   [`plan::ChainPlan`]s (import depths, core/execute ranges, pack
+//!   index lists, tile schedules) keyed by chain signature and
+//!   dirty-state class, with layout-epoch invalidation.
+//! * [`tuner`] — model-driven adaptive dispatch: feeds measured loop
+//!   weights and layout-derived halo components into `op2-model`'s §3.2
+//!   equations and picks standard (Alg 1) / CA (Alg 2) / tiled execution
+//!   per chain online, recording each decision in the trace.
 
 // Index-based loops over parallel arrays are the dominant idiom in this
 // crate's mesh/partition kernels; iterator-zip rewrites obscure which
@@ -38,13 +46,20 @@ pub mod exec;
 pub mod fault;
 pub mod harness;
 pub mod lazy;
+pub mod plan;
 pub mod trace;
+pub mod tuner;
 
 pub use comm::{CommConfig, CommCounters, CommError, CommWorld, RankComm};
 pub use env::RankEnv;
 pub use error::{RankFailure, RuntimeError};
-pub use exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop, ExecHooks, NoHooks};
+pub use exec::{
+    run_chain, run_chain_relaxed, run_chain_tiled, run_chain_unplanned,
+    run_chain_unplanned_relaxed, run_loop, ExecHooks, NoHooks,
+};
 pub use fault::{Boundary, BoundaryAction, BoundaryKind, FaultPlan, FaultSpec};
 pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
-pub use trace::{ChainRec, ExchangeRec, LoopRec, RankTrace};
+pub use plan::{chain_signature, dirty_class, plan_for, ChainPlan, PlanCache, PlanStats};
+pub use trace::{ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, TunerRec};
+pub use tuner::{Backend, Tuner, TunerMode};

@@ -1,0 +1,577 @@
+//! Cached chain plans — the inspector of the inspector–executor split.
+//!
+//! The CA back-end (Alg 2) is an inspector–executor design: halo-layer
+//! analysis, import depths, the grouped per-neighbour message layout and
+//! (for the tiled executor) the tile schedule are *analysis*, reusable
+//! across every repetition of the same chain on the same partition. The
+//! executors used to re-derive all of it per invocation even though
+//! MG-CFD replays one chain `nchains` times per cycle.
+//!
+//! A [`ChainPlan`] captures that analysis once per
+//! **(chain signature, partition layout, dirty-state class)**:
+//!
+//! * the import list (per-dat depths, strict or relaxed) and chain depth
+//!   `r`;
+//! * per-loop latency-hiding core ends, execute-region ends, read
+//!   requirements and produced-validity transitions;
+//! * per-neighbour **pack index lists** (flattened sender-local element
+//!   indices) and receive copy ranges — the wire layout of Figure 8,
+//!   ready for `memcpy`-style pack/unpack with no per-call segment
+//!   filtering (the GPU executor stages exactly these lists);
+//! * lazily, one [`TilePlan`] per requested tile count.
+//!
+//! Plans live in a per-rank [`PlanCache`] keyed by a stable FNV-1a hash
+//! of [`ChainSpec::sigs`]-equivalent structure plus the entry-validity
+//! class of the touched dats. The cache carries an explicit **layout
+//! epoch**: [`PlanCache::bump_epoch`] invalidates everything when
+//! ownership changes (repartitioning); a change in any touched dat's
+//! validity depth selects a different dirty class and therefore a
+//! different (or freshly built) plan. Hit/miss/invalidation counters
+//! land in the rank trace so tests can assert that repeat invocations
+//! do **zero** re-analysis.
+
+use op2_core::chain::{produced_validity, read_requirement};
+use op2_core::tiling::{build_tile_plan_raw, seed_blocks, TilePlan};
+use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain};
+use op2_partition::layout::RankLayout;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv_usize(h: &mut u64, v: usize) {
+    fnv_bytes(h, &v.to_le_bytes());
+}
+
+fn mode_code(mode: AccessMode) -> u8 {
+    match mode {
+        AccessMode::Read => 0,
+        AccessMode::Write => 1,
+        AccessMode::Rw => 2,
+        AccessMode::Inc => 3,
+    }
+}
+
+/// Stable hash of a chain's structure: loop names, iteration sets,
+/// argument access descriptors and halo extents, plus the execution
+/// mode. Identical across ranks and across process runs (no pointer or
+/// RandomState input), so it can key caches and cross-rank agreement.
+pub fn chain_signature(chain: &ChainSpec, relaxed: bool) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_bytes(&mut h, chain.name.as_bytes());
+    fnv_usize(&mut h, chain.loops.len());
+    for (spec, &ext) in chain.loops.iter().zip(&chain.halo_ext) {
+        fnv_bytes(&mut h, spec.name.as_bytes());
+        fnv_usize(&mut h, spec.set.idx());
+        fnv_usize(&mut h, ext);
+        for arg in &spec.args {
+            match arg {
+                Arg::Dat { dat, map, mode } => {
+                    fnv_bytes(&mut h, &[1u8, mode_code(*mode)]);
+                    fnv_usize(&mut h, dat.idx());
+                    match map {
+                        Some((m, i)) => {
+                            fnv_usize(&mut h, m.idx() + 1);
+                            fnv_usize(&mut h, *i as usize);
+                        }
+                        None => fnv_usize(&mut h, 0),
+                    }
+                }
+                Arg::Gbl { idx, mode } => {
+                    fnv_bytes(&mut h, &[2u8, mode_code(*mode)]);
+                    fnv_usize(&mut h, *idx as usize);
+                }
+            }
+        }
+    }
+    fnv_bytes(&mut h, &[u8::from(relaxed)]);
+    h
+}
+
+/// Dirty-state class of a chain at entry: a hash of the entry validity
+/// depths of every dat the chain touches (first-appearance order).
+/// Import depths and therefore the whole exchange layout are a function
+/// of these depths, so two invocations in the same class can share one
+/// plan verbatim.
+pub fn dirty_class(chain: &ChainSpec, valid: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut seen: Vec<DatId> = Vec::new();
+    for spec in &chain.loops {
+        for arg in &spec.args {
+            if let Arg::Dat { dat, .. } = arg {
+                if !seen.contains(dat) {
+                    seen.push(*dat);
+                    fnv_usize(&mut h, dat.idx());
+                    fnv_bytes(&mut h, &[valid[dat.idx()]]);
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Precomputed exchange layout with one neighbour: the pack index lists
+/// (sender side) and contiguous copy ranges (receiver side) of the
+/// grouped message, per import dat.
+#[derive(Debug, Clone)]
+pub struct NeighborPack {
+    /// The neighbour's rank.
+    pub rank: u32,
+    /// Per import dat (plan order): sender-local owned element indices,
+    /// flattened across all send segments within the import depth.
+    pub send: Vec<Vec<u32>>,
+    /// Per import dat: receiver-side `(elem_start, elem_len)` copy
+    /// ranges in local element units.
+    pub recv: Vec<Vec<(u32, u32)>>,
+    /// Outgoing grouped payload length in f64s.
+    pub send_f64s: usize,
+    /// Incoming grouped payload length in f64s.
+    pub recv_f64s: usize,
+}
+
+/// Everything the chain executors would otherwise recompute per
+/// invocation. Immutable once built; shared via `Arc` out of the cache.
+#[derive(Debug)]
+pub struct ChainPlan {
+    /// Structure hash (see [`chain_signature`]).
+    pub sig: u64,
+    /// Layout epoch the plan was built under.
+    pub epoch: u64,
+    /// Dirty-state class (see [`dirty_class`]).
+    pub dirty: u64,
+    /// Relaxed (paper-mode) analysis?
+    pub relaxed: bool,
+    /// Import depth `r` (max halo layers).
+    pub depth: usize,
+    /// Grouped-import plan: per dat, the depth to deliver at entry.
+    pub import: Vec<(DatId, u8)>,
+    /// Per-loop latency-hiding core depths.
+    pub core_depths: Vec<usize>,
+    /// Per-loop prewait core end (exclusive local index).
+    pub core_end: Vec<usize>,
+    /// Per-loop execute-region end (owned + rings ≤ extent).
+    pub exec_end: Vec<usize>,
+    /// Per-loop read requirements: (dat, required validity depth).
+    pub reqs: Vec<Vec<(DatId, u8)>>,
+    /// Per-loop produced validity: (dat, validity after the loop).
+    pub produces: Vec<Vec<(DatId, u8)>>,
+    /// Per-neighbour pack layout, index-aligned with
+    /// `layout.neighbors`.
+    pub packs: Vec<NeighborPack>,
+    /// Grouped messages this rank will send (non-empty payloads).
+    pub n_msgs: usize,
+    /// Total outgoing payload bytes.
+    pub send_bytes: usize,
+    /// Largest single outgoing message in bytes.
+    pub max_msg_bytes: usize,
+    /// Total incoming payload bytes (the staged-in volume).
+    pub recv_bytes: usize,
+    /// Bitmask of neighbour ranks receiving a message (`min(rank,127)`).
+    pub nbr_bits: u128,
+    /// Tile schedules by tile count, built lazily on first use.
+    tiles: Mutex<HashMap<usize, Arc<TilePlan>>>,
+}
+
+impl ChainPlan {
+    /// Run the full chain inspection for one rank: import depths, core
+    /// depths, execute ranges, validity bookkeeping and the grouped
+    /// per-neighbour message layout.
+    pub fn build(
+        layout: &RankLayout,
+        dom: &Domain,
+        valid: &[u8],
+        chain: &ChainSpec,
+        relaxed: bool,
+        epoch: u64,
+    ) -> ChainPlan {
+        let sig = chain_signature(chain, relaxed);
+        let dirty = dirty_class(chain, valid);
+        let depth = chain.max_halo_layers();
+        let sigs = chain.sigs();
+        let entry = |d: DatId| valid[d.idx()] as usize;
+        let import: Vec<(DatId, u8)> = if relaxed {
+            op2_core::chain::import_depths_relaxed(&sigs, &chain.halo_ext, &entry)
+        } else {
+            op2_core::chain::import_depths(&sigs, &chain.halo_ext, &entry)
+        }
+        .into_iter()
+        .map(|(d, t)| (d, t as u8))
+        .collect();
+
+        let core_depths = if relaxed {
+            vec![1usize; chain.len()]
+        } else {
+            op2_core::chain::core_depths(&sigs)
+        };
+        let core_end: Vec<usize> = sigs
+            .iter()
+            .zip(&core_depths)
+            .map(|(s, &cd)| layout.sets[s.set.idx()].core_end(cd - 1))
+            .collect();
+        let exec_end: Vec<usize> = sigs
+            .iter()
+            .zip(&chain.halo_ext)
+            .map(|(s, &e)| layout.sets[s.set.idx()].exec_end(e))
+            .collect();
+
+        let mut reqs = Vec::with_capacity(chain.len());
+        let mut produces = Vec::with_capacity(chain.len());
+        for (sig_l, &ext) in sigs.iter().zip(&chain.halo_ext) {
+            let mut r = Vec::new();
+            let mut p = Vec::new();
+            for d in sig_l.dats() {
+                if let Some((mode, indirect)) = sig_l.access_of(d) {
+                    r.push((d, read_requirement(mode, indirect, ext) as u8));
+                    if let Some(v) = produced_validity(mode, indirect, ext) {
+                        p.push((d, v as u8));
+                    }
+                }
+            }
+            reqs.push(r);
+            produces.push(p);
+        }
+
+        let mut packs = Vec::with_capacity(layout.neighbors.len());
+        let mut n_msgs = 0usize;
+        let mut send_bytes = 0usize;
+        let mut max_msg_bytes = 0usize;
+        let mut recv_bytes = 0usize;
+        let mut nbr_bits = 0u128;
+        for nbr in &layout.neighbors {
+            let mut send = Vec::with_capacity(import.len());
+            let mut recv = Vec::with_capacity(import.len());
+            let mut s64 = 0usize;
+            let mut r64 = 0usize;
+            for &(dat, dep) in &import {
+                let dd = dom.dat(dat);
+                let mut elems: Vec<u32> = Vec::new();
+                for seg in &nbr.send {
+                    if seg.set == dd.set && seg.level <= dep {
+                        elems.extend_from_slice(&seg.elems);
+                    }
+                }
+                s64 += elems.len() * dd.dim;
+                send.push(elems);
+                let mut ranges: Vec<(u32, u32)> = Vec::new();
+                for seg in &nbr.recv {
+                    if seg.set == dd.set && seg.level <= dep {
+                        ranges.push((seg.start, seg.len));
+                        r64 += seg.len as usize * dd.dim;
+                    }
+                }
+                recv.push(ranges);
+            }
+            if s64 > 0 {
+                n_msgs += 1;
+                send_bytes += s64 * 8;
+                max_msg_bytes = max_msg_bytes.max(s64 * 8);
+                nbr_bits |= 1u128 << nbr.rank.min(127);
+            }
+            recv_bytes += r64 * 8;
+            packs.push(NeighborPack {
+                rank: nbr.rank,
+                send,
+                recv,
+                send_f64s: s64,
+                recv_f64s: r64,
+            });
+        }
+
+        ChainPlan {
+            sig,
+            epoch,
+            dirty,
+            relaxed,
+            depth,
+            import,
+            core_depths,
+            core_end,
+            exec_end,
+            reqs,
+            produces,
+            packs,
+            n_msgs,
+            send_bytes,
+            max_msg_bytes,
+            recv_bytes,
+            nbr_bits,
+            tiles: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Grouped message size `m^r` of Eq 4 on this rank: the largest
+    /// incoming grouped payload over neighbours, in bytes.
+    pub fn m_r_bytes(&self) -> usize {
+        self.packs
+            .iter()
+            .map(|p| p.recv_f64s * 8)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The tile schedule for `n_tiles` intra-rank tiles, built on first
+    /// request and cached inside the plan. Returns `(plan, built)` —
+    /// `built` is true when this call ran the tiling inspection (the
+    /// caller records it as a tile-plan miss).
+    pub fn tile_plan(
+        &self,
+        layout: &RankLayout,
+        chain: &ChainSpec,
+        n_tiles: usize,
+    ) -> (Arc<TilePlan>, bool) {
+        let mut tiles = self.tiles.lock().expect("tile cache poisoned");
+        if let Some(tp) = tiles.get(&n_tiles) {
+            return (Arc::clone(tp), false);
+        }
+        let sigs = chain.sigs();
+        let set_sizes: Vec<usize> = layout.sets.iter().map(|s| s.n_local()).collect();
+        let seed = seed_blocks(self.exec_end[0], n_tiles);
+        let tp = Arc::new(build_tile_plan_raw(
+            &set_sizes,
+            &layout.maps,
+            &sigs,
+            &self.exec_end,
+            &seed,
+        ));
+        tiles.insert(n_tiles, Arc::clone(&tp));
+        (tp, true)
+    }
+}
+
+/// Plan-cache activity counters, copied into the rank trace by the
+/// harness (alongside the transport counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanStats {
+    /// Chain invocations served from the cache (zero re-analysis).
+    pub hits: u64,
+    /// Chain invocations that built a fresh plan.
+    pub misses: u64,
+    /// Plans discarded by epoch bumps (layout/ownership changes).
+    pub invalidations: u64,
+    /// Tiled invocations that reused a cached tile schedule.
+    pub tile_hits: u64,
+    /// Tiled invocations that ran the tiling inspection.
+    pub tile_misses: u64,
+}
+
+/// Per-rank plan cache: `(signature, dirty class) → Arc<ChainPlan>`,
+/// all entries belonging to the current layout epoch.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    epoch: u64,
+    map: HashMap<(u64, u64), Arc<ChainPlan>>,
+    /// Activity counters (see [`PlanStats`]).
+    pub stats: PlanStats,
+}
+
+impl PlanCache {
+    /// Empty cache at epoch 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current layout epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Cached plan count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Invalidate every cached plan: the partition layout (ownership,
+    /// halo structure) changed, so all exchange layouts are stale. Call
+    /// after repartitioning / layout rebuilds.
+    pub fn bump_epoch(&mut self) {
+        self.epoch += 1;
+        self.stats.invalidations += self.map.len() as u64;
+        self.map.clear();
+    }
+}
+
+/// Look up (or build and cache) the plan for `chain` given the rank's
+/// current validity state. The cache hit path does zero halo-layer,
+/// import-depth or exchange-layout recomputation.
+pub fn plan_for(
+    env: &mut crate::env::RankEnv<'_>,
+    chain: &ChainSpec,
+    relaxed: bool,
+) -> Arc<ChainPlan> {
+    let sig = chain_signature(chain, relaxed);
+    let dirty = dirty_class(chain, &env.valid);
+    if let Some(p) = env.plans.map.get(&(sig, dirty)) {
+        env.plans.stats.hits += 1;
+        return Arc::clone(p);
+    }
+    env.plans.stats.misses += 1;
+    let plan = Arc::new(ChainPlan::build(
+        env.layout,
+        env.dom,
+        &env.valid,
+        chain,
+        relaxed,
+        env.plans.epoch,
+    ));
+    env.plans.map.insert((sig, dirty), Arc::clone(&plan));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommWorld;
+    use crate::env::RankEnv;
+    use op2_core::LoopSpec;
+    use op2_mesh::Quad2D;
+    use op2_partition::{build_layouts, derive_ownership, rcb_partition, RankLayout};
+
+    fn noop(_: &op2_core::Args<'_>) {}
+
+    struct Fix {
+        mesh: Quad2D,
+        layouts: Vec<RankLayout>,
+        chain: ChainSpec,
+    }
+
+    fn fix() -> Fix {
+        let mut mesh = Quad2D::generate(6, 6);
+        let a = mesh.dom.decl_dat_zeros("a", mesh.nodes, 1);
+        let b = mesh.dom.decl_dat_zeros("b", mesh.nodes, 1);
+        let produce = LoopSpec::new(
+            "produce",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            noop,
+        );
+        let consume = LoopSpec::new(
+            "consume",
+            mesh.edges,
+            vec![
+                Arg::dat_indirect(a, mesh.e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(a, mesh.e2n, 1, AccessMode::Read),
+                Arg::dat_indirect(b, mesh.e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(b, mesh.e2n, 1, AccessMode::Inc),
+            ],
+            noop,
+        );
+        let chain = ChainSpec::new("pc", vec![produce, consume], None, &[]).unwrap();
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 1);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 1);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        Fix {
+            mesh,
+            layouts,
+            chain,
+        }
+    }
+
+    /// The structure hash is stable across clones and sensitive to the
+    /// execution mode and halo extents.
+    #[test]
+    fn signature_stable_and_discriminating() {
+        let f = fix();
+        assert_eq!(
+            chain_signature(&f.chain, false),
+            chain_signature(&f.chain.clone(), false)
+        );
+        assert_ne!(
+            chain_signature(&f.chain, false),
+            chain_signature(&f.chain, true)
+        );
+        let mut widened = f.chain.clone();
+        widened.halo_ext[1] += 1;
+        assert_ne!(
+            chain_signature(&f.chain, false),
+            chain_signature(&widened, false)
+        );
+    }
+
+    /// Repeat lookups in the same dirty class hit; a validity change
+    /// selects a different class (miss); an epoch bump clears the cache.
+    #[test]
+    fn cache_hits_and_invalidation() {
+        let f = fix();
+        let comm = CommWorld::new(1).into_ranks().remove(0);
+        let mut env = RankEnv::new(&f.layouts[0], &f.mesh.dom, comm);
+
+        let p1 = plan_for(&mut env, &f.chain, false);
+        assert_eq!(env.plans.stats, PlanStats { misses: 1, ..Default::default() });
+        let p2 = plan_for(&mut env, &f.chain, false);
+        assert!(Arc::ptr_eq(&p1, &p2), "same class must share the plan");
+        assert_eq!(env.plans.stats.hits, 1);
+
+        // Dirty-bit class change: dat `a` becomes fully dirty.
+        let a = f.mesh.dom.dat_by_name("a").unwrap();
+        env.valid[a.idx()] = 0;
+        let p3 = plan_for(&mut env, &f.chain, false);
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(env.plans.stats.misses, 2);
+        assert_eq!(env.plans.len(), 2);
+
+        // Layout-epoch bump: everything out.
+        env.plans.bump_epoch();
+        assert_eq!(env.plans.stats.invalidations, 2);
+        assert!(env.plans.is_empty());
+        let _ = plan_for(&mut env, &f.chain, false);
+        assert_eq!(env.plans.stats.misses, 3);
+        assert_eq!(env.plans.epoch(), 1);
+    }
+
+    /// The built plan matches what the executors would derive inline.
+    #[test]
+    fn plan_matches_inline_analysis() {
+        let f = fix();
+        let layout = &f.layouts[0];
+        let valid = vec![0u8; f.mesh.dom.n_dats()];
+        let plan = ChainPlan::build(layout, &f.mesh.dom, &valid, &f.chain, false, 0);
+        assert_eq!(plan.depth, f.chain.max_halo_layers());
+        let sigs = f.chain.sigs();
+        assert_eq!(plan.core_depths, op2_core::chain::core_depths(&sigs));
+        let expect: Vec<(DatId, u8)> =
+            op2_core::chain::import_depths(&sigs, &f.chain.halo_ext, &|_| 0)
+                .into_iter()
+                .map(|(d, t)| (d, t as u8))
+                .collect();
+        assert_eq!(plan.import, expect);
+        for (pos, sig_l) in sigs.iter().enumerate() {
+            let ext = f.chain.halo_ext[pos];
+            assert_eq!(
+                plan.exec_end[pos],
+                layout.sets[sig_l.set.idx()].exec_end(ext)
+            );
+        }
+    }
+
+    /// Tile schedules are built once per tile count and reused.
+    #[test]
+    fn tile_plans_cached_per_count() {
+        let f = fix();
+        let layout = &f.layouts[0];
+        let valid = vec![0u8; f.mesh.dom.n_dats()];
+        let plan = ChainPlan::build(layout, &f.mesh.dom, &valid, &f.chain, false, 0);
+        let (t1, built1) = plan.tile_plan(layout, &f.chain, 4);
+        assert!(built1);
+        let (t2, built2) = plan.tile_plan(layout, &f.chain, 4);
+        assert!(!built2);
+        assert!(Arc::ptr_eq(&t1, &t2));
+        let (_, built3) = plan.tile_plan(layout, &f.chain, 2);
+        assert!(built3, "a different tile count is a fresh schedule");
+    }
+}

@@ -18,15 +18,35 @@ pub struct ExchangeRec {
     pub n_neighbors: usize,
     /// Elements packed (sender side) — proxy for packing cost `c`.
     pub packed_elems: usize,
+    /// Bitmask of neighbour ranks actually sent to, indexed by
+    /// `min(rank, 127)`. Lets [`ExchangeRec::add`] count *distinct*
+    /// messaged neighbours across loops with alternating stencils
+    /// instead of taking a lossy max. Beyond 128 ranks the top bit
+    /// saturates and the count degrades to the documented
+    /// max-approximation (exact for every configuration this repo
+    /// reproduces — the paper's Tables 2/5 use ≤ 128 ranks per trace).
+    pub nbr_bits: u128,
 }
 
 impl ExchangeRec {
-    /// Accumulate another record.
+    /// Distinct neighbour ranks this record actually messaged.
+    pub fn distinct_neighbors(&self) -> usize {
+        self.nbr_bits.count_ones() as usize
+    }
+
+    /// Accumulate another record. `n_neighbors` becomes the larger of
+    /// the per-record maxima and the union's distinct messaged-peer
+    /// count — chains alternating between stencils with disjoint
+    /// neighbour sets are no longer under-reported.
     pub fn add(&mut self, other: &ExchangeRec) {
         self.n_msgs += other.n_msgs;
         self.bytes += other.bytes;
         self.max_msg_bytes = self.max_msg_bytes.max(other.max_msg_bytes);
-        self.n_neighbors = self.n_neighbors.max(other.n_neighbors);
+        self.nbr_bits |= other.nbr_bits;
+        self.n_neighbors = self
+            .n_neighbors
+            .max(other.n_neighbors)
+            .max(self.distinct_neighbors());
         self.packed_elems += other.packed_elems;
     }
 }
@@ -77,6 +97,56 @@ impl ChainRec {
     }
 }
 
+/// One adaptive-dispatch decision made by [`crate::tuner::Tuner`].
+///
+/// The decision inputs are rank-agreed (allreduce-max) and the
+/// predictions come from §3.2's closed-form equations, so `backend`,
+/// `class` and the predicted times are identical on every rank.
+/// `t_measured_ns` is this rank's wall clock for the calibration run —
+/// the predicted-vs-measured comparison — and is the one field that
+/// varies between runs; loop/chain trace records never carry wall-clock
+/// values, keeping the replay-determinism tests meaningful.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TunerRec {
+    /// Chain name.
+    pub chain: String,
+    /// Backend the tuner dispatched to.
+    pub backend: crate::tuner::Backend,
+    /// Model classification (Table 2's Reducing/GroupingOnly/Increasing).
+    pub class: ClassRec,
+    /// Predicted standard (Alg 1) chain time, nanoseconds.
+    pub t_op2_pred_ns: u64,
+    /// Predicted CA (Alg 2) chain time, nanoseconds.
+    pub t_ca_pred_ns: u64,
+    /// Measured wall clock of the flattened calibration run, nanoseconds.
+    pub t_measured_ns: u64,
+    /// Predicted gain `(t_op2 - t_ca)/t_op2`, in thousandths of a percent
+    /// (milli-percent) so the record stays integer and `Eq`.
+    pub gain_milli_pct: i64,
+}
+
+/// Trace-friendly mirror of [`op2_model::ChainClass`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ClassRec {
+    /// CA reduces communication volume.
+    #[default]
+    Reducing,
+    /// CA only groups messages; volume roughly unchanged.
+    GroupingOnly,
+    /// CA increases communication volume.
+    Increasing,
+}
+
+impl From<op2_model::ChainClass> for ClassRec {
+    fn from(c: op2_model::ChainClass) -> Self {
+        match c {
+            op2_model::ChainClass::CommunicationReducing => ClassRec::Reducing,
+            op2_model::ChainClass::GroupingOnly => ClassRec::GroupingOnly,
+            op2_model::ChainClass::CommunicationIncreasing => ClassRec::Increasing,
+        }
+    }
+}
+
 /// Everything one rank recorded during a program.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RankTrace {
@@ -91,6 +161,13 @@ pub struct RankTrace {
     /// a healthy network; the harness copies them out of the comm layer
     /// when the rank finishes — including when it fails.
     pub comm: crate::comm::CommCounters,
+    /// Plan-cache counters (hits, misses, invalidations, tile plans).
+    /// The harness copies them out of [`crate::plan::PlanCache`] when the
+    /// rank finishes.
+    pub plan: crate::plan::PlanStats,
+    /// Adaptive-dispatch decisions, in program order. Empty unless the
+    /// program ran chains through [`crate::tuner::Tuner`].
+    pub tuner: Vec<TunerRec>,
 }
 
 impl RankTrace {
@@ -120,6 +197,7 @@ mod tests {
             max_msg_bytes: 60,
             n_neighbors: 2,
             packed_elems: 10,
+            nbr_bits: 0b011,
         };
         let b = ExchangeRec {
             n_msgs: 1,
@@ -127,6 +205,7 @@ mod tests {
             max_msg_bytes: 80,
             n_neighbors: 1,
             packed_elems: 5,
+            nbr_bits: 0b010,
         };
         a.add(&b);
         assert_eq!(a.n_msgs, 3);
@@ -134,6 +213,29 @@ mod tests {
         assert_eq!(a.max_msg_bytes, 80);
         assert_eq!(a.n_neighbors, 2);
         assert_eq!(a.packed_elems, 15);
+        assert_eq!(a.distinct_neighbors(), 2);
+    }
+
+    #[test]
+    fn distinct_neighbors_across_alternating_stencils() {
+        // Two loops in a chain, each messaging 2 peers — but *different*
+        // peers (disjoint stencils). The old max-based accumulation
+        // reported 2 neighbours; the union of messaged peers is 4.
+        let mut a = ExchangeRec {
+            n_msgs: 2,
+            n_neighbors: 2,
+            nbr_bits: 0b0011, // ranks 0, 1
+            ..Default::default()
+        };
+        let b = ExchangeRec {
+            n_msgs: 2,
+            n_neighbors: 2,
+            nbr_bits: 0b1100, // ranks 2, 3
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.n_neighbors, 4);
+        assert_eq!(a.distinct_neighbors(), 4);
     }
 
     #[test]

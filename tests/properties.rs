@@ -345,6 +345,117 @@ proptest! {
         }
     }
 
+    /// The planned chain executor is a pure replay: on random 2-D quad
+    /// and 3-D tet meshes, running a produce/consume chain through the
+    /// cached-plan path yields bitwise-identical dat data AND identical
+    /// chain trace records (grouped-message layout included) to the
+    /// unplanned inline-analysis executor — and repeat invocations are
+    /// served from the plan cache instead of re-inspecting.
+    #[test]
+    fn planned_chain_replay_is_bitwise_equal(
+        nx in 4usize..8,
+        ny in 4usize..8,
+        nz in 2usize..5,
+        nparts in 2usize..5,
+        tet in proptest::bool::ANY,
+    ) {
+        use op2::core::{Args, ChainSpec, Domain, LoopSpec};
+        use op2::mesh::Tet3D;
+        use op2::runtime::exec::{run_chain, run_chain_unplanned};
+        use op2::runtime::run_distributed;
+
+        fn produce(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) + 1.0);
+            args.inc(3, 0, args.get(1, 0) + 1.0);
+        }
+        fn consume(args: &Args<'_>) {
+            args.inc(2, 0, args.get(0, 0) - args.get(1, 0));
+            args.inc(3, 0, args.get(1, 0) * 0.5);
+        }
+
+        let (mut dom, nodes, edges, e2n, coords, cdim) = if tet {
+            let m = Tet3D::generate(nx.min(6), ny.min(6), nz);
+            (m.dom, m.nodes, m.edges, m.e2n, m.coords, 3)
+        } else {
+            let m = Quad2D::generate(nx, ny);
+            (m.dom, m.nodes, m.edges, m.e2n, m.coords, 2)
+        };
+        let n = dom.set(nodes).size;
+        let s0: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 23) as f64).collect();
+        let d0 = dom.decl_dat("d0", nodes, 1, s0);
+        let d1 = dom.decl_dat_zeros("d1", nodes, 1);
+        let chain = ChainSpec::new(
+            "pc",
+            vec![
+                LoopSpec::new(
+                    "produce",
+                    edges,
+                    vec![
+                        Arg::dat_indirect(d0, e2n, 0, AccessMode::Read),
+                        Arg::dat_indirect(d0, e2n, 1, AccessMode::Read),
+                        Arg::dat_indirect(d1, e2n, 0, AccessMode::Inc),
+                        Arg::dat_indirect(d1, e2n, 1, AccessMode::Inc),
+                    ],
+                    produce,
+                ),
+                LoopSpec::new(
+                    "consume",
+                    edges,
+                    vec![
+                        Arg::dat_indirect(d1, e2n, 0, AccessMode::Read),
+                        Arg::dat_indirect(d1, e2n, 1, AccessMode::Read),
+                        Arg::dat_indirect(d0, e2n, 0, AccessMode::Inc),
+                        Arg::dat_indirect(d0, e2n, 1, AccessMode::Inc),
+                    ],
+                    consume,
+                ),
+            ],
+            None,
+            &[],
+        )
+        .unwrap();
+
+        let run = |dom: &mut Domain, planned: bool| {
+            let base = rcb_partition(&dom.dat(coords).data, cdim, nparts);
+            let own = derive_ownership(dom, nodes, base, nparts);
+            let layouts = build_layouts(dom, &own, 2);
+            let out = run_distributed(dom, &layouts, |env| {
+                for _ in 0..3 {
+                    if planned {
+                        run_chain(env, &chain)?;
+                    } else {
+                        run_chain_unplanned(env, &chain)?;
+                    }
+                }
+                Ok(())
+            });
+            assert!(out.all_ok(), "failures: {:?}", out.failures());
+            let data: Vec<Vec<f64>> =
+                [d0, d1].iter().map(|&d| dom.dat(d).data.clone()).collect();
+            (out.traces, data)
+        };
+
+        let mut dom_a = dom.clone();
+        let (traces_planned, data_planned) = run(&mut dom_a, true);
+        let (traces_unplanned, data_unplanned) = run(&mut dom, false);
+
+        // Bitwise-equal results.
+        prop_assert_eq!(&data_planned, &data_unplanned);
+        // Identical chain records: same grouped exchange (message
+        // counts, bytes, neighbour sets), same core/halo splits.
+        for (tp, tu) in traces_planned.iter().zip(&traces_unplanned) {
+            prop_assert_eq!(&tp.chains, &tu.chains);
+            // 3 invocations over at most 2 dirty-state classes: the
+            // third is always served from the cache.
+            prop_assert!(
+                tp.plan.hits >= 1 && tp.plan.misses <= 2,
+                "rank {}: {:?}", tp.rank, tp.plan
+            );
+            // The unplanned path never touches the cache.
+            prop_assert_eq!(tu.plan.hits + tu.plan.misses, 0);
+        }
+    }
+
     /// Fault injection is deterministic: replaying the same seeded
     /// [`FaultPlan`] over the same program yields bit-identical traces —
     /// same loop/chain records, same recovery counters per rank — and
