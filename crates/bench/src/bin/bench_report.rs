@@ -8,8 +8,10 @@
 //! scraping human-readable tables.
 //!
 //! Flags: the common `--scale`, plus `--out <path>` (default
-//! `BENCH_runtime.json` in the working directory) and `--iters N`
-//! (default 3 — enough for calibration *and* cached-plan repeats).
+//! `BENCH_runtime.json` in the working directory), `--iters N`
+//! (default 3 — enough for calibration *and* cached-plan repeats) and
+//! `--threads N` (colored-threaded execution per rank; equivalent to
+//! setting `OP2_THREADS=N`, and reported per rank under `threads`).
 
 use mg_cfd::{run_auto, MgCfd, MgCfdParams};
 use op2_bench::json::{trace_summary, Json};
@@ -42,8 +44,15 @@ fn main() {
                 i += 1;
                 ranks = args.get(i).expect("--ranks needs a count").parse().unwrap();
             }
+            "--threads" => {
+                i += 1;
+                let n = args.get(i).expect("--threads needs a count");
+                // The rank envs read OP2_THREADS at spawn; routing the
+                // flag through the env var keeps one source of truth.
+                std::env::set_var("OP2_THREADS", n);
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --out path  --iters N  --size N  --ranks N");
+                eprintln!("flags: --out path  --iters N  --size N  --ranks N  --threads N");
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}`"),
@@ -75,6 +84,14 @@ fn main() {
         ),
         ("iters", Json::U64(iters as u64)),
         ("ranks", Json::U64(ranks as u64)),
+        (
+            "threads",
+            Json::U64(op2_runtime::Threading::from_env().n_threads as u64),
+        ),
+        (
+            "block_size",
+            Json::U64(op2_runtime::Threading::from_env().block_size as u64),
+        ),
         ("rms", Json::F64(out.rms)),
         (
             "per_rank",

@@ -160,9 +160,34 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("invalidations", Json::U64(t.plan.invalidations)),
                 ("tile_hits", Json::U64(t.plan.tile_hits)),
                 ("tile_misses", Json::U64(t.plan.tile_misses)),
+                ("color_hits", Json::U64(t.plan.color_hits)),
+                ("color_misses", Json::U64(t.plan.color_misses)),
             ]),
         ),
+        ("threads", threads_json(t)),
         ("tuner", Json::Arr(t.tuner.iter().map(tuner_json).collect())),
+    ])
+}
+
+/// Aggregate of the rank's colored-threaded executions: how many loop
+/// ranges ran threaded, with how much parallel slack (blocks, colors)
+/// and how much wall time inside the colored sweeps.
+fn threads_json(t: &RankTrace) -> Json {
+    let execs = t.threads.len() as u64;
+    let n_threads = t.threads.iter().map(|r| r.n_threads as u64).max().unwrap_or(1);
+    let blocks: u64 = t.threads.iter().map(|r| r.n_blocks as u64).sum();
+    let max_colors = t.threads.iter().map(|r| r.n_colors as u64).max().unwrap_or(0);
+    let color_ns: u64 = t
+        .threads
+        .iter()
+        .flat_map(|r| r.color_ns.iter().copied())
+        .sum();
+    Json::obj(vec![
+        ("execs", Json::U64(execs)),
+        ("n_threads", Json::U64(n_threads)),
+        ("blocks", Json::U64(blocks)),
+        ("max_colors", Json::U64(max_colors)),
+        ("color_ns", Json::U64(color_ns)),
     ])
 }
 
@@ -196,6 +221,15 @@ mod tests {
         t.comm.retries = 2;
         t.plan.hits = 5;
         t.plan.misses = 1;
+        t.plan.color_hits = 4;
+        t.threads.push(op2_runtime::ThreadRec {
+            name: "edge_flux".into(),
+            n_threads: 4,
+            n_blocks: 9,
+            n_colors: 2,
+            color_ns: vec![10, 20],
+            ..Default::default()
+        });
         t.tuner.push(TunerRec {
             chain: "synthetic".into(),
             gain_milli_pct: 1250,
@@ -207,5 +241,9 @@ mod tests {
         assert!(s.contains("\"hits\": 5"));
         assert!(s.contains("\"chain\": \"synthetic\""));
         assert!(s.contains("\"gain_milli_pct\": 1250"));
+        assert!(s.contains("\"color_hits\": 4"));
+        assert!(s.contains("\"execs\": 1"));
+        assert!(s.contains("\"max_colors\": 2"));
+        assert!(s.contains("\"color_ns\": 30"));
     }
 }

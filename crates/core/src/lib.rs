@@ -81,6 +81,7 @@ pub mod domain;
 pub mod error;
 pub mod kernel;
 pub mod loops;
+pub mod par;
 pub mod seq;
 pub mod tiling;
 
@@ -92,4 +93,8 @@ pub use domain::{DatData, DatId, Domain, MapData, MapId, Set, SetId};
 pub use error::{CoreError, Result};
 pub use kernel::{Args, KernelFn};
 pub use loops::{LoopSig, LoopSpec};
+pub use par::{
+    color_blocks, color_blocks_raw, conflict_accesses, is_valid_block_coloring,
+    is_valid_block_coloring_raw, run_loop_blocked, BlockColoring, ConflictAccess,
+};
 pub use tiling::{build_tile_plan, run_chain_tiled, seed_blocks, TilePlan};

@@ -6,7 +6,9 @@ use op2_core::seq;
 use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_loop};
-use op2_runtime::{run_distributed, RankTrace, Tuner, TunerMode};
+use op2_runtime::{
+    run_distributed, run_distributed_with, RankTrace, RunOptions, Threading, Tuner, TunerMode,
+};
 
 /// Result of a driver run.
 #[derive(Debug)]
@@ -63,6 +65,7 @@ fn run_dist(
     ca: bool,
     mode: ExtentMode,
     stages: usize,
+    opts: &RunOptions,
 ) -> RunOutcome {
     let setup = app.setup(ca, mode);
     let iteration = app.rk_iteration(ca, mode, stages);
@@ -87,7 +90,7 @@ fn run_dist(
         }
         Ok(())
     };
-    let out = run_distributed(&mut app.mesh.dom, layouts, |env| {
+    let out = run_distributed_with(&mut app.mesh.dom, layouts, opts, |env| {
         exec_steps(env, &setup)?;
         let mut norm = 0.0;
         for _ in 0..iters {
@@ -107,7 +110,15 @@ fn run_dist(
 
 /// Distributed, standard OP2 back-end (every chain flattened).
 pub fn run_op2(app: &mut Hydra, layouts: &[RankLayout], iters: usize) -> RunOutcome {
-    run_dist(app, layouts, iters, false, ExtentMode::Safe, 1)
+    run_dist(
+        app,
+        layouts,
+        iters,
+        false,
+        ExtentMode::Safe,
+        1,
+        &RunOptions::default(),
+    )
 }
 
 /// Distributed, CA back-end with the chosen extent mode.
@@ -117,7 +128,36 @@ pub fn run_ca(
     iters: usize,
     mode: ExtentMode,
 ) -> RunOutcome {
-    run_dist(app, layouts, iters, true, mode, 1)
+    run_dist(
+        app,
+        layouts,
+        iters,
+        true,
+        mode,
+        1,
+        &RunOptions::default(),
+    )
+}
+
+/// [`run_ca`] with `threading.n_threads` colored pool threads per rank.
+/// Bitwise identical to [`run_ca`] by the order-preserving block
+/// coloring contract (see `op2_core::par`).
+pub fn run_ca_threaded(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    threading: Threading,
+) -> RunOutcome {
+    run_dist(
+        app,
+        layouts,
+        iters,
+        true,
+        mode,
+        1,
+        &RunOptions::default().threading(threading),
+    )
 }
 
 /// [`run_op2`] with `stages` Runge–Kutta stages per iteration (Hydra's
@@ -128,7 +168,15 @@ pub fn run_op2_staged(
     iters: usize,
     stages: usize,
 ) -> RunOutcome {
-    run_dist(app, layouts, iters, false, ExtentMode::Safe, stages)
+    run_dist(
+        app,
+        layouts,
+        iters,
+        false,
+        ExtentMode::Safe,
+        stages,
+        &RunOptions::default(),
+    )
 }
 
 /// [`run_ca`] with `stages` Runge–Kutta stages per iteration.
@@ -139,7 +187,7 @@ pub fn run_ca_staged(
     mode: ExtentMode,
     stages: usize,
 ) -> RunOutcome {
-    run_dist(app, layouts, iters, true, mode, stages)
+    run_dist(app, layouts, iters, true, mode, stages, &RunOptions::default())
 }
 
 /// Distributed, **adaptive** back-end: strict chains go through a
@@ -373,6 +421,52 @@ mod tests {
                 t.plan
             );
         }
+    }
+
+    /// Threaded safe-mode CA is **bitwise identical** to single-threaded
+    /// CA — the order-preserving block coloring makes thread count
+    /// invisible in the results, even through Hydra's relaxed chains
+    /// (which run sequentially inside the tiled executor) and strict
+    /// chains (which run colored).
+    #[test]
+    fn threaded_ca_bitwise_equals_single_threaded() {
+        let params = HydraParams::small(7);
+        let iters = 2;
+
+        let mut ref_app = Hydra::new(params);
+        let l0 = layouts_for(&ref_app, 4, ref_app.required_depth(ExtentMode::Safe));
+        let reference = run_ca(&mut ref_app, &l0, iters, ExtentMode::Safe);
+
+        let mut app = Hydra::new(params);
+        let l = layouts_for(&app, 4, app.required_depth(ExtentMode::Safe));
+        let threading = Threading {
+            n_threads: 4,
+            block_size: 16,
+        };
+        let out = run_ca_threaded(&mut app, &l, iters, ExtentMode::Safe, threading);
+
+        assert_eq!(
+            out.norm.to_bits(),
+            reference.norm.to_bits(),
+            "threaded norm diverged"
+        );
+        for dat in [app.qp, app.qo, app.vres, app.jac] {
+            let name = &app.mesh.dom.dat(dat).name;
+            let got: Vec<u64> = app.mesh.dom.dat(dat).data.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u64> = ref_app
+                .mesh
+                .dom
+                .dat(dat)
+                .data
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(got, want, "threaded run diverged on dat `{name}`");
+        }
+        assert!(
+            out.traces.iter().any(|t| !t.threads.is_empty()),
+            "no threaded executions recorded"
+        );
     }
 
     /// Per chain, CA sends fewer messages than the flattened baseline

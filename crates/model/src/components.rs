@@ -205,6 +205,28 @@ impl ChainComponents {
             (ca - op2) / op2 * 100.0
         }
     }
+
+    /// These components with every loop's `g` replaced by the effective
+    /// `threads`-way cost ([`crate::profit::threaded_g`]), each loop
+    /// amortising `n_colors` per-color barriers over its own iteration
+    /// count. Communication terms are untouched — threading shrinks only
+    /// the compute side of Eqs 1–3.
+    pub fn with_threads(
+        &self,
+        threads: usize,
+        n_colors: usize,
+        color_sync_s: f64,
+    ) -> ChainComponents {
+        let mut out = self.clone();
+        for l in &mut out.op2_loops {
+            let iters = l.s_core + l.s_halo;
+            l.g = crate::profit::threaded_g(l.g, threads, n_colors, color_sync_s, iters);
+        }
+        for (g, core, halo) in &mut out.ca.loops {
+            *g = crate::profit::threaded_g(*g, threads, n_colors, color_sync_s, *core + *halo);
+        }
+        out
+    }
 }
 
 /// Combine a chain shape with measured halo statistics, taking the

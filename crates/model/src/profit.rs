@@ -68,6 +68,44 @@ pub fn classify(mach: &Machine, comp: &ChainComponents) -> Profitability {
     }
 }
 
+/// Default per-color synchronisation cost of the threaded executor
+/// (seconds): one pool barrier — dispatch, cursor drain, latch — per
+/// color. Calibrated to the in-process `std::thread` pool; real MPI+X
+/// runs would measure it.
+pub const COLOR_SYNC_S: f64 = 5e-6;
+
+/// Effective per-iteration cost with `threads`-way colored execution:
+/// `g/t` for the compute (perfect intra-color scaling, the model's
+/// idealisation) plus the coloring overhead amortised over the loop —
+/// `n_colors` pool barriers of `color_sync_s` spread across `iters`
+/// iterations. With 1 thread or no iterations this is `g` unchanged.
+pub fn threaded_g(
+    g: f64,
+    threads: usize,
+    n_colors: usize,
+    color_sync_s: f64,
+    iters: usize,
+) -> f64 {
+    if threads <= 1 || iters == 0 {
+        return g;
+    }
+    g / threads as f64 + n_colors as f64 * color_sync_s / iters as f64
+}
+
+/// [`classify`] with every loop's `g` replaced by its `threads`-way
+/// [`threaded_g`]: compute shrinks, communication terms are untouched —
+/// so threading *raises* the relative weight of communication, which is
+/// exactly why CA becomes profitable earlier on threaded ranks.
+pub fn classify_threaded(
+    mach: &Machine,
+    comp: &ChainComponents,
+    threads: usize,
+    n_colors: usize,
+    color_sync_s: f64,
+) -> Profitability {
+    classify(mach, &comp.with_threads(threads, n_colors, color_sync_s))
+}
+
 /// The paper's narrative for a class on a machine kind, for reports.
 pub fn narrative(class: ChainClass, kind: MachineKind) -> &'static str {
     match (class, kind) {

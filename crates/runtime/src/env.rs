@@ -31,10 +31,14 @@
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
 use crate::plan::{ChainPlan, PlanCache};
-use crate::trace::{ExchangeRec, RankTrace};
-use op2_core::{AccessMode, Arg, Args, DatId, Domain, LoopSpec};
+use crate::threads::{shared_pool, ThreadCtx, Threading};
+use crate::trace::{ExchangeRec, RankTrace, ThreadRec};
+use op2_core::par::{color_blocks_raw, conflict_accesses, BlockColoring};
+use op2_core::{AccessMode, Arg, Args, DatId, Domain, KernelFn, LoopSpec};
 use op2_core::kernel::ArgSlot;
 use op2_partition::layout::{RankLayout, NONLOCAL};
+use std::sync::Arc;
+use std::time::Instant;
 
 enum ExecIters<'a> {
     Range(usize, usize),
@@ -62,6 +66,10 @@ pub struct RankEnv<'a> {
     pub plans: PlanCache,
     /// Monotone tag sequence (identical across ranks by construction).
     pub tag_seq: u64,
+    /// Intra-rank threading: configuration plus the standalone-loop
+    /// block-coloring cache (chain loops cache theirs in the
+    /// [`ChainPlan`]).
+    pub threads: ThreadCtx,
     /// Boundaries crossed so far, per [`BoundaryKind`] — the coordinates
     /// fault plans name crash/stall points by.
     boundaries: [u64; 3],
@@ -88,6 +96,7 @@ impl<'a> RankEnv<'a> {
             },
             plans: PlanCache::new(),
             tag_seq: 0,
+            threads: ThreadCtx::new(Threading::default()),
             boundaries: [0; 3],
         }
     }
@@ -131,6 +140,11 @@ impl<'a> RankEnv<'a> {
     /// Execute `spec`'s kernel over local iterations `[start, end)`.
     /// `gbl_bufs` supplies the global-argument buffers (constants or
     /// reduction accumulators), one per [`op2_core::GblDecl`].
+    ///
+    /// With threading active ([`Threading::active`]) and a range worth
+    /// splitting, this dispatches to the colored-threaded executor,
+    /// caching the block coloring per (loop, range, block size) in the
+    /// rank's [`ThreadCtx`]. Results are bitwise identical either way.
     pub fn exec_range(
         &mut self,
         spec: &LoopSpec,
@@ -138,7 +152,219 @@ impl<'a> RankEnv<'a> {
         end: usize,
         gbl_bufs: &mut [Vec<f64>],
     ) {
-        self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs)
+        if self.use_threads(spec, start, end) {
+            let key = (
+                crate::plan::loop_signature(spec),
+                start,
+                end,
+                self.threads.opts.block_size,
+            );
+            let bc = match self.threads.cached(key) {
+                Some(bc) => {
+                    self.plans.stats.color_hits += 1;
+                    bc
+                }
+                None => {
+                    self.plans.stats.color_misses += 1;
+                    let bc = Arc::new(self.build_block_coloring(spec, start, end));
+                    self.threads.store(key, Arc::clone(&bc));
+                    bc
+                }
+            };
+            self.exec_range_colored(spec, gbl_bufs, &bc);
+        } else {
+            self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs)
+        }
+    }
+
+    /// [`RankEnv::exec_range`] for a chain loop with a cached plan: the
+    /// block coloring is cached *in the plan* (keyed by loop position,
+    /// range and block size), alongside the other inspector products —
+    /// repeat chain invocations re-color nothing.
+    pub fn exec_range_planned(
+        &mut self,
+        spec: &LoopSpec,
+        start: usize,
+        end: usize,
+        gbl_bufs: &mut [Vec<f64>],
+        plan: &ChainPlan,
+        pos: usize,
+    ) {
+        if !self.use_threads(spec, start, end) {
+            return self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs);
+        }
+        let key = (pos, start, end, self.threads.opts.block_size);
+        let bc = match plan.cached_block_coloring(key) {
+            Some(bc) => {
+                self.plans.stats.color_hits += 1;
+                bc
+            }
+            None => {
+                self.plans.stats.color_misses += 1;
+                let bc = Arc::new(self.build_block_coloring(spec, start, end));
+                plan.store_block_coloring(key, Arc::clone(&bc));
+                bc
+            }
+        };
+        self.exec_range_colored(spec, gbl_bufs, &bc);
+    }
+
+    /// Should `[start, end)` of `spec` run on the thread pool? Requires
+    /// an active configuration, no global reduction (order-sensitive
+    /// float sums must accumulate in sequential order), and more than
+    /// one block's worth of iterations (a single block has no
+    /// parallelism to expose).
+    fn use_threads(&self, spec: &LoopSpec, start: usize, end: usize) -> bool {
+        self.threads.opts.active()
+            && !spec.has_reduction()
+            && end.saturating_sub(start) > self.threads.opts.block_size
+    }
+
+    /// Inspector: the levelized order-preserving block coloring of
+    /// `[start, end)` under `spec`'s access pattern, over this rank's
+    /// localized maps. Only executable iterations are colored, so every
+    /// dereferenced map target is a valid local index (the layout
+    /// invariant the executor itself relies on).
+    pub fn build_block_coloring(
+        &self,
+        spec: &LoopSpec,
+        start: usize,
+        end: usize,
+    ) -> BlockColoring {
+        let sig = spec.sig();
+        let set_sizes: Vec<usize> = self.layout.sets.iter().map(|s| s.n_local()).collect();
+        let accesses = conflict_accesses(&self.layout.maps, &sig);
+        color_blocks_raw(
+            start,
+            end,
+            self.threads.opts.block_size,
+            &set_sizes,
+            &accesses,
+        )
+    }
+
+    /// Executor: run `spec` over the colored blocks, color by color, on
+    /// the shared pool. Same-color blocks touch disjoint modified
+    /// elements (race-free) and conflicting blocks are ordered by
+    /// ascending color = ascending block index, so per-element update
+    /// order equals the sequential executor's — results are bitwise
+    /// identical for any thread count. Appends a [`ThreadRec`] with
+    /// per-color wall times to the trace.
+    fn exec_range_colored(
+        &mut self,
+        spec: &LoopSpec,
+        gbl_bufs: &mut [Vec<f64>],
+        bc: &BlockColoring,
+    ) {
+        struct Info {
+            base: *mut f64,
+            dim: u32,
+            mode: AccessMode,
+            map: Option<(*const u32, usize, usize)>,
+            direct: bool,
+        }
+        let mut infos: Vec<Info> = Vec::with_capacity(spec.args.len());
+        for arg in &spec.args {
+            match arg {
+                Arg::Dat { dat, map, mode } => {
+                    let dim = self.dom.dat(*dat).dim as u32;
+                    let base = self.dats[dat.idx()].as_mut_ptr();
+                    let map_info = map.map(|(m, idx)| {
+                        let lm = &self.layout.maps[m.idx()];
+                        (lm.values.as_ptr(), lm.arity, idx as usize)
+                    });
+                    infos.push(Info {
+                        base,
+                        dim,
+                        mode: *mode,
+                        map: map_info,
+                        direct: map.is_none(),
+                    });
+                }
+                Arg::Gbl { idx, mode } => {
+                    // use_threads rejected reductions, so these are
+                    // read-only constants — safe to share.
+                    let buf = &mut gbl_bufs[*idx as usize];
+                    infos.push(Info {
+                        base: buf.as_mut_ptr(),
+                        dim: buf.len() as u32,
+                        mode: *mode,
+                        map: None,
+                        direct: false,
+                    });
+                }
+            }
+        }
+
+        struct Shared {
+            infos: Vec<Info>,
+            kernel: KernelFn,
+        }
+        // SAFETY: the raw pointers target buffers that outlive this
+        // call; same-color blocks write disjoint elements (coloring
+        // invariant), and reads of shared data are benign.
+        unsafe impl Sync for Shared {}
+        let shared = Shared {
+            infos,
+            kernel: spec.kernel,
+        };
+
+        // Borrow the wrapper itself (not its fields) so closures capture
+        // the `Sync` type, not the raw-pointer-bearing field directly.
+        let sh: &Shared = &shared;
+        let run_block = |b: usize| {
+            let (bs, be) = bc.block_range(b);
+            let mut slots: Vec<ArgSlot> = sh
+                .infos
+                .iter()
+                .map(|r| ArgSlot {
+                    ptr: r.base,
+                    dim: r.dim,
+                    mode: r.mode,
+                })
+                .collect();
+            for e in bs..be {
+                for (slot, r) in slots.iter_mut().zip(sh.infos.iter()) {
+                    let elem = match (&r.map, r.direct) {
+                        (Some((mbase, arity, idx)), _) => {
+                            // SAFETY: localized map, in bounds by layout.
+                            let v = unsafe { *mbase.add(e * arity + idx) };
+                            debug_assert_ne!(
+                                v, NONLOCAL,
+                                "threaded loop iter {e} dereferences an \
+                                 element beyond the built halo depth"
+                            );
+                            v as usize
+                        }
+                        (None, true) => e,
+                        (None, false) => 0,
+                    };
+                    // SAFETY: element index within the local buffer
+                    // (layout invariant).
+                    slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
+                }
+                (sh.kernel)(&Args::new(&slots));
+            }
+        };
+
+        let pool = shared_pool(self.threads.opts.n_threads);
+        let mut color_ns = Vec::with_capacity(bc.by_color.len());
+        for bucket in &bc.by_color {
+            let t0 = Instant::now();
+            pool.run(bucket.len(), &|bi| run_block(bucket[bi] as usize));
+            color_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+
+        self.trace.threads.push(ThreadRec {
+            name: spec.name.clone(),
+            start: bc.start,
+            iters: bc.end - bc.start,
+            n_threads: self.threads.opts.n_threads,
+            block_size: bc.block_size,
+            n_blocks: bc.n_blocks(),
+            n_colors: bc.n_colors,
+            color_ns,
+        });
     }
 
     /// Execute `spec`'s kernel over an explicit local iteration list —

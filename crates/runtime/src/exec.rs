@@ -268,7 +268,7 @@ fn run_chain_mode(
         gbls.clear();
         gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
         hooks.launch(core_end);
-        env.exec_range(spec, 0, core_end, &mut gbls);
+        env.exec_range_planned(spec, 0, core_end, &mut gbls, &plan, pos);
     }
 
     // Wait (line 13).
@@ -304,7 +304,7 @@ fn run_chain_mode(
         gbls.clear();
         gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
         hooks.launch(exec_end - core_end);
-        env.exec_range(spec, core_end, exec_end, &mut gbls);
+        env.exec_range_planned(spec, core_end, exec_end, &mut gbls, &plan, pos);
         per_loop.push((core_end, exec_end - core_end));
         for &(d, v) in &plan.produces[pos] {
             env.valid[d.idx()] = v;

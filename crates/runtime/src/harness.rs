@@ -35,6 +35,9 @@ pub struct RunOptions {
     pub faults: Option<Arc<FaultPlan>>,
     /// Receive-side deadline/retry policy.
     pub comm: CommConfig,
+    /// Intra-rank threading for kernel execution (defaults to the
+    /// `OP2_THREADS`/`OP2_BLOCK_SIZE` environment).
+    pub threading: crate::threads::Threading,
 }
 
 impl RunOptions {
@@ -49,6 +52,19 @@ impl RunOptions {
     /// Override the receive policy (builder style).
     pub fn comm_config(mut self, comm: CommConfig) -> Self {
         self.comm = comm;
+        self
+    }
+
+    /// Run every rank's kernels on `n_threads` threads (builder style),
+    /// overriding the environment default.
+    pub fn with_threads(mut self, n_threads: usize) -> Self {
+        self.threading = crate::threads::Threading::with_threads(n_threads);
+        self
+    }
+
+    /// Full threading configuration (builder style).
+    pub fn threading(mut self, threading: crate::threads::Threading) -> Self {
+        self.threading = threading;
         self
     }
 }
@@ -164,6 +180,7 @@ where
             .map(|(comm, layout)| {
                 scope.spawn(move || {
                     let mut env = RankEnv::new(layout, dom_ref, comm);
+                    env.threads.opts = opts.threading;
                     let run = catch_unwind(AssertUnwindSafe(|| program_ref(&mut env)));
                     let verdict = match run {
                         Ok(Ok(r)) => Ok(r),

@@ -29,6 +29,9 @@
 //!   [`plan::ChainPlan`]s (import depths, core/execute ranges, pack
 //!   index lists, tile schedules) keyed by chain signature and
 //!   dirty-state class, with layout-epoch invalidation.
+//! * [`threads`] — intra-rank colored threading: a persistent worker
+//!   pool executing each loop's levelized block coloring color by
+//!   color, bitwise identical to sequential execution (`OP2_THREADS`).
 //! * [`tuner`] — model-driven adaptive dispatch: feeds measured loop
 //!   weights and layout-derived halo components into `op2-model`'s §3.2
 //!   equations and picks standard (Alg 1) / CA (Alg 2) / tiled execution
@@ -47,6 +50,7 @@ pub mod fault;
 pub mod harness;
 pub mod lazy;
 pub mod plan;
+pub mod threads;
 pub mod trace;
 pub mod tuner;
 
@@ -60,6 +64,9 @@ pub use exec::{
 pub use fault::{Boundary, BoundaryAction, BoundaryKind, FaultPlan, FaultSpec};
 pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
-pub use plan::{chain_signature, dirty_class, plan_for, ChainPlan, PlanCache, PlanStats};
-pub use trace::{ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, TunerRec};
+pub use plan::{
+    chain_signature, dirty_class, loop_signature, plan_for, ChainPlan, PlanCache, PlanStats,
+};
+pub use threads::{shared_pool, ThreadCtx, ThreadPool, Threading};
+pub use trace::{ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, ThreadRec, TunerRec};
 pub use tuner::{Backend, Tuner, TunerMode};

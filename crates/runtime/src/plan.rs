@@ -31,8 +31,9 @@
 //! do **zero** re-analysis.
 
 use op2_core::chain::{produced_validity, read_requirement};
+use op2_core::par::BlockColoring;
 use op2_core::tiling::{build_tile_plan_raw, seed_blocks, TilePlan};
-use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain};
+use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain, LoopSpec};
 use op2_partition::layout::RankLayout;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -93,6 +94,36 @@ pub fn chain_signature(chain: &ChainSpec, relaxed: bool) -> u64 {
         }
     }
     fnv_bytes(&mut h, &[u8::from(relaxed)]);
+    h
+}
+
+/// Stable hash of one loop's structure (name, iteration set, argument
+/// access descriptors) — the standalone-loop analogue of
+/// [`chain_signature`], keying the per-rank block-coloring cache for the
+/// Alg 1 threaded path.
+pub fn loop_signature(spec: &LoopSpec) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_bytes(&mut h, spec.name.as_bytes());
+    fnv_usize(&mut h, spec.set.idx());
+    for arg in &spec.args {
+        match arg {
+            Arg::Dat { dat, map, mode } => {
+                fnv_bytes(&mut h, &[1u8, mode_code(*mode)]);
+                fnv_usize(&mut h, dat.idx());
+                match map {
+                    Some((m, i)) => {
+                        fnv_usize(&mut h, m.idx() + 1);
+                        fnv_usize(&mut h, *i as usize);
+                    }
+                    None => fnv_usize(&mut h, 0),
+                }
+            }
+            Arg::Gbl { idx, mode } => {
+                fnv_bytes(&mut h, &[2u8, mode_code(*mode)]);
+                fnv_usize(&mut h, *idx as usize);
+            }
+        }
+    }
     h
 }
 
@@ -178,7 +209,16 @@ pub struct ChainPlan {
     pub nbr_bits: u128,
     /// Tile schedules by tile count, built lazily on first use.
     tiles: Mutex<HashMap<usize, Arc<TilePlan>>>,
+    /// Block colorings for the threaded executor, keyed by
+    /// `(loop position, start, end, block size)` and built lazily on
+    /// first threaded execution of that range — the coloring is
+    /// inspector work, paid once per plan like the tile schedules.
+    colorings: Mutex<HashMap<ColoringKey, Arc<BlockColoring>>>,
 }
+
+/// Key of a cached block coloring: `(loop position, start, end, block
+/// size)`.
+pub type ColoringKey = (usize, usize, usize, usize);
 
 impl ChainPlan {
     /// Run the full chain inspection for one rank: import depths, core
@@ -304,7 +344,33 @@ impl ChainPlan {
             recv_bytes,
             nbr_bits,
             tiles: Mutex::new(HashMap::new()),
+            colorings: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Cached block coloring for `(loop position, start, end, block
+    /// size)`, if a threaded execution of that range already built one.
+    pub fn cached_block_coloring(
+        &self,
+        key: ColoringKey,
+    ) -> Option<Arc<BlockColoring>> {
+        self.colorings
+            .lock()
+            .expect("coloring cache poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Store a freshly built block coloring under `key`.
+    pub fn store_block_coloring(
+        &self,
+        key: ColoringKey,
+        bc: Arc<BlockColoring>,
+    ) {
+        self.colorings
+            .lock()
+            .expect("coloring cache poisoned")
+            .insert(key, bc);
     }
 
     /// Grouped message size `m^r` of Eq 4 on this rank: the largest
@@ -360,6 +426,10 @@ pub struct PlanStats {
     pub tile_hits: u64,
     /// Tiled invocations that ran the tiling inspection.
     pub tile_misses: u64,
+    /// Threaded executions that reused a cached block coloring.
+    pub color_hits: u64,
+    /// Threaded executions that ran the block-coloring inspection.
+    pub color_misses: u64,
 }
 
 /// Per-rank plan cache: `(signature, dirty class) → Arc<ChainPlan>`,

@@ -1,0 +1,399 @@
+//! Intra-rank threaded execution: configuration, worker pool, coloring
+//! cache.
+//!
+//! Each rank (already an OS thread under the harness) can spread its
+//! kernel iterations over a pool of worker threads, executing a loop's
+//! block coloring ([`op2_core::par`]) color by color: within a color,
+//! blocks are claimed from a shared cursor; between colors the pool
+//! barriers. The levelized coloring preserves per-element update order,
+//! so results are bitwise identical to sequential execution for every
+//! thread count.
+//!
+//! Pools are process-global, keyed by thread count: ranks requesting the
+//! same `n_threads` share one pool (their color rounds serialize on it,
+//! which is semantically transparent). Workers park on their channel
+//! between rounds — no spinning.
+//!
+//! Control surface: [`Threading::from_env`] reads `OP2_THREADS`
+//! (`1`/unset = sequential, `0`/`auto` = hardware parallelism, `N` =
+//! exactly N) and `OP2_BLOCK_SIZE`; programmatic control goes through
+//! [`crate::harness::RunOptions`].
+
+use op2_core::par::BlockColoring;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+
+/// Default iterations per coloring block: big enough to amortize the
+/// per-block claim, small enough to load-balance the tail.
+pub const DEFAULT_BLOCK_SIZE: usize = 256;
+
+/// Threading configuration for one rank's kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Threading {
+    /// Threads executing each colored loop (1 = sequential, the
+    /// pre-subsystem behaviour).
+    pub n_threads: usize,
+    /// Iterations per coloring block.
+    pub block_size: usize,
+}
+
+impl Threading {
+    /// Sequential execution (no pool involvement at all).
+    pub fn single() -> Threading {
+        Threading {
+            n_threads: 1,
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+
+    /// `n_threads` with the default block size.
+    pub fn with_threads(n_threads: usize) -> Threading {
+        assert!(n_threads >= 1, "n_threads must be at least 1");
+        Threading {
+            n_threads,
+            block_size: DEFAULT_BLOCK_SIZE,
+        }
+    }
+
+    /// Read `OP2_THREADS` (unset/`1` = sequential, `0`/`auto` = hardware
+    /// parallelism, `N` = exactly N threads) and `OP2_BLOCK_SIZE`
+    /// (unset = [`DEFAULT_BLOCK_SIZE`]). Panics on malformed values — a
+    /// silent fallback would mask a typo'd override.
+    pub fn from_env() -> Threading {
+        let n_threads = match std::env::var("OP2_THREADS") {
+            Err(_) => 1,
+            Ok(v) => match v.as_str() {
+                "" | "1" => 1,
+                "0" | "auto" => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+                other => other.parse::<usize>().unwrap_or_else(|_| {
+                    panic!("OP2_THREADS must be auto|0|N, got `{other}`")
+                }),
+            },
+        };
+        let block_size = match std::env::var("OP2_BLOCK_SIZE") {
+            Err(_) => DEFAULT_BLOCK_SIZE,
+            Ok(v) => {
+                let n: usize = v
+                    .parse()
+                    .unwrap_or_else(|_| panic!("OP2_BLOCK_SIZE must be a positive integer, got `{v}`"));
+                assert!(n >= 1, "OP2_BLOCK_SIZE must be at least 1");
+                n
+            }
+        };
+        Threading {
+            n_threads: n_threads.max(1),
+            block_size,
+        }
+    }
+
+    /// True when execution actually fans out (more than one thread).
+    pub fn active(&self) -> bool {
+        self.n_threads > 1
+    }
+}
+
+impl Default for Threading {
+    /// Environment-derived: `OP2_THREADS` unset means sequential, so the
+    /// default is zero behaviour change.
+    fn default() -> Threading {
+        Threading::from_env()
+    }
+}
+
+/// One dispatched round of work: `n_tasks` tasks claimed from a shared
+/// cursor by every participant (workers + the caller).
+struct Round {
+    /// The task body, lifetime-erased: the caller blocks in
+    /// [`ThreadPool::run`] until every participant finishes, so the
+    /// referent outlives all use.
+    task: *const (dyn Fn(usize) + Sync),
+    cursor: AtomicUsize,
+    n_tasks: usize,
+    /// Workers still running this round; the caller waits for zero.
+    pending: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+struct RoundPtr(*const Round);
+// SAFETY: the Round lives on the caller's stack for the full duration of
+// the round (the caller blocks until `pending` hits zero), and all
+// mutation goes through atomics / the latch mutex.
+unsafe impl Send for RoundPtr {}
+
+enum Msg {
+    Run(RoundPtr),
+    Shutdown,
+}
+
+/// A persistent pool of `n_threads - 1` parked workers; the calling
+/// thread is the final participant of every round.
+pub struct ThreadPool {
+    senders: Vec<mpsc::Sender<Msg>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    n_threads: usize,
+}
+
+impl ThreadPool {
+    /// Spawn a pool where rounds run on `n_threads` threads total
+    /// (`n_threads - 1` workers plus the caller).
+    pub fn new(n_threads: usize) -> ThreadPool {
+        assert!(n_threads >= 1);
+        let mut senders = Vec::with_capacity(n_threads - 1);
+        let mut handles = Vec::with_capacity(n_threads - 1);
+        for w in 1..n_threads {
+            let (tx, rx) = mpsc::channel::<Msg>();
+            senders.push(tx);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("op2-worker-{w}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("spawn pool worker"),
+            );
+        }
+        ThreadPool {
+            senders,
+            handles,
+            n_threads,
+        }
+    }
+
+    /// Total participants per round.
+    pub fn n_threads(&self) -> usize {
+        self.n_threads
+    }
+
+    /// Execute `task(i)` for every `i in 0..n_tasks`, spread over the
+    /// pool plus the calling thread; returns when all tasks finished.
+    /// Tasks within a round may run concurrently in any order — callers
+    /// pass one coloring color per round, so concurrency is safe and
+    /// order within the round is immaterial.
+    ///
+    /// Propagates panics: if any participant's task panics, `run`
+    /// finishes the round (other participants keep draining) and then
+    /// panics on the calling thread.
+    pub fn run(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_tasks == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only — `run` does not return until
+        // every participant is done with the pointer.
+        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        let round = Round {
+            task,
+            cursor: AtomicUsize::new(0),
+            n_tasks,
+            pending: Mutex::new(self.senders.len()),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        };
+        for tx in &self.senders {
+            tx.send(Msg::Run(RoundPtr(&round)))
+                .expect("pool worker alive");
+        }
+        // The caller participates too.
+        let caller = catch_unwind(AssertUnwindSafe(|| drain(&round)));
+        // Wait out the workers before the Round leaves the stack.
+        let mut pending = round.pending.lock().expect("round latch poisoned");
+        while *pending > 0 {
+            pending = round.done.wait(pending).expect("round latch poisoned");
+        }
+        drop(pending);
+        if let Err(payload) = caller {
+            resume_unwind(payload);
+        }
+        if round.panicked.load(Ordering::SeqCst) {
+            panic!("a pool worker panicked during colored execution");
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        for tx in &self.senders {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claim-and-run until the round's cursor runs dry.
+fn drain(round: &Round) {
+    // SAFETY: see `Round::task`.
+    let task = unsafe { &*round.task };
+    loop {
+        let i = round.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= round.n_tasks {
+            break;
+        }
+        task(i);
+    }
+}
+
+fn worker_loop(rx: mpsc::Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Run(ptr) => {
+                // SAFETY: the sender blocks until we signal `pending`.
+                let round = unsafe { &*ptr.0 };
+                if catch_unwind(AssertUnwindSafe(|| drain(round))).is_err() {
+                    round.panicked.store(true, Ordering::SeqCst);
+                }
+                let mut pending = round.pending.lock().expect("round latch poisoned");
+                *pending -= 1;
+                if *pending == 0 {
+                    round.done.notify_all();
+                }
+            }
+            Msg::Shutdown => break,
+        }
+    }
+}
+
+/// Process-global pool registry: one pool per thread count, created on
+/// first request and kept for the process lifetime (workers park on
+/// their channels between rounds).
+pub fn shared_pool(n_threads: usize) -> Arc<ThreadPool> {
+    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut pools = pools.lock().expect("pool registry poisoned");
+    Arc::clone(
+        pools
+            .entry(n_threads)
+            .or_insert_with(|| Arc::new(ThreadPool::new(n_threads))),
+    )
+}
+
+/// Per-rank threading state: the configuration plus a cache of block
+/// colorings for the *standalone* (Alg 1) loop path, keyed by (loop
+/// signature, range, block size). Chain loops cache their colorings in
+/// the [`crate::plan::ChainPlan`] instead, alongside the other
+/// inspector products.
+pub struct ThreadCtx {
+    /// Active configuration.
+    pub opts: Threading,
+    colorings: HashMap<(u64, usize, usize, usize), Arc<BlockColoring>>,
+    /// Colorings built by the standalone path (inspector work).
+    pub color_builds: u64,
+    /// Colorings served from the standalone cache.
+    pub color_reuses: u64,
+}
+
+impl ThreadCtx {
+    /// Fresh context with the given configuration.
+    pub fn new(opts: Threading) -> ThreadCtx {
+        ThreadCtx {
+            opts,
+            colorings: HashMap::new(),
+            color_builds: 0,
+            color_reuses: 0,
+        }
+    }
+
+    /// Cached coloring for `(loop signature, start, end, block_size)`.
+    pub fn cached(&mut self, key: (u64, usize, usize, usize)) -> Option<Arc<BlockColoring>> {
+        let hit = self.colorings.get(&key).cloned();
+        if hit.is_some() {
+            self.color_reuses += 1;
+        }
+        hit
+    }
+
+    /// Store a freshly built coloring.
+    pub fn store(&mut self, key: (u64, usize, usize, usize), bc: Arc<BlockColoring>) {
+        self.color_builds += 1;
+        self.colorings.insert(key, bc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_task_once() {
+        let pool = ThreadPool::new(4);
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(hits.len(), &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn pool_reusable_across_rounds() {
+        let pool = ThreadPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..10 {
+            pool.run(57, &|_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 570);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = ThreadPool::new(1);
+        let total = AtomicUsize::new(0);
+        pool.run(13, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 13);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_caller() {
+        let pool = ThreadPool::new(2);
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                if i == 33 {
+                    panic!("task 33 exploded");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // The pool survives a panicked round.
+        let total = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn shared_pools_keyed_by_thread_count() {
+        let a = shared_pool(2);
+        let b = shared_pool(2);
+        let c = shared_pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.n_threads(), 3);
+    }
+
+    #[test]
+    fn threading_default_without_env_is_sequential() {
+        // The test runner does not set OP2_THREADS.
+        if std::env::var("OP2_THREADS").is_err() {
+            assert_eq!(Threading::default().n_threads, 1);
+            assert!(!Threading::default().active());
+        }
+    }
+
+    #[test]
+    fn thread_ctx_caches_by_key() {
+        let mut ctx = ThreadCtx::new(Threading::with_threads(2));
+        let key = (42u64, 0usize, 100usize, 16usize);
+        assert!(ctx.cached(key).is_none());
+        let bc = Arc::new(op2_core::par::color_blocks_raw(0, 100, 16, &[], &[]));
+        ctx.store(key, Arc::clone(&bc));
+        assert!(Arc::ptr_eq(&ctx.cached(key).unwrap(), &bc));
+        assert_eq!((ctx.color_builds, ctx.color_reuses), (1, 1));
+    }
+}

@@ -120,10 +120,56 @@ pub struct TunerRec {
     pub t_ca_pred_ns: u64,
     /// Measured wall clock of the flattened calibration run, nanoseconds.
     pub t_measured_ns: u64,
+    /// Threads the decision was made for (1 = sequential model). The
+    /// calibration itself always measures sequentially — the tuner
+    /// derives the threaded `g` via [`op2_model::threaded_g`].
+    pub n_threads: usize,
     /// Predicted gain `(t_op2 - t_ca)/t_op2`, in thousandths of a percent
     /// (milli-percent) so the record stays integer and `Eq`.
     pub gain_milli_pct: i64,
 }
+
+/// One colored-threaded execution of a loop range (see
+/// [`crate::threads`]): the schedule shape plus per-color wall time.
+///
+/// Equality ignores the *values* in `color_ns` (wall clock varies run to
+/// run) but keeps its *length* — two equal records executed the same
+/// schedule. This keeps whole-[`RankTrace`] comparisons in the replay
+/// determinism tests meaningful with threading on.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadRec {
+    /// Loop name.
+    pub name: String,
+    /// First local iteration of the range.
+    pub start: usize,
+    /// Iterations in the range.
+    pub iters: usize,
+    /// Threads that executed it.
+    pub n_threads: usize,
+    /// Iterations per coloring block.
+    pub block_size: usize,
+    /// Blocks in the range.
+    pub n_blocks: usize,
+    /// Colors in the schedule (inter-thread synchronisation points).
+    pub n_colors: usize,
+    /// Wall time per color, nanoseconds (not compared by `==`).
+    pub color_ns: Vec<u64>,
+}
+
+impl PartialEq for ThreadRec {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.start == other.start
+            && self.iters == other.iters
+            && self.n_threads == other.n_threads
+            && self.block_size == other.block_size
+            && self.n_blocks == other.n_blocks
+            && self.n_colors == other.n_colors
+            && self.color_ns.len() == other.color_ns.len()
+    }
+}
+
+impl Eq for ThreadRec {}
 
 /// Trace-friendly mirror of [`op2_model::ChainClass`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -168,6 +214,9 @@ pub struct RankTrace {
     /// Adaptive-dispatch decisions, in program order. Empty unless the
     /// program ran chains through [`crate::tuner::Tuner`].
     pub tuner: Vec<TunerRec>,
+    /// Colored-threaded loop executions, in program order. Empty when
+    /// the rank ran single-threaded.
+    pub threads: Vec<ThreadRec>,
 }
 
 impl RankTrace {

@@ -186,11 +186,21 @@ impl Tuner {
         // model prices is the one this state would produce.
         let entry_valid: Vec<u8> = env.valid.clone();
 
+        // Measure `g` with threading *suspended*: the model's threaded
+        // extension derives the `t`-way cost as `g/t + coloring
+        // overhead` from the sequential `g` — measuring with the
+        // threaded executor live would count the speedup twice.
+        let threading = env.threads.opts;
+        env.threads.opts = crate::threads::Threading::single();
         let t0 = Instant::now();
         let mut g = Vec::with_capacity(chain.len());
+        let mut failed = None;
         for spec in &chain.loops {
             let l0 = Instant::now();
-            run_loop(env, spec)?;
+            if let Err(e) = run_loop(env, spec) {
+                failed = Some(e);
+                break;
+            }
             let dt = l0.elapsed().as_secs_f64();
             let rec = env.trace.loops.last().expect("run_loop pushed a record");
             let iters = (rec.core_iters + rec.halo_iters).max(1);
@@ -200,16 +210,49 @@ impl Tuner {
             });
         }
         let measured = t0.elapsed();
+        env.threads.opts = threading;
+        if let Some(e) = failed {
+            return Err(e);
+        }
+
+        // Coloring cost estimate for the thread-aware model: the widest
+        // schedule any loop of the chain would execute (colors = pool
+        // barriers per loop). Rank-local here, allreduced below.
+        let threads = threading.n_threads;
+        let n_colors_local = if threads > 1 {
+            chain
+                .loops
+                .iter()
+                .zip(&chain.halo_ext)
+                .map(|(spec, &ext)| {
+                    let end = env.layout.sets[spec.set.idx()].exec_end(ext);
+                    env.build_block_coloring(spec, 0, end).n_colors
+                })
+                .max()
+                .unwrap_or(1)
+        } else {
+            1
+        };
 
         let sigs = chain.sigs();
-        // Agree on g across ranks (critical path) before shaping, so the
-        // shape itself is rank-identical.
+        // Agree on g (critical path) and the color count across ranks
+        // before shaping, so shape and decision are rank-identical.
         let tag = env.next_tag();
+        g.push(n_colors_local as f64);
         env.comm.allreduce(&mut g, tag, GblOp::Max)?;
+        let n_colors = g.pop().expect("color count appended above") as usize;
         let shape = shape_from_sigs(env.dom, &chain.name, &sigs, &chain.halo_ext, &g, &|d| {
             entry_valid[d.idx()] as usize
         });
         let comp = agreed_components(env, &shape)?;
+        // `g → g/t + coloring overhead`: compute shrinks with threads,
+        // communication doesn't — CA turns profitable earlier on
+        // threaded ranks.
+        let comp = if threads > 1 {
+            comp.with_threads(threads, n_colors, op2_model::COLOR_SYNC_S)
+        } else {
+            comp
+        };
 
         let prof = classify(&self.mach, &comp);
         let backend = if !prof.enable_ca {
@@ -230,6 +273,7 @@ impl Tuner {
             t_op2_pred_ns: (t_op2 * 1e9).round() as u64,
             t_ca_pred_ns: (t_ca * 1e9).round() as u64,
             t_measured_ns: measured.as_nanos() as u64,
+            n_threads: threads,
             gain_milli_pct: (prof.gain_pct * 1000.0).round() as i64,
         });
         Ok(())

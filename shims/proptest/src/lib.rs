@@ -273,7 +273,7 @@ mod tests {
 
         #[test]
         fn ranges_stay_in_bounds(x in 3usize..10, y in 0u64..5) {
-            prop_assert!(x >= 3 && x < 10);
+            prop_assert!((3..10).contains(&x));
             prop_assert!(y < 5);
         }
 

@@ -250,6 +250,80 @@ proptest! {
         }
     }
 
+    /// Greedy loop colorings are valid (no two same-color iterations
+    /// modify the same element) and minimal-ish — within the greedy
+    /// bound `max conflict degree + 1` — on random 2-D quad and 3-D tet
+    /// meshes. Block colorings from the threaded subsystem at block
+    /// size 1 agree with the element-level checker through the
+    /// `element_coloring` bridge.
+    #[test]
+    fn colorings_valid_and_bounded(
+        nx in 3usize..9,
+        ny in 3usize..9,
+        nz in 2usize..5,
+        tet in proptest::bool::ANY,
+    ) {
+        use op2::core::par::{color_blocks, is_valid_block_coloring};
+        use op2::core::{color_loop, is_valid_coloring, AccessMode as AM, LoopSpec};
+        use op2::mesh::Tet3D;
+
+        fn noop(_: &op2::core::Args<'_>) {}
+
+        let (mut dom, nodes, edges, e2n) = if tet {
+            let m = Tet3D::generate(nx.min(6), ny.min(6), nz);
+            (m.dom, m.nodes, m.edges, m.e2n)
+        } else {
+            let m = Quad2D::generate(nx, ny);
+            (m.dom, m.nodes, m.edges, m.e2n)
+        };
+        let a = dom.decl_dat_zeros("a", nodes, 1);
+        let spec = LoopSpec::new(
+            "inc",
+            edges,
+            vec![
+                Arg::dat_indirect(a, e2n, 0, AM::Inc),
+                Arg::dat_indirect(a, e2n, 1, AM::Inc),
+            ],
+            noop,
+        );
+        let sig = spec.sig();
+
+        let c = color_loop(&dom, &sig);
+        prop_assert!(is_valid_coloring(&dom, &sig, &c));
+        // Complete partition of the iteration space.
+        let total: usize = c.by_color.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, dom.set(edges).size);
+
+        // Minimality bound: greedy needs at most one more color than
+        // the max conflict degree (edges sharing a node with e).
+        let md = &dom.maps()[e2n.idx()];
+        let mut node_deg = vec![0usize; dom.set(nodes).size];
+        for &v in &md.values {
+            node_deg[v as usize] += 1;
+        }
+        let n_edges = dom.set(edges).size;
+        let max_conflicts = (0..n_edges)
+            .map(|e| {
+                (0..md.arity)
+                    .map(|i| node_deg[md.values[e * md.arity + i] as usize] - 1)
+                    .sum::<usize>()
+            })
+            .max()
+            .unwrap_or(0);
+        prop_assert!(
+            c.n_colors <= max_conflicts + 1,
+            "{} colors > degree bound {}",
+            c.n_colors,
+            max_conflicts + 1
+        );
+
+        // The threaded subsystem's block coloring at block size 1 is an
+        // element coloring and passes the same validity checker.
+        let bc = color_blocks(&dom, &sig, 1);
+        prop_assert!(is_valid_block_coloring(&dom, &sig, &bc));
+        prop_assert!(is_valid_coloring(&dom, &sig, &bc.element_coloring()));
+    }
+
     /// Ownership inheritance covers every set and respects the base
     /// assignment exactly.
     #[test]
