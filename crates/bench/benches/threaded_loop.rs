@@ -80,6 +80,7 @@ fn bench_threaded_loop(c: &mut Criterion) {
             let threading = Threading {
                 n_threads,
                 block_size: 64,
+                auto_block: false,
             };
             b.iter(|| run_reps(&mut fix, REPS, threading));
         });

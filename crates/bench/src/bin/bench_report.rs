@@ -10,10 +10,17 @@
 //! Flags: the common `--scale`, plus `--out <path>` (default
 //! `BENCH_runtime.json` in the working directory), `--iters N`
 //! (default 3 — enough for calibration *and* cached-plan repeats) and
-//! `--threads N` (colored-threaded execution per rank; equivalent to
-//! setting `OP2_THREADS=N`, and reported per rank under `threads`).
+//! `--threads N` (colored-threaded execution; sets the node-wide
+//! `OP2_THREADS`, which the harness splits across ranks, and is
+//! reported per rank under `threads`).
+//!
+//! `--tiled-threads N` runs an *extra* pass through the tiled-threaded
+//! executor (CA + sparse tiling with `N` pool threads per rank,
+//! `--tiles` tiles) and writes its report next to `--out` with a
+//! `_tiled_tN` suffix — e.g. `BENCH_runtime_tiled_t4.json` — so CI can
+//! archive the threaded-tiling counters alongside the adaptive run's.
 
-use mg_cfd::{run_auto, MgCfd, MgCfdParams};
+use mg_cfd::{run_auto, run_ca_tiled_threaded, MgCfd, MgCfdParams};
 use op2_bench::json::{trace_summary, Json};
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
@@ -24,6 +31,8 @@ fn main() {
     let mut iters = 3usize;
     let mut size = 7usize;
     let mut ranks = 4usize;
+    let mut tiled_threads = 0usize;
+    let mut tiles = 8usize;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -51,8 +60,23 @@ fn main() {
                 // flag through the env var keeps one source of truth.
                 std::env::set_var("OP2_THREADS", n);
             }
+            "--tiled-threads" => {
+                i += 1;
+                tiled_threads = args
+                    .get(i)
+                    .expect("--tiled-threads needs a count")
+                    .parse()
+                    .unwrap();
+            }
+            "--tiles" => {
+                i += 1;
+                tiles = args.get(i).expect("--tiles needs a count").parse().unwrap();
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --out path  --iters N  --size N  --ranks N  --threads N");
+                eprintln!(
+                    "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
+                     --tiled-threads N  --tiles N"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag `{other}`"),
@@ -101,4 +125,40 @@ fn main() {
     std::fs::write(&out_path, report.pretty())
         .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     println!("wrote {out_path} ({} ranks, {iters} iters)", out.traces.len());
+
+    if tiled_threads > 0 {
+        // Fresh app + layouts: the adaptive pass above mutated the flow
+        // field, and the tiled report should stand on its own.
+        let mut app = MgCfd::new(params);
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let base = rcb_partition(coords, 3, ranks);
+        let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+        let layouts = build_layouts(&app.dom, &own, 2);
+        let threading = op2_runtime::Threading::with_threads(tiled_threads);
+        let out = run_ca_tiled_threaded(&mut app, &layouts, iters, tiles, threading);
+
+        let tiled_path = out_path
+            .strip_suffix(".json")
+            .map(|s| format!("{s}_tiled_t{tiled_threads}.json"))
+            .unwrap_or_else(|| format!("{out_path}_tiled_t{tiled_threads}"));
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("backend", Json::Str("tiled-threaded".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            ("threads", Json::U64(tiled_threads as u64)),
+            ("tiles", Json::U64(tiles as u64)),
+            ("rms", Json::F64(out.rms)),
+            (
+                "per_rank",
+                Json::Arr(out.traces.iter().map(trace_summary).collect()),
+            ),
+        ]);
+        std::fs::write(&tiled_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {tiled_path}: {e}"));
+        println!(
+            "wrote {tiled_path} ({} ranks, {iters} iters, {tiled_threads} threads, {tiles} tiles)",
+            out.traces.len()
+        );
+    }
 }

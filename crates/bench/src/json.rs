@@ -169,25 +169,31 @@ pub fn trace_summary(t: &RankTrace) -> Json {
     ])
 }
 
-/// Aggregate of the rank's colored-threaded executions: how many loop
-/// ranges ran threaded, with how much parallel slack (blocks, colors)
-/// and how much wall time inside the colored sweeps.
+/// Aggregate of the rank's pooled schedule executions: how many loop
+/// ranges / tiled chains ran threaded, with how much parallel slack
+/// (chunks, levels) and how much wall time inside the leveled sweeps.
 fn threads_json(t: &RankTrace) -> Json {
     let execs = t.threads.len() as u64;
-    let n_threads = t.threads.iter().map(|r| r.n_threads as u64).max().unwrap_or(1);
-    let blocks: u64 = t.threads.iter().map(|r| r.n_blocks as u64).sum();
-    let max_colors = t.threads.iter().map(|r| r.n_colors as u64).max().unwrap_or(0);
-    let color_ns: u64 = t
+    let tiled_execs = t
         .threads
         .iter()
-        .flat_map(|r| r.color_ns.iter().copied())
+        .filter(|r| r.kind == op2_runtime::SchedKind::Tiled)
+        .count() as u64;
+    let n_threads = t.threads.iter().map(|r| r.n_threads as u64).max().unwrap_or(1);
+    let chunks: u64 = t.threads.iter().map(|r| r.n_chunks as u64).sum();
+    let max_levels = t.threads.iter().map(|r| r.n_levels as u64).max().unwrap_or(0);
+    let level_ns: u64 = t
+        .threads
+        .iter()
+        .flat_map(|r| r.level_ns.iter().copied())
         .sum();
     Json::obj(vec![
         ("execs", Json::U64(execs)),
+        ("tiled_execs", Json::U64(tiled_execs)),
         ("n_threads", Json::U64(n_threads)),
-        ("blocks", Json::U64(blocks)),
-        ("max_colors", Json::U64(max_colors)),
-        ("color_ns", Json::U64(color_ns)),
+        ("chunks", Json::U64(chunks)),
+        ("max_levels", Json::U64(max_levels)),
+        ("level_ns", Json::U64(level_ns)),
     ])
 }
 
@@ -225,9 +231,9 @@ mod tests {
         t.threads.push(op2_runtime::ThreadRec {
             name: "edge_flux".into(),
             n_threads: 4,
-            n_blocks: 9,
-            n_colors: 2,
-            color_ns: vec![10, 20],
+            n_chunks: 9,
+            n_levels: 2,
+            level_ns: vec![10, 20],
             ..Default::default()
         });
         t.tuner.push(TunerRec {
@@ -243,7 +249,7 @@ mod tests {
         assert!(s.contains("\"gain_milli_pct\": 1250"));
         assert!(s.contains("\"color_hits\": 4"));
         assert!(s.contains("\"execs\": 1"));
-        assert!(s.contains("\"max_colors\": 2"));
-        assert!(s.contains("\"color_ns\": 30"));
+        assert!(s.contains("\"max_levels\": 2"));
+        assert!(s.contains("\"level_ns\": 30"));
     }
 }

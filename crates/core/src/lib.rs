@@ -82,6 +82,7 @@ pub mod error;
 pub mod kernel;
 pub mod loops;
 pub mod par;
+pub mod schedule;
 pub mod seq;
 pub mod tiling;
 
@@ -94,7 +95,14 @@ pub use error::{CoreError, Result};
 pub use kernel::{Args, KernelFn};
 pub use loops::{LoopSig, LoopSpec};
 pub use par::{
-    color_blocks, color_blocks_raw, conflict_accesses, is_valid_block_coloring,
-    is_valid_block_coloring_raw, run_loop_blocked, BlockColoring, ConflictAccess,
+    adaptive_block_size, color_blocks, color_blocks_raw, conflict_accesses, conflict_degree,
+    is_valid_block_coloring, is_valid_block_coloring_raw, BlockColoring, ConflictAccess,
 };
-pub use tiling::{build_tile_plan, run_chain_tiled, seed_blocks, TilePlan};
+pub use schedule::{
+    bind_chain, run_chunk, run_schedule, run_schedule_threads, BoundArg, BoundLoop, Chunk, Level,
+    Piece, Schedule, ScheduleKind,
+};
+pub use tiling::{
+    build_tile_plan, is_valid_tile_levels, run_chain_tiled, run_chain_tiled_threads, seed_blocks,
+    seed_from_targets, TilePlan,
+};

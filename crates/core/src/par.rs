@@ -30,8 +30,7 @@
 use crate::access::Arg;
 use crate::coloring::Coloring;
 use crate::domain::{Domain, MapData};
-use crate::kernel::{Args, ArgSlot, KernelFn};
-use crate::loops::{LoopSig, LoopSpec};
+use crate::loops::LoopSig;
 
 /// A coloring of contiguous iteration blocks over `[start, end)`.
 #[derive(Debug, Clone)]
@@ -309,127 +308,73 @@ pub fn is_valid_block_coloring(dom: &Domain, sig: &LoopSig, bc: &BlockColoring) 
     is_valid_block_coloring_raw(&set_sizes, &accesses, bc)
 }
 
-/// Reference threaded executor over the global domain: execute `spec`
-/// color by color, each color's blocks spread over `n_threads` OS
-/// threads. Results are **bitwise identical** to
-/// [`crate::seq::run_loop`] for any thread count (see the module docs).
-/// The runtime crate's pooled executor follows the same structure per
-/// rank; this one exists for core-level tests and single-domain callers.
-///
-/// # Panics
-/// Panics if the loop carries global reduction arguments — a reduction's
-/// accumulation order is thread-schedule dependent, so such loops stay
-/// sequential.
-pub fn run_loop_blocked(
-    dom: &mut Domain,
-    spec: &LoopSpec,
-    bc: &BlockColoring,
-    n_threads: usize,
-) {
-    assert!(
-        !spec.has_reduction(),
-        "blocked parallel execution does not support global reductions"
-    );
-    assert!(n_threads >= 1);
-    debug_assert!(is_valid_block_coloring(dom, &spec.sig(), bc));
-
-    struct ArgInfo {
-        base: *mut f64,
-        dim: u32,
-        mode: crate::access::AccessMode,
-        map: Option<(*const u32, usize, usize)>,
-        direct: bool,
+/// Average number of conflict-inducing touches per distinct element over
+/// `[start, end)` — the mesh's measured *conflict degree* for one loop.
+/// Sampled over at most the first 4096 iterations (enough to
+/// characterise a mesh; keeps the probe O(1) for huge ranges). Returns
+/// `0.0` when the loop has no conflict accesses (direct-only loops).
+pub fn conflict_degree(
+    start: usize,
+    end: usize,
+    set_sizes: &[usize],
+    accesses: &[ConflictAccess<'_>],
+) -> f64 {
+    if accesses.is_empty() || end <= start {
+        return 0.0;
     }
-    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
-    let mut infos: Vec<ArgInfo> = Vec::with_capacity(spec.args.len());
-    for arg in &spec.args {
-        match arg {
-            Arg::Dat { dat, map, mode } => {
-                let dim = dom.dat(*dat).dim as u32;
-                let base = dom.dat_mut(*dat).data.as_mut_ptr();
-                let map_info = map.map(|(m, idx)| {
-                    let md = dom.map(m);
-                    (md.values.as_ptr(), md.arity, idx as usize)
-                });
-                infos.push(ArgInfo {
-                    base,
-                    dim,
-                    mode: *mode,
-                    map: map_info,
-                    direct: map.is_none(),
-                });
-            }
-            Arg::Gbl { idx, mode } => {
-                debug_assert!(!mode.modifies());
-                let buf = &mut gbl_bufs[*idx as usize];
-                infos.push(ArgInfo {
-                    base: buf.as_mut_ptr(),
-                    dim: buf.len() as u32,
-                    mode: *mode,
-                    map: None,
-                    direct: false,
-                });
+    let sample_end = end.min(start + 4096);
+    let mut touched: Vec<Vec<bool>> = set_sizes.iter().map(|&s| vec![false; s]).collect();
+    let mut touches = 0usize;
+    let mut distinct = 0usize;
+    for i in start..sample_end {
+        for a in accesses {
+            let t = a.target(i);
+            touches += 1;
+            if !touched[a.set][t] {
+                touched[a.set][t] = true;
+                distinct += 1;
             }
         }
     }
-
-    // SAFETY wrapper: pointers reference buffers outliving the scope
-    // below; the coloring guarantees concurrent blocks write disjoint
-    // elements; all access is value-based through `Args`.
-    struct Shared<'a> {
-        infos: &'a [ArgInfo],
-        kernel: KernelFn,
+    if distinct == 0 {
+        0.0
+    } else {
+        touches as f64 / distinct as f64
     }
-    unsafe impl Sync for Shared<'_> {}
-    let shared = Shared {
-        infos: &infos,
-        kernel: spec.kernel,
-    };
+}
 
-    for bucket in &bc.by_color {
-        let chunk = bucket.len().div_ceil(n_threads).max(1);
-        std::thread::scope(|scope| {
-            for piece in bucket.chunks(chunk) {
-                let shared = &shared;
-                scope.spawn(move || {
-                    let mut slots: Vec<ArgSlot> = shared
-                        .infos
-                        .iter()
-                        .map(|r| ArgSlot {
-                            ptr: r.base,
-                            dim: r.dim,
-                            mode: r.mode,
-                        })
-                        .collect();
-                    for &b in piece {
-                        let (s, e) = bc.block_range(b as usize);
-                        for i in s..e {
-                            for (slot, r) in slots.iter_mut().zip(shared.infos.iter()) {
-                                let elem = match (&r.map, r.direct) {
-                                    (Some((mbase, arity, idx)), _) => {
-                                        // SAFETY: map validated at declaration.
-                                        unsafe { *mbase.add(i * arity + idx) as usize }
-                                    }
-                                    (None, true) => i,
-                                    (None, false) => 0,
-                                };
-                                // SAFETY: disjoint writes per the coloring.
-                                slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-                            }
-                            (shared.kernel)(&Args::new(&slots));
-                        }
-                    }
-                });
-            }
-        });
+/// Smallest block size `OP2_BLOCK_SIZE=auto` will pick.
+pub const AUTO_BLOCK_MIN: usize = 32;
+/// Largest block size `OP2_BLOCK_SIZE=auto` will pick (also used for
+/// conflict-free loops, where blocks only bound scheduling granularity).
+pub const AUTO_BLOCK_MAX: usize = 2048;
+
+/// Pick a per-loop block size from the measured [`conflict_degree`]:
+/// high-degree meshes (many iterations sharing each element) get smaller
+/// blocks so the levelized coloring keeps its color count down, while
+/// direct or conflict-free loops get large streaming blocks. The choice
+/// is deterministic in the mesh structure, so repeated runs (and all
+/// threads of one rank) agree.
+pub fn adaptive_block_size(
+    start: usize,
+    end: usize,
+    set_sizes: &[usize],
+    accesses: &[ConflictAccess<'_>],
+) -> usize {
+    let degree = conflict_degree(start, end, set_sizes, accesses);
+    if degree <= 1.0 {
+        return AUTO_BLOCK_MAX; // direct or disjoint: stream freely
     }
+    ((1024.0 / degree) as usize).clamp(AUTO_BLOCK_MIN, AUTO_BLOCK_MAX)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::access::AccessMode;
+    use crate::kernel::Args;
     use crate::loops::LoopSpec;
+    use crate::schedule::{run_loop_schedule_threads, Schedule};
 
     fn noop(_: &Args<'_>) {}
 
@@ -515,7 +460,8 @@ mod tests {
     }
 
     /// Bitwise identity against the sequential reference for 1..4
-    /// threads on an order-sensitive FP kernel.
+    /// threads on an order-sensitive FP kernel, going through the
+    /// `Schedule` lowering of the block coloring.
     #[test]
     fn blocked_execution_bitwise_equals_seq() {
         let (mut seq_dom, spec) = path_fixture(257);
@@ -526,7 +472,11 @@ mod tests {
             for block_size in [1usize, 7, 32, 1024] {
                 let (mut dom, spec) = path_fixture(257);
                 let bc = color_blocks(&dom, &spec.sig(), block_size);
-                run_loop_blocked(&mut dom, &spec, &bc, threads);
+                debug_assert!(is_valid_block_coloring(&dom, &spec.sig(), &bc));
+                let sched = Schedule::from_block_coloring(&bc);
+                assert_eq!(sched.n_levels(), bc.n_colors);
+                assert_eq!(sched.n_chunks(), bc.n_blocks());
+                run_loop_schedule_threads(&mut dom, &spec, &sched, threads);
                 let got = &dom.dat(dom.dat_by_name("res").unwrap()).data;
                 assert_eq!(
                     got, &reference,
@@ -534,6 +484,37 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The adaptive pick shrinks blocks as the measured conflict degree
+    /// grows and streams direct loops with the maximum size.
+    #[test]
+    fn adaptive_block_size_tracks_degree() {
+        // Indirect edge loop on a path: every interior node is touched
+        // by ~2 edges × 2 accesses → degree ≈ 2 → mid-range blocks.
+        let (dom, spec) = path_fixture(257);
+        let set_sizes: Vec<usize> = dom.sets().iter().map(|s| s.size).collect();
+        let accesses = conflict_accesses(dom.maps(), &spec.sig());
+        let n = dom.set(spec.sig().set).size;
+        let degree = conflict_degree(0, n, &set_sizes, &accesses);
+        assert!(degree > 1.5, "path degree {degree}");
+        let picked = adaptive_block_size(0, n, &set_sizes, &accesses);
+        assert!(
+            (AUTO_BLOCK_MIN..AUTO_BLOCK_MAX).contains(&picked),
+            "picked {picked}"
+        );
+
+        // Direct loop: no conflict accesses → max streaming block.
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 64);
+        let a = dom.decl_dat_zeros("a", nodes, 1);
+        let direct = LoopSpec::new("w", nodes, vec![Arg::dat_direct(a, AccessMode::Write)], noop);
+        let set_sizes: Vec<usize> = dom.sets().iter().map(|s| s.size).collect();
+        let accesses = conflict_accesses(dom.maps(), &direct.sig());
+        assert_eq!(
+            adaptive_block_size(0, 64, &set_sizes, &accesses),
+            AUTO_BLOCK_MAX
+        );
     }
 
     /// The block_size=1 element expansion passes the per-element

@@ -1,0 +1,593 @@
+//! The unified `Schedule` execution IR.
+//!
+//! Every way this crate runs a loop or a loop-chain — a plain sequential
+//! range, a colored-blocked threaded loop, a sparse-tiled chain — is the
+//! same thing at heart: an ordered list of *levels* separated by
+//! synchronization barriers, each level holding iteration *chunks* that
+//! are conflict-free against one another. This module makes that shape a
+//! first-class value:
+//!
+//! * [`Piece`] — a contiguous iteration range or an explicit index list
+//!   of one loop of the chain;
+//! * [`Chunk`] — an ordered list of pieces executed sequentially by one
+//!   worker (a colored block; a tile's slice of every loop);
+//! * [`Schedule`] — levels of chunks. Chunks within a level may run
+//!   concurrently; levels execute in order with a barrier between them.
+//!
+//! Lowerings build schedules from each scheduling strategy
+//! ([`Schedule::range`], [`Schedule::from_coloring`],
+//! [`Schedule::from_block_coloring`], [`Schedule::from_tile_plan`]), and
+//! a single pair of executors runs them: [`run_schedule`] (sequential,
+//! one thread, level and chunk order) and [`run_schedule_threads`]
+//! (scoped OS threads per level — the reference threaded executor; the
+//! runtime crate's pool executes the same schedules per rank).
+//!
+//! **Determinism contract.** When the lowering guarantees that (a)
+//! same-level chunks touch disjoint modified elements and (b) every
+//! conflicting chunk pair is ordered by level in ascending iteration
+//! order — as the levelized block coloring and the leveled tile plan do —
+//! the per-element update sequence under any thread count equals the
+//! sequential one, so results are **bitwise identical** to
+//! [`crate::seq::run_loop`] / the sequential tiled walk.
+//!
+//! [`BoundLoop`] is the one argument-resolution and kernel-invocation
+//! path shared by every executor: base pointers resolved once per loop,
+//! value-based slot access per iteration. The distributed runtime binds
+//! its rank-local buffers through [`BoundLoop::from_parts`] and reuses
+//! the same chunk walker, so there is exactly one execution loop in the
+//! codebase regardless of back-end.
+
+use crate::access::{AccessMode, Arg};
+use crate::coloring::Coloring;
+use crate::domain::Domain;
+use crate::kernel::{Args, ArgSlot, KernelFn};
+use crate::loops::LoopSpec;
+use crate::par::BlockColoring;
+use crate::tiling::TilePlan;
+
+/// One contiguous or listed slice of one loop's iteration space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Piece {
+    /// Iterations `[start, end)` of chain loop `loop_idx`.
+    Range {
+        loop_idx: u32,
+        start: u32,
+        end: u32,
+    },
+    /// An explicit ascending iteration list of chain loop `loop_idx`.
+    List { loop_idx: u32, iters: Vec<u32> },
+}
+
+impl Piece {
+    /// Number of iterations the piece covers.
+    pub fn len(&self) -> usize {
+        match self {
+            Piece::Range { start, end, .. } => (*end as usize).saturating_sub(*start as usize),
+            Piece::List { iters, .. } => iters.len(),
+        }
+    }
+
+    /// Whether the piece covers no iterations.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Which chain loop the piece belongs to.
+    pub fn loop_idx(&self) -> usize {
+        match self {
+            Piece::Range { loop_idx, .. } | Piece::List { loop_idx, .. } => *loop_idx as usize,
+        }
+    }
+}
+
+/// The unit of work one worker executes without interruption: pieces in
+/// order (for tiles, the tile's slice of `L_0`, then of `L_1`, …).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Chunk {
+    pub pieces: Vec<Piece>,
+}
+
+impl Chunk {
+    /// Total iterations across all pieces.
+    pub fn iters(&self) -> usize {
+        self.pieces.iter().map(Piece::len).sum()
+    }
+}
+
+/// One barrier-delimited group of mutually conflict-free chunks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Level {
+    pub chunks: Vec<Chunk>,
+}
+
+/// Which lowering produced a schedule — carried for tracing/diagnostics,
+/// never consulted by the executors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleKind {
+    /// A plain range or index list: one level, one chunk.
+    Direct,
+    /// Lowered from a (block) coloring: level per color.
+    Colored { block_size: usize },
+    /// Lowered from a leveled tile plan: level per tile-conflict level.
+    Tiled { n_tiles: usize },
+}
+
+/// An executable schedule over an `n_loops`-long chain (1 for a single
+/// loop). See the module docs for the level/chunk semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Number of chain loops the pieces index into.
+    pub n_loops: usize,
+    /// Provenance tag for traces.
+    pub kind: ScheduleKind,
+    /// Barrier-ordered levels.
+    pub levels: Vec<Level>,
+}
+
+impl Schedule {
+    /// A single loop over `[start, end)`: one level, one chunk.
+    pub fn range(start: usize, end: usize) -> Schedule {
+        Schedule {
+            n_loops: 1,
+            kind: ScheduleKind::Direct,
+            levels: vec![Level {
+                chunks: vec![Chunk {
+                    pieces: vec![Piece::Range {
+                        loop_idx: 0,
+                        start: start as u32,
+                        end: end.max(start) as u32,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    /// A single loop over an explicit iteration list: one level, one
+    /// chunk.
+    pub fn list(iters: Vec<u32>) -> Schedule {
+        Schedule {
+            n_loops: 1,
+            kind: ScheduleKind::Direct,
+            levels: vec![Level {
+                chunks: vec![Chunk {
+                    pieces: vec![Piece::List {
+                        loop_idx: 0,
+                        iters,
+                    }],
+                }],
+            }],
+        }
+    }
+
+    /// Lower a greedy per-iteration [`Coloring`]: one level per color,
+    /// each color's iterations split into list chunks of at most
+    /// `chunk_size`. Greedy colorings reorder conflicting iterations
+    /// across colors, so this lowering is race-free but **not** bitwise
+    /// order-preserving (see [`Schedule::from_block_coloring`] for the
+    /// lowering that is).
+    pub fn from_coloring(coloring: &Coloring, chunk_size: usize) -> Schedule {
+        let chunk_size = chunk_size.max(1);
+        let levels = coloring
+            .by_color
+            .iter()
+            .map(|bucket| Level {
+                chunks: bucket
+                    .chunks(chunk_size)
+                    .map(|piece| Chunk {
+                        pieces: vec![Piece::List {
+                            loop_idx: 0,
+                            iters: piece.to_vec(),
+                        }],
+                    })
+                    .collect(),
+            })
+            .collect();
+        Schedule {
+            n_loops: 1,
+            kind: ScheduleKind::Colored { block_size: 1 },
+            levels,
+        }
+    }
+
+    /// Lower a levelized order-preserving [`BlockColoring`]: one level
+    /// per color, one chunk per block (a single range piece). Inherits
+    /// the coloring's bitwise-identity contract.
+    pub fn from_block_coloring(bc: &BlockColoring) -> Schedule {
+        let levels = bc
+            .by_color
+            .iter()
+            .map(|bucket| Level {
+                chunks: bucket
+                    .iter()
+                    .map(|&b| {
+                        let (s, e) = bc.block_range(b as usize);
+                        Chunk {
+                            pieces: vec![Piece::Range {
+                                loop_idx: 0,
+                                start: s as u32,
+                                end: e as u32,
+                            }],
+                        }
+                    })
+                    .collect(),
+            })
+            .collect();
+        Schedule {
+            n_loops: 1,
+            kind: ScheduleKind::Colored {
+                block_size: bc.block_size,
+            },
+            levels,
+        }
+    }
+
+    /// Lower a leveled [`TilePlan`] over an `n_loops`-long chain: one
+    /// level per tile-conflict level, one chunk per tile holding the
+    /// tile's slice of every loop in program order (empty slices are
+    /// skipped). Within a level, tile ids ascend; conflicting tiles sit
+    /// on strictly ascending levels in tile order, so level-order
+    /// execution is bitwise identical to the ascending-tile sequential
+    /// walk.
+    pub fn from_tile_plan(plan: &TilePlan) -> Schedule {
+        let n_loops = plan.iters.len();
+        let levels = plan
+            .by_level
+            .iter()
+            .map(|tiles| Level {
+                chunks: tiles
+                    .iter()
+                    .map(|&t| Chunk {
+                        pieces: (0..n_loops)
+                            .filter(|&j| !plan.iters[j][t as usize].is_empty())
+                            .map(|j| Piece::List {
+                                loop_idx: j as u32,
+                                iters: plan.iters[j][t as usize].clone(),
+                            })
+                            .collect(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Schedule {
+            n_loops,
+            kind: ScheduleKind::Tiled {
+                n_tiles: plan.n_tiles,
+            },
+            levels,
+        }
+    }
+
+    /// Number of barrier-delimited levels.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Total chunk count across all levels.
+    pub fn n_chunks(&self) -> usize {
+        self.levels.iter().map(|l| l.chunks.len()).sum()
+    }
+
+    /// Widest level (the available parallelism).
+    pub fn max_level_chunks(&self) -> usize {
+        self.levels.iter().map(|l| l.chunks.len()).max().unwrap_or(0)
+    }
+
+    /// Total iterations scheduled for chain loop `loop_idx`.
+    pub fn loop_iters(&self, loop_idx: usize) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.chunks)
+            .flat_map(|c| &c.pieces)
+            .filter(|p| p.loop_idx() == loop_idx)
+            .map(Piece::len)
+            .sum()
+    }
+
+    /// Whether running the schedule on threads can use more than one
+    /// worker at a time.
+    pub fn has_parallelism(&self) -> bool {
+        self.max_level_chunks() > 1
+    }
+}
+
+/// One resolved kernel argument: base pointer, element stride, access
+/// mode, and how iteration index maps to element index.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundArg {
+    /// Base of the dat / gbl buffer.
+    pub base: *mut f64,
+    /// Components per element (gbl: buffer length).
+    pub dim: u32,
+    pub mode: AccessMode,
+    /// `Some((map base, arity, idx))` for indirect args.
+    pub map: Option<(*const u32, usize, usize)>,
+    /// Direct args index by iteration; gbl args by zero.
+    pub direct: bool,
+}
+
+/// A loop with every argument resolved to raw pointers — the single
+/// kernel-invocation path all executors share.
+///
+/// # Safety contract
+/// The pointers must reference buffers that outlive the `BoundLoop` and
+/// are not reallocated while it is used. Concurrent execution is sound
+/// only under a schedule whose same-level chunks modify disjoint
+/// elements; all data access is value-based through [`Args`], so no
+/// references are formed.
+pub struct BoundLoop {
+    pub kernel: KernelFn,
+    pub args: Vec<BoundArg>,
+}
+
+// SAFETY: see the struct-level contract — callers only share a BoundLoop
+// across threads under a conflict-free-by-construction schedule.
+unsafe impl Sync for BoundLoop {}
+unsafe impl Send for BoundLoop {}
+
+impl BoundLoop {
+    /// Resolve `spec` against a global domain. `gbl_bufs` (one buffer
+    /// per [`crate::access::GblDecl`], preallocated by the caller) backs
+    /// the loop's global arguments; it must not be moved or resized
+    /// while the returned `BoundLoop` is live.
+    pub fn bind(dom: &mut Domain, spec: &LoopSpec, gbl_bufs: &mut [Vec<f64>]) -> BoundLoop {
+        let mut args = Vec::with_capacity(spec.args.len());
+        for arg in &spec.args {
+            match arg {
+                Arg::Dat { dat, map, mode } => {
+                    let dim = dom.dat(*dat).dim as u32;
+                    let base = dom.dat_mut(*dat).data.as_mut_ptr();
+                    let map_info = map.map(|(m, idx)| {
+                        let md = dom.map(m);
+                        (md.values.as_ptr(), md.arity, idx as usize)
+                    });
+                    args.push(BoundArg {
+                        base,
+                        dim,
+                        mode: *mode,
+                        map: map_info,
+                        direct: map.is_none(),
+                    });
+                }
+                Arg::Gbl { idx, mode } => {
+                    let buf = &mut gbl_bufs[*idx as usize];
+                    args.push(BoundArg {
+                        base: buf.as_mut_ptr(),
+                        dim: buf.len() as u32,
+                        mode: *mode,
+                        map: None,
+                        direct: false,
+                    });
+                }
+            }
+        }
+        BoundLoop {
+            kernel: spec.kernel,
+            args,
+        }
+    }
+
+    /// Assemble from already-resolved parts — the distributed runtime
+    /// resolves against its rank-local dat buffers and localized maps.
+    pub fn from_parts(kernel: KernelFn, args: Vec<BoundArg>) -> BoundLoop {
+        BoundLoop { kernel, args }
+    }
+
+    /// Fresh slot buffer for one worker.
+    pub fn slots(&self) -> Vec<ArgSlot> {
+        self.args
+            .iter()
+            .map(|r| ArgSlot {
+                ptr: r.base,
+                dim: r.dim,
+                mode: r.mode,
+            })
+            .collect()
+    }
+
+    /// Run one iteration: point every slot at its element, call the
+    /// kernel.
+    #[inline]
+    pub fn run_iter(&self, slots: &mut [ArgSlot], e: usize) {
+        for (slot, r) in slots.iter_mut().zip(self.args.iter()) {
+            let elem = match (&r.map, r.direct) {
+                (Some((mbase, arity, idx)), _) => {
+                    // SAFETY: map values validated at declaration; the
+                    // schedule only covers iterations whose entries are
+                    // within the built halo depth.
+                    let v = unsafe { *mbase.add(e * arity + idx) };
+                    debug_assert_ne!(v, u32::MAX, "map entry beyond built halo depth dereferenced");
+                    v as usize
+                }
+                (None, true) => e,
+                (None, false) => 0, // gbl
+            };
+            // SAFETY: in-bounds per dat declaration; concurrent writers
+            // are excluded by the schedule's conflict-freedom.
+            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
+        }
+        (self.kernel)(&Args::new(slots));
+    }
+
+    /// Run iterations `[start, end)` on the calling thread.
+    pub fn run_range(&self, start: usize, end: usize) {
+        let mut slots = self.slots();
+        for e in start..end {
+            self.run_iter(&mut slots, e);
+        }
+    }
+
+    /// Run an explicit iteration list on the calling thread.
+    pub fn run_list(&self, iters: &[u32]) {
+        let mut slots = self.slots();
+        for &e in iters {
+            self.run_iter(&mut slots, e as usize);
+        }
+    }
+}
+
+/// Execute one chunk: its pieces in order, on the calling thread.
+/// `bound[j]` must be the resolution of chain loop `j`.
+pub fn run_chunk(bound: &[BoundLoop], chunk: &Chunk) {
+    for piece in &chunk.pieces {
+        match piece {
+            Piece::Range {
+                loop_idx,
+                start,
+                end,
+            } => bound[*loop_idx as usize].run_range(*start as usize, *end as usize),
+            Piece::List { loop_idx, iters } => bound[*loop_idx as usize].run_list(iters),
+        }
+    }
+}
+
+/// Execute a schedule sequentially: levels in order, chunks in order.
+/// This is the reference semantics every threaded execution must match.
+pub fn run_schedule(bound: &[BoundLoop], sched: &Schedule) {
+    debug_assert_eq!(bound.len(), sched.n_loops);
+    for level in &sched.levels {
+        for chunk in &level.chunks {
+            run_chunk(bound, chunk);
+        }
+    }
+}
+
+/// Execute a schedule with `n_threads` scoped OS threads per level
+/// (barrier between levels). The reference threaded executor for
+/// core-level tests and single-domain callers; the runtime crate runs
+/// the same schedules on its per-rank pool.
+pub fn run_schedule_threads(bound: &[BoundLoop], sched: &Schedule, n_threads: usize) {
+    assert!(n_threads >= 1);
+    debug_assert_eq!(bound.len(), sched.n_loops);
+    if n_threads == 1 {
+        return run_schedule(bound, sched);
+    }
+    for level in &sched.levels {
+        let per = level.chunks.len().div_ceil(n_threads).max(1);
+        std::thread::scope(|scope| {
+            for group in level.chunks.chunks(per) {
+                scope.spawn(move || {
+                    for chunk in group {
+                        run_chunk(bound, chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Execute `spec` under `sched` on the global domain, sequentially.
+pub fn run_loop_schedule(dom: &mut Domain, spec: &LoopSpec, sched: &Schedule) -> crate::seq::LoopResult {
+    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+    let bound = BoundLoop::bind(dom, spec, &mut gbl_bufs);
+    run_schedule(std::slice::from_ref(&bound), sched);
+    crate::seq::LoopResult { gbls: gbl_bufs }
+}
+
+/// Execute `spec` under `sched` on the global domain with `n_threads`
+/// workers.
+///
+/// # Panics
+/// Panics if the loop carries global reduction arguments — a reduction's
+/// accumulation order is thread-schedule dependent, so such loops stay
+/// sequential.
+pub fn run_loop_schedule_threads(
+    dom: &mut Domain,
+    spec: &LoopSpec,
+    sched: &Schedule,
+    n_threads: usize,
+) {
+    assert!(
+        !spec.has_reduction(),
+        "threaded execution does not support global reductions"
+    );
+    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+    let bound = BoundLoop::bind(dom, spec, &mut gbl_bufs);
+    run_schedule_threads(std::slice::from_ref(&bound), sched, n_threads);
+}
+
+/// Bind every loop of `chain` against the global domain. Returns the
+/// bound loops plus the per-loop global buffers backing them (which must
+/// stay alive and unmoved while the bounds are used).
+pub fn bind_chain(
+    dom: &mut Domain,
+    chain: &crate::ChainSpec,
+) -> (Vec<BoundLoop>, Vec<Vec<Vec<f64>>>) {
+    let mut gbls: Vec<Vec<Vec<f64>>> = chain
+        .loops
+        .iter()
+        .map(|s| s.gbls.iter().map(|g| g.init.clone()).collect())
+        .collect();
+    let mut bound = Vec::with_capacity(chain.len());
+    for (spec, bufs) in chain.loops.iter().zip(gbls.iter_mut()) {
+        bound.push(BoundLoop::bind(dom, spec, bufs));
+    }
+    (bound, gbls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{AccessMode, Arg};
+    use crate::loops::LoopSpec;
+
+    fn bump(args: &Args<'_>) {
+        args.set(0, 0, args.get(0, 0) + 1.0);
+    }
+
+    fn fixture(n: usize) -> (Domain, LoopSpec, crate::DatId) {
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", n);
+        let x = dom.decl_dat_zeros("x", nodes, 1);
+        let spec = LoopSpec::new("bump", nodes, vec![Arg::dat_direct(x, AccessMode::Rw)], bump);
+        (dom, spec, x)
+    }
+
+    #[test]
+    fn range_schedule_shape() {
+        let s = Schedule::range(3, 11);
+        assert_eq!(s.n_levels(), 1);
+        assert_eq!(s.n_chunks(), 1);
+        assert_eq!(s.loop_iters(0), 8);
+        assert!(!s.has_parallelism());
+    }
+
+    #[test]
+    fn range_and_list_lowerings_execute() {
+        let (mut dom, spec, x) = fixture(6);
+        run_loop_schedule(&mut dom, &spec, &Schedule::range(1, 4));
+        run_loop_schedule(&mut dom, &spec, &Schedule::list(vec![0, 3, 5]));
+        assert_eq!(dom.dat(x).data, vec![1.0, 1.0, 1.0, 2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn threaded_schedule_matches_sequential() {
+        // Two disjoint chunks on one level: safe to run concurrently.
+        let sched = Schedule {
+            n_loops: 1,
+            kind: ScheduleKind::Direct,
+            levels: vec![Level {
+                chunks: vec![
+                    Chunk {
+                        pieces: vec![Piece::Range {
+                            loop_idx: 0,
+                            start: 0,
+                            end: 50,
+                        }],
+                    },
+                    Chunk {
+                        pieces: vec![Piece::Range {
+                            loop_idx: 0,
+                            start: 50,
+                            end: 100,
+                        }],
+                    },
+                ],
+            }],
+        };
+        let (mut a, spec, x) = fixture(100);
+        let (mut b, _, _) = fixture(100);
+        run_loop_schedule(&mut a, &spec, &sched);
+        run_loop_schedule_threads(&mut b, &spec, &sched, 4);
+        assert_eq!(a.dat(x).data, b.dat(x).data);
+    }
+}

@@ -6,12 +6,16 @@
 //! the abstraction admits, results must agree to machine precision — and
 //! the test-suite in fact demands exact equality on meshes where each
 //! increment sequence is identical.
+//!
+//! Since the [`crate::schedule`] refactor this module is a thin facade:
+//! argument resolution and kernel invocation live in
+//! [`crate::schedule::BoundLoop`], and every entry point here lowers to a
+//! degenerate one-level [`crate::schedule::Schedule`] (or runs a bound
+//! loop's iteration list directly). There is no second execution loop.
 
-use crate::access::{AccessMode, Arg};
 use crate::domain::Domain;
-use crate::kernel::{Args, ArgSlot};
 use crate::loops::LoopSpec;
-use crate::kernel::KernelFn;
+use crate::schedule::{run_loop_schedule, run_loop_schedule_threads, BoundLoop, Schedule};
 
 /// Result of one loop execution: the final values of every global
 /// argument (constants come back unchanged, reductions hold the sum).
@@ -30,113 +34,27 @@ pub fn run_loop(dom: &mut Domain, spec: &LoopSpec) -> LoopResult {
 
 /// Execute `spec` over an explicit iteration list — the building block
 /// of sparse-tiled execution, where each tile owns an arbitrary subset
-/// of every loop's iteration space.
+/// of every loop's iteration space. (A degenerate single-chunk schedule;
+/// the list is borrowed rather than lowered to avoid copying it.)
 pub fn run_loop_indexed(dom: &mut Domain, spec: &LoopSpec, iters: &[u32]) -> LoopResult {
-    run_loop_impl(dom, spec, Iterations::List(iters))
+    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
+    let bound = BoundLoop::bind(dom, spec, &mut gbl_bufs);
+    bound.run_list(iters);
+    LoopResult { gbls: gbl_bufs }
 }
 
 /// Execute `spec` over iterations `[start, end)` of its set — the building
 /// block the distributed executors share (core / halo segments are ranges
 /// after renumbering).
 pub fn run_loop_range(dom: &mut Domain, spec: &LoopSpec, start: usize, end: usize) -> LoopResult {
-    run_loop_impl(dom, spec, Iterations::Range(start, end))
-}
-
-enum Iterations<'a> {
-    Range(usize, usize),
-    List(&'a [u32]),
-}
-
-fn run_loop_impl(dom: &mut Domain, spec: &LoopSpec, iters: Iterations<'_>) -> LoopResult {
-    // Global-argument buffers.
-    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
-
-    // Resolve per-arg base pointers once. Value-based kernel access makes
-    // aliasing between args sound; single-threaded execution makes the
-    // raw-pointer reads/writes race-free.
-    struct Resolved {
-        base: *mut f64,
-        dim: u32,
-        mode: AccessMode,
-        /// `Some((map base, arity, idx))` for indirect args.
-        map: Option<(*const u32, usize, usize)>,
-        /// Direct args index by iteration, gbl args by zero.
-        direct: bool,
-    }
-    let mut resolved: Vec<Resolved> = Vec::with_capacity(spec.args.len());
-    for arg in &spec.args {
-        match arg {
-            Arg::Dat { dat, map, mode } => {
-                let dim = dom.dat(*dat).dim as u32;
-                let base = dom.dat_mut(*dat).data.as_mut_ptr();
-                let map_info = map.map(|(m, idx)| {
-                    let md = dom.map(m);
-                    (md.values.as_ptr(), md.arity, idx as usize)
-                });
-                resolved.push(Resolved {
-                    base,
-                    dim,
-                    mode: *mode,
-                    map: map_info,
-                    direct: map.is_none(),
-                });
-            }
-            Arg::Gbl { idx, mode } => {
-                let buf = &mut gbl_bufs[*idx as usize];
-                resolved.push(Resolved {
-                    base: buf.as_mut_ptr(),
-                    dim: buf.len() as u32,
-                    mode: *mode,
-                    map: None,
-                    direct: false,
-                });
-            }
-        }
-    }
-
-    let mut slots: Vec<ArgSlot> = resolved
-        .iter()
-        .map(|r| ArgSlot {
-            ptr: r.base,
-            dim: r.dim,
-            mode: r.mode,
-        })
-        .collect();
-
-    let mut body = |e: usize| {
-        for (slot, r) in slots.iter_mut().zip(resolved.iter()) {
-            let elem = match (&r.map, r.direct) {
-                (Some((mbase, arity, idx)), _) => {
-                    // SAFETY: map values validated at declaration.
-                    unsafe { *mbase.add(e * arity + idx) as usize }
-                }
-                (None, true) => e,
-                (None, false) => 0, // gbl
-            };
-            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-        }
-        (spec.kernel)(&Args::new(&slots));
-    };
-    match iters {
-        Iterations::Range(start, end) => {
-            for e in start..end {
-                body(e);
-            }
-        }
-        Iterations::List(list) => {
-            for &e in list {
-                body(e as usize);
-            }
-        }
-    }
-
-    LoopResult { gbls: gbl_bufs }
+    run_loop_schedule(dom, spec, &Schedule::range(start, end))
 }
 
 /// Execute `spec` color by color, each color's conflict-free iterations
 /// spread over `n_threads` OS threads — OP2's shared-memory execution
 /// scheme (the coloring guarantees no two concurrent iterations modify
 /// the same element, so no atomics are needed; colors are barriers).
+/// Lowered through [`Schedule::from_coloring`].
 ///
 /// Within one color the per-element modification order is fixed by the
 /// color sequence, so results are **independent of the thread count**
@@ -152,109 +70,19 @@ pub fn run_loop_colored_parallel(
     coloring: &crate::coloring::Coloring,
     n_threads: usize,
 ) {
-    assert!(
-        !spec.has_reduction(),
-        "colored parallel execution does not support global reductions"
-    );
     assert!(n_threads >= 1);
     debug_assert!(crate::coloring::is_valid_coloring(dom, &spec.sig(), coloring));
-
-    // Resolve argument bases once (as in `run_loop_impl`).
-    struct ArgInfo {
-        base: *mut f64,
-        dim: u32,
-        mode: AccessMode,
-        map: Option<(*const u32, usize, usize)>,
-        direct: bool,
-    }
-    let mut gbl_bufs: Vec<Vec<f64>> = spec.gbls.iter().map(|g| g.init.clone()).collect();
-    let mut infos: Vec<ArgInfo> = Vec::with_capacity(spec.args.len());
-    for arg in &spec.args {
-        match arg {
-            Arg::Dat { dat, map, mode } => {
-                let dim = dom.dat(*dat).dim as u32;
-                let base = dom.dat_mut(*dat).data.as_mut_ptr();
-                let map_info = map.map(|(m, idx)| {
-                    let md = dom.map(m);
-                    (md.values.as_ptr(), md.arity, idx as usize)
-                });
-                infos.push(ArgInfo {
-                    base,
-                    dim,
-                    mode: *mode,
-                    map: map_info,
-                    direct: map.is_none(),
-                });
-            }
-            Arg::Gbl { idx, mode } => {
-                debug_assert!(!mode.modifies());
-                let buf = &mut gbl_bufs[*idx as usize];
-                infos.push(ArgInfo {
-                    base: buf.as_mut_ptr(),
-                    dim: buf.len() as u32,
-                    mode: *mode,
-                    map: None,
-                    direct: false,
-                });
-            }
-        }
-    }
-
-    // SAFETY wrapper: the pointers reference buffers that outlive the
-    // scope below; the coloring guarantees concurrent iterations write
-    // disjoint elements, and all access goes through value-based
-    // `Args` reads/writes (no references formed).
-    struct Shared<'a> {
-        infos: &'a [ArgInfo],
-        kernel: KernelFn,
-    }
-    unsafe impl Sync for Shared<'_> {}
-    let shared = Shared {
-        infos: &infos,
-        kernel: spec.kernel,
-    };
-
-    for bucket in &coloring.by_color {
-        let chunk = bucket.len().div_ceil(n_threads).max(1);
-        std::thread::scope(|scope| {
-            for piece in bucket.chunks(chunk) {
-                let shared = &shared;
-                scope.spawn(move || {
-                    let mut slots: Vec<ArgSlot> = shared
-                        .infos
-                        .iter()
-                        .map(|r| ArgSlot {
-                            ptr: r.base,
-                            dim: r.dim,
-                            mode: r.mode,
-                        })
-                        .collect();
-                    for &e in piece {
-                        let e = e as usize;
-                        for (slot, r) in slots.iter_mut().zip(shared.infos.iter()) {
-                            let elem = match (&r.map, r.direct) {
-                                (Some((mbase, arity, idx)), _) => {
-                                    // SAFETY: map validated at declaration.
-                                    unsafe { *mbase.add(e * arity + idx) as usize }
-                                }
-                                (None, true) => e,
-                                (None, false) => 0,
-                            };
-                            // SAFETY: disjoint writes per the coloring.
-                            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-                        }
-                        (shared.kernel)(&Args::new(&slots));
-                    }
-                });
-            }
-        });
-    }
+    // Chunk each color so every thread gets one contiguous slice.
+    let widest = coloring.by_color.iter().map(Vec::len).max().unwrap_or(0);
+    let sched = Schedule::from_coloring(coloring, widest.div_ceil(n_threads).max(1));
+    run_loop_schedule_threads(dom, spec, &sched, n_threads);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::access::{AccessMode, Arg, GblDecl};
+    use crate::kernel::Args;
 
     /// Figure 2's `update` kernel on the Figure 1 mesh shape: edges
     /// increment node residuals from node pressures.

@@ -33,16 +33,27 @@
 
 use crate::domain::Domain;
 use crate::loops::LoopSig;
-use crate::seq::run_loop_indexed;
+use crate::schedule::{bind_chain, run_schedule, run_schedule_threads, Schedule};
 use crate::ChainSpec;
 
-/// A sparse-tiling schedule for one chain over one memory space.
+/// A sparse-tiling schedule for one chain over one memory space,
+/// annotated with inter-tile conflict levels (see
+/// [`tile_conflict_levels`]): same-level tiles touch disjoint modified
+/// elements, so they may execute concurrently, and conflicting tiles sit
+/// on strictly ascending levels in tile-id order, so level-order
+/// execution is bitwise identical to the ascending-tile sequential walk.
 #[derive(Debug, Clone)]
 pub struct TilePlan {
     /// Number of tiles.
     pub n_tiles: usize,
     /// `iters[loop][tile]` — iteration ids, in ascending order.
     pub iters: Vec<Vec<Vec<u32>>>,
+    /// Conflict level of every tile (0-based).
+    pub levels: Vec<u32>,
+    /// Number of conflict levels.
+    pub n_levels: usize,
+    /// Tile ids per level, ascending.
+    pub by_level: Vec<Vec<u32>>,
 }
 
 impl TilePlan {
@@ -58,14 +69,67 @@ impl TilePlan {
     }
 }
 
-/// Seed the first loop's iterations into `n_tiles` contiguous blocks —
-/// the default seeding (grid generators emit spatially coherent
-/// numbering; pair with a coordinate sort or partitioner assignment for
-/// scattered meshes).
+/// Seed the first loop's iterations into `n_tiles` spatially contiguous
+/// blocks, numbered red-black: even-positioned blocks take tile ids
+/// `0..⌈T/2⌉`, odd-positioned blocks take the rest. The default seeding
+/// (grid generators emit spatially coherent numbering; pair with a
+/// coordinate sort or partitioner assignment for scattered meshes).
+///
+/// The interleaved numbering matters for the conflict levelization in
+/// [`TilePlan::levels`]: spatially adjacent blocks — which always
+/// conflict through their shared boundary — land in different id
+/// phases, so the order-preserving levelizer packs roughly half the
+/// tiles per level instead of degenerating into one ladder level per
+/// tile. Conflicting pairs still execute in ascending tile id in both
+/// the sequential and the leveled executor, so the bitwise contract is
+/// unaffected by the renumbering.
 pub fn seed_blocks(n_iterations: usize, n_tiles: usize) -> Vec<u32> {
     assert!(n_tiles >= 1);
-    let chunk = n_iterations.div_ceil(n_tiles);
-    (0..n_iterations).map(|e| (e / chunk) as u32).collect()
+    let chunk = n_iterations.div_ceil(n_tiles).max(1);
+    (0..n_iterations)
+        .map(|e| red_black_id(e / chunk, n_tiles))
+        .collect()
+}
+
+/// Red-black tile id for spatial block `b` out of `n_tiles`: even
+/// blocks occupy ids `0..⌈T/2⌉`, odd blocks the rest.
+#[inline]
+fn red_black_id(b: usize, n_tiles: usize) -> u32 {
+    let evens = n_tiles.div_ceil(2);
+    let id = if b.is_multiple_of(2) {
+        b / 2
+    } else {
+        evens + b / 2
+    };
+    id as u32
+}
+
+/// Seed the first loop's iterations into `n_tiles` tiles by a
+/// *representative data-side target*: `targets[e]` (e.g. the first node
+/// of edge `e`, out of `n_targets` nodes) picks the spatial block, and
+/// blocks are numbered red-black as in [`seed_blocks`]. Use this when
+/// the iteration set's own numbering is not spatially coherent (e.g.
+/// grid generators that group edges by direction) but the target set's
+/// is — the resulting tiles follow the target set's geometry, so far
+/// fewer tile pairs conflict and the levelizer exposes real
+/// parallelism. Targets of `u32::MAX` (beyond the built halo) fall back
+/// to an iteration-index block.
+pub fn seed_from_targets(targets: &[u32], n_targets: usize, n_tiles: usize) -> Vec<u32> {
+    assert!(n_tiles >= 1);
+    let chunk = n_targets.div_ceil(n_tiles).max(1);
+    let iter_chunk = targets.len().div_ceil(n_tiles).max(1);
+    targets
+        .iter()
+        .enumerate()
+        .map(|(e, &t)| {
+            let b = if t == u32::MAX {
+                e / iter_chunk
+            } else {
+                (t as usize / chunk).min(n_tiles - 1)
+            };
+            red_black_id(b, n_tiles)
+        })
+        .collect()
 }
 
 /// Build the tile-growth schedule over a whole domain. `seed[e]`
@@ -171,20 +235,249 @@ pub fn build_tile_plan_raw(
         }
         iters.push(buckets);
     }
-    TilePlan { n_tiles, iters }
+    let (levels, n_levels, by_level) = tile_conflict_levels(set_sizes, maps, sigs, &iters);
+    TilePlan {
+        n_tiles,
+        iters,
+        levels,
+        n_levels,
+        by_level,
+    }
+}
+
+/// One cross-tile-relevant access of a chain loop: only accesses of dats
+/// that *some* loop of the chain modifies can induce inter-tile
+/// conflicts (a dat nobody writes is static for the whole chain).
+struct TileAccess<'a> {
+    map: Option<(&'a [u32], usize, usize)>,
+    set: usize,
+    reads: bool,
+    modifies: bool,
+}
+
+impl TileAccess<'_> {
+    #[inline]
+    fn target(&self, e: usize) -> Option<usize> {
+        match self.map {
+            Some((values, arity, idx)) => {
+                let v = values[e * arity + idx];
+                (v != u32::MAX).then_some(v as usize) // beyond built halo depth
+            }
+            None => Some(e),
+        }
+    }
+}
+
+fn chain_tile_accesses<'a>(
+    maps: &'a [crate::MapData],
+    sigs: &'a [LoopSig],
+) -> Vec<Vec<TileAccess<'a>>> {
+    let modified: std::collections::HashSet<usize> = sigs
+        .iter()
+        .flat_map(|sig| sig.args.iter())
+        .filter_map(|arg| match arg {
+            crate::access::Arg::Dat { dat, mode, .. } if mode.modifies() => Some(dat.idx()),
+            _ => None,
+        })
+        .collect();
+    sigs.iter()
+        .map(|sig| {
+            sig.args
+                .iter()
+                .filter_map(|arg| match arg {
+                    crate::access::Arg::Dat { dat, map, mode } if modified.contains(&dat.idx()) => {
+                        let (map_info, set) = match map {
+                            Some((m, idx)) => {
+                                let md = &maps[m.idx()];
+                                (
+                                    Some((md.values.as_slice(), md.arity, *idx as usize)),
+                                    md.to.idx(),
+                                )
+                            }
+                            None => (None, sig.set.idx()),
+                        };
+                        Some(TileAccess {
+                            map: map_info,
+                            set,
+                            reads: mode.reads(),
+                            modifies: mode.modifies(),
+                        })
+                    }
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Levelize tiles with the same order-preserving rule
+/// [`crate::par::color_blocks_raw`] applies to blocks:
+///
+/// > `level(t) = 1 + max{ level(t') : t' < t and t' conflicts with t }`
+///
+/// where two tiles conflict when, across *any* loops of the chain, they
+/// touch a common element of a chain-modified dat with at least one of
+/// the two accesses modifying. Because a tile's level only ever depends
+/// on earlier tiles, every conflicting pair is ordered by level in
+/// ascending tile order — the property [`Schedule::from_tile_plan`]
+/// turns into the threaded bitwise-identity contract.
+fn tile_conflict_levels(
+    set_sizes: &[usize],
+    maps: &[crate::MapData],
+    sigs: &[LoopSig],
+    iters: &[Vec<Vec<u32>>],
+) -> (Vec<u32>, usize, Vec<Vec<u32>>) {
+    let n_tiles = iters[0].len();
+    let accesses = chain_tile_accesses(maps, sigs);
+    // Highest 1-based level of an earlier modifier / reader touching
+    // each element (0 = untouched) — the block-coloring rule, lifted to
+    // whole tiles across every loop of the chain.
+    let mut last_w: Vec<Vec<u32>> = set_sizes.iter().map(|&s| vec![0u32; s]).collect();
+    let mut last_r: Vec<Vec<u32>> = set_sizes.iter().map(|&s| vec![0u32; s]).collect();
+    let mut levels = vec![0u32; n_tiles];
+    let mut n_levels = 1usize;
+    for t in 0..n_tiles {
+        let mut need = 0u32;
+        for (j, per_loop) in accesses.iter().enumerate() {
+            for &e in &iters[j][t] {
+                for a in per_loop {
+                    let Some(elem) = a.target(e as usize) else {
+                        continue;
+                    };
+                    need = need.max(last_w[a.set][elem]);
+                    if a.modifies {
+                        need = need.max(last_r[a.set][elem]);
+                    }
+                }
+            }
+        }
+        let lv1 = need + 1; // this tile's 1-based level
+        levels[t] = lv1 - 1;
+        n_levels = n_levels.max(lv1 as usize);
+        for (j, per_loop) in accesses.iter().enumerate() {
+            for &e in &iters[j][t] {
+                for a in per_loop {
+                    let Some(elem) = a.target(e as usize) else {
+                        continue;
+                    };
+                    if a.modifies {
+                        let s = &mut last_w[a.set][elem];
+                        *s = (*s).max(lv1);
+                    } else if a.reads {
+                        let s = &mut last_r[a.set][elem];
+                        *s = (*s).max(lv1);
+                    }
+                }
+            }
+        }
+    }
+    let mut by_level: Vec<Vec<u32>> = vec![Vec::new(); n_levels];
+    for (t, &l) in levels.iter().enumerate() {
+        by_level[l as usize].push(t as u32);
+    }
+    (levels, n_levels, by_level)
+}
+
+/// Verify a plan's conflict levels against the raw structure:
+/// level/`by_level` consistency, and for every element of a
+/// chain-modified dat touched by two different tiles with at least one
+/// modifier, strictly ascending levels in tile-id order (race freedom
+/// within a level plus the order-preservation the bitwise contract
+/// needs). Used by tests and debug assertions.
+pub fn is_valid_tile_levels(
+    set_sizes: &[usize],
+    maps: &[crate::MapData],
+    sigs: &[LoopSig],
+    plan: &TilePlan,
+) -> bool {
+    if plan.levels.len() != plan.n_tiles || plan.by_level.len() != plan.n_levels {
+        return false;
+    }
+    let mut seen = vec![false; plan.n_tiles];
+    for (l, bucket) in plan.by_level.iter().enumerate() {
+        for &t in bucket {
+            let t = t as usize;
+            if t >= plan.n_tiles || seen[t] || plan.levels[t] as usize != l {
+                return false;
+            }
+            seen[t] = true;
+        }
+    }
+    if !seen.iter().all(|&s| s) {
+        return false;
+    }
+    // Per-element touch lists: (tile, modifies).
+    let accesses = chain_tile_accesses(maps, sigs);
+    let mut touches: Vec<Vec<Vec<(u32, bool)>>> =
+        set_sizes.iter().map(|&s| vec![Vec::new(); s]).collect();
+    for t in 0..plan.n_tiles {
+        for (j, per_loop) in accesses.iter().enumerate() {
+            for &e in &plan.iters[j][t] {
+                for a in per_loop {
+                    if let Some(elem) = a.target(e as usize) {
+                        touches[a.set][elem].push((t as u32, a.modifies));
+                    }
+                }
+            }
+        }
+    }
+    for per_set in &touches {
+        for list in per_set {
+            for (i, &(t1, w1)) in list.iter().enumerate() {
+                for &(t2, w2) in &list[i + 1..] {
+                    if t1 == t2 || !(w1 || w2) {
+                        continue; // intra-tile or read-read: no conflict
+                    }
+                    let (lo, hi) = if t1 < t2 { (t1, t2) } else { (t2, t1) };
+                    if plan.levels[lo as usize] >= plan.levels[hi as usize] {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
 }
 
 /// Execute a chain tile by tile on the global domain (the shared-memory
 /// execution of §2.2: all iterations of tile `T_i` across every loop,
-/// then tile `T_{i+1}`, …).
+/// then tile `T_{i+1}`, …) — lowered through [`Schedule::from_tile_plan`]
+/// and walked sequentially. Level order equals ascending-tile order on
+/// every conflicting pair, so this is bitwise identical to the classic
+/// tile-id walk.
 pub fn run_chain_tiled(dom: &mut Domain, chain: &ChainSpec, plan: &TilePlan) {
     assert_eq!(plan.iters.len(), chain.len());
-    for tile in 0..plan.n_tiles {
-        for (j, spec) in chain.loops.iter().enumerate() {
-            debug_assert!(!spec.has_reduction());
-            run_loop_indexed(dom, spec, &plan.iters[j][tile]);
-        }
+    for spec in &chain.loops {
+        debug_assert!(!spec.has_reduction());
     }
+    let sched = Schedule::from_tile_plan(plan);
+    let (bound, _gbls) = bind_chain(dom, chain);
+    run_schedule(&bound, &sched);
+}
+
+/// Execute a chain tile by tile with `n_threads` workers: same-level
+/// tiles run concurrently, with a barrier between levels. Bitwise
+/// identical to [`run_chain_tiled`] for any thread count (the levels
+/// order every conflicting tile pair; see [`tile_conflict_levels`]).
+///
+/// # Panics
+/// Panics if any loop of the chain carries global reduction arguments.
+pub fn run_chain_tiled_threads(
+    dom: &mut Domain,
+    chain: &ChainSpec,
+    plan: &TilePlan,
+    n_threads: usize,
+) {
+    assert_eq!(plan.iters.len(), chain.len());
+    for spec in &chain.loops {
+        assert!(
+            !spec.has_reduction(),
+            "threaded tiled execution does not support global reductions"
+        );
+    }
+    let sched = Schedule::from_tile_plan(plan);
+    let (bound, _gbls) = bind_chain(dom, chain);
+    run_schedule_threads(&bound, &sched, n_threads);
 }
 
 #[cfg(test)]
@@ -246,7 +539,16 @@ mod tests {
         assert_eq!(seed.len(), 10);
         assert_eq!(seed.iter().filter(|&&t| t == 0).count(), 4);
         assert_eq!(*seed.iter().max().unwrap(), 2);
-        assert_eq!(seed_blocks(4, 8).iter().max().copied(), Some(3));
+        // Red-black numbering: spatial blocks 0..3 map to ids 0,4,1,5
+        // (evens first), so 4 iterations over 8 tiles peak at id 5.
+        assert_eq!(seed_blocks(4, 8).iter().max().copied(), Some(5));
+        // Spatially adjacent blocks always land in different phases.
+        let seed = seed_blocks(40, 8);
+        for w in seed.windows(2) {
+            if w[0] != w[1] {
+                assert!((w[0] < 4) != (w[1] < 4), "adjacent blocks {w:?} share a phase");
+            }
+        }
     }
 
     /// Every iteration of every loop lands in exactly one tile, and the
@@ -267,12 +569,14 @@ mod tests {
             assert_eq!(all, expect);
         }
         // Tile growth on the path: the consumer edge at a tile boundary
-        // must move to the later tile (it reads a node the later tile's
-        // producer increments).
-        let boundary_edge = 7u32; // seed: edges 0..8 tile 0, 8..16 tile 1
+        // must move to the later-id tile (it reads a node the later
+        // tile's producer increments). Red-black seed: edges 0..8 are
+        // tile 0, edges 8..16 are tile 2 (odd spatial block, second
+        // phase).
+        let boundary_edge = 7u32;
         let in_tile0 = plan.iters[1][0].contains(&boundary_edge);
-        let in_tile1 = plan.iters[1][1].contains(&boundary_edge);
-        assert!(in_tile1 && !in_tile0, "boundary edge must grow forward");
+        let in_tile2 = plan.iters[1][2].contains(&boundary_edge);
+        assert!(in_tile2 && !in_tile0, "boundary edge must grow forward");
     }
 
     /// Tiled execution equals plain sequential execution exactly on
@@ -360,6 +664,88 @@ mod tests {
                 "WAR violated at {n_tiles} tiles"
             );
             assert_eq!(plain.dat(s).data, tiled.dat(s).data);
+        }
+    }
+
+    /// On a path chain, spatially adjacent tiles share boundary nodes
+    /// and always conflict — but the red-black seed numbering puts
+    /// neighbours in different id phases, so the levelizer packs the
+    /// even-phase tiles into level 0 and the odd-phase tiles into level
+    /// 1 instead of degenerating into a 4-rung ladder. The plan must
+    /// also pass the validity checker.
+    #[test]
+    fn path_tiles_level_red_black() {
+        let (dom, produce, consume, _) = path_domain(40);
+        let sigs = vec![produce.sig(), consume.sig()];
+        let seed = seed_blocks(39, 4);
+        let plan = build_tile_plan(&dom, &sigs, &seed);
+        let set_sizes: Vec<usize> = dom.sets().iter().map(|s| s.size).collect();
+        assert!(is_valid_tile_levels(&set_sizes, dom.maps(), &sigs, &plan));
+        assert_eq!(plan.levels, vec![0, 0, 1, 1]);
+        assert_eq!(plan.n_levels, 2);
+        let sched = crate::schedule::Schedule::from_tile_plan(&plan);
+        assert!(sched.has_parallelism());
+    }
+
+    /// Tiles over disconnected mesh components share one level (full
+    /// parallelism), and the schedule lowering reflects it.
+    #[test]
+    fn disjoint_tiles_share_a_level() {
+        // 4 disconnected 2-node components, one edge each.
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", 8);
+        let edges = dom.decl_set("edges", 4);
+        let vals: Vec<u32> = (0..4u32).flat_map(|i| [2 * i, 2 * i + 1]).collect();
+        let e2n = dom.decl_map("e2n", edges, nodes, 2, vals).unwrap();
+        let s = dom.decl_dat_zeros("s", nodes, 1);
+        let a = dom.decl_dat_zeros("a", nodes, 1);
+        let produce = LoopSpec::new(
+            "produce",
+            edges,
+            vec![
+                Arg::dat_indirect(a, e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(a, e2n, 1, AccessMode::Inc),
+                Arg::dat_indirect(s, e2n, 0, AccessMode::Read),
+                Arg::dat_indirect(s, e2n, 1, AccessMode::Read),
+            ],
+            produce_kernel,
+        );
+        let sigs = vec![produce.sig()];
+        let seed: Vec<u32> = (0..4).collect(); // one edge per tile
+        let plan = build_tile_plan(&dom, &sigs, &seed);
+        let set_sizes: Vec<usize> = dom.sets().iter().map(|s| s.size).collect();
+        assert!(is_valid_tile_levels(&set_sizes, dom.maps(), &sigs, &plan));
+        assert_eq!(plan.n_levels, 1);
+        let sched = crate::schedule::Schedule::from_tile_plan(&plan);
+        assert_eq!(sched.max_level_chunks(), 4);
+        assert!(sched.has_parallelism());
+    }
+
+    /// Threaded tiled execution is bitwise identical to the sequential
+    /// tiled walk (and hence to plain sequential execution) at 1, 2 and
+    /// 4 threads — the core-level statement of the extended determinism
+    /// contract.
+    #[test]
+    fn threaded_tiles_bitwise_equal_sequential() {
+        for n_tiles in [1, 3, 7] {
+            let (dom, produce, consume, dats) = path_domain(60);
+            let chain =
+                ChainSpec::new("pc", vec![produce.clone(), consume.clone()], None, &[]).unwrap();
+            let seed = seed_blocks(59, n_tiles);
+            let plan = build_tile_plan(&dom, &chain.sigs(), &seed);
+
+            let mut tiled = dom.clone();
+            run_chain_tiled(&mut tiled, &chain, &plan);
+
+            for threads in [1usize, 2, 4] {
+                let mut thr = dom.clone();
+                run_chain_tiled_threads(&mut thr, &chain, &plan, threads);
+                for d in dats {
+                    let a: Vec<u64> = tiled.dat(d).data.iter().map(|v| v.to_bits()).collect();
+                    let b: Vec<u64> = thr.dat(d).data.iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(a, b, "n_tiles={n_tiles} threads={threads}");
+                }
+            }
         }
     }
 

@@ -5,7 +5,7 @@ use crate::app::{ExtentMode, Hydra, Step};
 use op2_core::seq;
 use op2_model::Machine;
 use op2_partition::RankLayout;
-use op2_runtime::exec::{run_chain, run_chain_relaxed, run_loop};
+use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
     run_distributed, run_distributed_with, RankTrace, RunOptions, Threading, Tuner, TunerMode,
 };
@@ -158,6 +158,90 @@ pub fn run_ca_threaded(
         1,
         &RunOptions::default().threading(threading),
     )
+}
+
+/// [`run_ca`] with intra-rank sparse tiling of every *strict* chain
+/// (`n_tiles` tiles per rank through the leveled [`op2_core::Schedule`]
+/// lowering); relaxed chains keep their pinned-extent executor, whose
+/// accuracy contract the tiling inspection does not model.
+pub fn run_ca_tiled(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    n_tiles: usize,
+) -> RunOutcome {
+    run_dist_tiled(app, layouts, iters, mode, n_tiles, &RunOptions::default())
+}
+
+/// [`run_ca_tiled`] with `threading.n_threads` pool threads per rank:
+/// same-level (provably conflict-free) tiles run concurrently, bitwise
+/// identical to the sequential tiled executor at any thread count.
+pub fn run_ca_tiled_threaded(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    n_tiles: usize,
+    threading: Threading,
+) -> RunOutcome {
+    run_dist_tiled(
+        app,
+        layouts,
+        iters,
+        mode,
+        n_tiles,
+        &RunOptions::default().threading(threading),
+    )
+}
+
+fn run_dist_tiled(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    n_tiles: usize,
+    opts: &RunOptions,
+) -> RunOutcome {
+    let setup = app.setup(true, mode);
+    let iteration = app.rk_iteration(true, mode, 1);
+    let norm_spec = app.norm_loop();
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let exec_steps = |env: &mut op2_runtime::RankEnv<'_>,
+                      steps: &[Step]|
+     -> Result<(), op2_runtime::RuntimeError> {
+        for step in steps {
+            match step {
+                Step::Loop(l) => {
+                    run_loop(env, l)?;
+                }
+                Step::Chain(c, relaxed) => {
+                    if *relaxed {
+                        run_chain_relaxed(env, c)?;
+                    } else {
+                        run_chain_tiled(env, c, n_tiles)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let out = run_distributed_with(&mut app.mesh.dom, layouts, opts, |env| {
+        exec_steps(env, &setup)?;
+        let mut norm = 0.0;
+        for _ in 0..iters {
+            exec_steps(env, &iteration)?;
+            let r = run_loop(env, &norm_spec)?;
+            norm = (r.gbls[0][0] / n).sqrt();
+        }
+        Ok(norm)
+    });
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let norm = match &results[0] {
+        Ok(n) => *n,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { norm, traces }
 }
 
 /// [`run_op2`] with `stages` Runge–Kutta stages per iteration (Hydra's
@@ -442,6 +526,7 @@ mod tests {
         let threading = Threading {
             n_threads: 4,
             block_size: 16,
+            auto_block: false,
         };
         let out = run_ca_threaded(&mut app, &l, iters, ExtentMode::Safe, threading);
 
@@ -467,6 +552,62 @@ mod tests {
             out.traces.iter().any(|t| !t.threads.is_empty()),
             "no threaded executions recorded"
         );
+    }
+
+    /// The threaded tiled executor on Hydra: CA + sparse tiling of the
+    /// strict chains with pool threads is **bitwise identical** to the
+    /// sequential tiled run, and the traces prove same-level tiles
+    /// actually went through the pool.
+    #[test]
+    fn tiled_threaded_bitwise_equals_tiled_sequential() {
+        let params = HydraParams::small(10);
+        let (iters, n_tiles) = (2, 8);
+
+        let mut ref_app = Hydra::new(params);
+        let l0 = layouts_for(&ref_app, 2, ref_app.required_depth(ExtentMode::Safe));
+        let reference = run_ca_tiled(&mut ref_app, &l0, iters, ExtentMode::Safe, n_tiles);
+
+        let mut app = Hydra::new(params);
+        let l = layouts_for(&app, 2, app.required_depth(ExtentMode::Safe));
+        let out = run_ca_tiled_threaded(
+            &mut app,
+            &l,
+            iters,
+            ExtentMode::Safe,
+            n_tiles,
+            Threading::with_threads(4),
+        );
+
+        assert_eq!(
+            out.norm.to_bits(),
+            reference.norm.to_bits(),
+            "tiled-threaded norm diverged"
+        );
+        for dat in [app.qp, app.qo, app.vres, app.jac] {
+            let name = &app.mesh.dom.dat(dat).name;
+            let got: Vec<u64> = app.mesh.dom.dat(dat).data.iter().map(|x| x.to_bits()).collect();
+            let want: Vec<u64> = ref_app
+                .mesh
+                .dom
+                .dat(dat)
+                .data
+                .iter()
+                .map(|x| x.to_bits())
+                .collect();
+            assert_eq!(got, want, "tiled-threaded run diverged on dat `{name}`");
+        }
+        let tiled: Vec<_> = out
+            .traces
+            .iter()
+            .flat_map(|t| &t.threads)
+            .filter(|r| r.kind == op2_runtime::SchedKind::Tiled)
+            .collect();
+        assert!(!tiled.is_empty(), "no tiled pool executions recorded");
+        for rec in tiled {
+            assert_eq!(rec.n_threads, 4);
+            assert_eq!(rec.level_ns.len(), rec.n_levels);
+            assert_eq!(rec.block_size, 0, "tiled schedules chunk by tile");
+        }
     }
 
     /// Per chain, CA sends fewer messages than the flattened baseline

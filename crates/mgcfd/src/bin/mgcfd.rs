@@ -6,10 +6,12 @@
 //! ```
 //!
 //! Backends: `seq` (reference), `op2` (Alg 1 per loop), `ca` (Alg 2 for
-//! the synthetic chain). Prints the final flow norm, per-backend message
-//! statistics and the chain's execution plan.
+//! the synthetic chain), `tiled` (Alg 2 + intra-rank sparse tiling of
+//! the chain, `--tiles` per rank; `OP2_THREADS` fans same-level tiles
+//! across each rank's pool). Prints the final flow norm, per-backend
+//! message statistics and the chain's execution plan.
 
-use mg_cfd::{run_ca, run_op2, run_sequential, MgCfd, MgCfdParams};
+use mg_cfd::{run_ca, run_ca_tiled, run_op2, run_sequential, MgCfd, MgCfdParams};
 use op2_mesh::Hex3DParams;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 
@@ -19,6 +21,7 @@ struct Opts {
     nchains: usize,
     ranks: usize,
     iters: usize,
+    tiles: usize,
     backend: String,
 }
 
@@ -29,6 +32,7 @@ fn parse_opts() -> Opts {
         nchains: 4,
         ranks: 4,
         iters: 5,
+        tiles: 8,
         backend: "ca".into(),
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -45,11 +49,12 @@ fn parse_opts() -> Opts {
             "--nchains" => o.nchains = val().parse().expect("--nchains"),
             "--ranks" => o.ranks = val().parse().expect("--ranks"),
             "--iters" => o.iters = val().parse().expect("--iters"),
+            "--tiles" => o.tiles = val().parse().expect("--tiles"),
             "--backend" => o.backend = val(),
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --n <grid> --levels <mg levels> --nchains <pairs> \
-                     --ranks <n> --iters <n> --backend seq|op2|ca"
+                     --ranks <n> --iters <n> --tiles <n> --backend seq|op2|ca|tiled"
                 );
                 std::process::exit(0);
             }
@@ -82,18 +87,18 @@ fn main() {
 
     let outcome = match o.backend.as_str() {
         "seq" => run_sequential(&mut app, o.iters),
-        "op2" | "ca" => {
+        "op2" | "ca" | "tiled" => {
             let coords = &app.dom.dat(app.levels[0].ids.coords).data;
             let base = rcb_partition(coords, 3, o.ranks);
             let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, o.ranks);
             let layouts = build_layouts(&app.dom, &own, 2);
-            if o.backend == "op2" {
-                run_op2(&mut app, &layouts, o.iters)
-            } else {
-                run_ca(&mut app, &layouts, o.iters)
+            match o.backend.as_str() {
+                "op2" => run_op2(&mut app, &layouts, o.iters),
+                "ca" => run_ca(&mut app, &layouts, o.iters),
+                _ => run_ca_tiled(&mut app, &layouts, o.iters, o.tiles),
             }
         }
-        other => panic!("unknown backend `{other}` (seq|op2|ca)"),
+        other => panic!("unknown backend `{other}` (seq|op2|ca|tiled)"),
     };
 
     println!("final flow norm after {} iterations: {:.6}", o.iters, outcome.rms);

@@ -27,4 +27,7 @@ pub mod kernels;
 pub mod run;
 
 pub use app::{MgCfd, MgCfdParams};
-pub use run::{run_auto, run_ca, run_ca_tiled, run_op2, run_sequential, run_tuned, RunOutcome};
+pub use run::{
+    run_auto, run_ca, run_ca_threaded, run_ca_tiled, run_ca_tiled_threaded, run_op2,
+    run_sequential, run_tuned, RunOutcome,
+};

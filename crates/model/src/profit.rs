@@ -106,6 +106,63 @@ pub fn classify_threaded(
     classify(mach, &comp.with_threads(threads, n_colors, color_sync_s))
 }
 
+/// [`classify`] for the **threaded-tiled** CA executor: compute shrinks
+/// `threads`-way exactly as in [`classify_threaded`], but the barrier
+/// count is the tile plan's *level* count — the tiled chain executor
+/// pays one pool round per conflict level for the **whole chain**, not
+/// `n_colors` rounds per loop. The cache-locality benefit of tiling
+/// (the reason §2.2 exists) is deliberately unmodelled, so this is a
+/// conservative lower bound on tiling's advantage.
+pub fn classify_threaded_tiled(
+    mach: &Machine,
+    comp: &ChainComponents,
+    threads: usize,
+    n_tile_levels: usize,
+    color_sync_s: f64,
+) -> Profitability {
+    let n_loops = comp.ca.loops.len().max(1);
+    // with_threads amortises `n` barriers per *loop*; the tiled executor
+    // pays `n_tile_levels` per *chain*, so spread them across the loops.
+    let per_loop = n_tile_levels.div_ceil(n_loops);
+    classify(mach, &comp.with_threads(threads, per_loop, color_sync_s))
+}
+
+/// Which pool-backed executor a threaded rank should run a CA-approved
+/// chain on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadedBackend {
+    /// [Alg 2] chain executor, each loop colored-blocked on the pool.
+    Colored,
+    /// The §2.2 sparse-tiled chain executor with same-level tiles run
+    /// concurrently on the pool.
+    Tiled,
+}
+
+/// Choose between the colored and tiled pool executors for one chain on
+/// a threaded rank, by comparing total synchronisation cost: the colored
+/// path pays `n_colors` pool barriers per loop (`n_loops · n_colors`
+/// total), the tiled path pays one barrier per tile conflict level
+/// (`n_tile_levels` total) for the whole chain. Compute cost is
+/// identical under the model (`g/t` either way) and tiling's locality
+/// benefit is unmodelled, so the barrier totals decide — ties go to
+/// `Tiled` (strictly fewer barriers plus the unmodelled locality win).
+pub fn choose_threaded_backend(
+    threads: usize,
+    n_loops: usize,
+    n_colors: usize,
+    n_tile_levels: usize,
+) -> ThreadedBackend {
+    if threads <= 1 {
+        // No pool: barrier counts are irrelevant; keep the default path.
+        return ThreadedBackend::Colored;
+    }
+    if n_tile_levels <= n_loops.max(1) * n_colors {
+        ThreadedBackend::Tiled
+    } else {
+        ThreadedBackend::Colored
+    }
+}
+
 /// The paper's narrative for a class on a machine kind, for reports.
 pub fn narrative(class: ChainClass, kind: MachineKind) -> &'static str {
     match (class, kind) {
@@ -188,6 +245,30 @@ mod tests {
         let cpu = classify(&Machine::archer2(), &c);
         let gpu = classify(&Machine::cirrus(), &c);
         assert!(gpu.gain_pct > cpu.gain_pct);
+    }
+
+    #[test]
+    fn threaded_tiled_amortises_levels_across_the_chain() {
+        let m = Machine::archer2();
+        let c = comp(1_000_000.0, 300_000.0, 5000, 4800);
+        // Few tile levels → barely any barrier cost: the tiled arm's
+        // gain must be at least the colored arm's with many colors.
+        let tiled = classify_threaded_tiled(&m, &c, 4, 4, COLOR_SYNC_S);
+        let colored = classify_threaded(&m, &c, 4, 64, COLOR_SYNC_S);
+        assert!(tiled.gain_pct >= colored.gain_pct);
+    }
+
+    #[test]
+    fn backend_choice_follows_barrier_totals() {
+        use ThreadedBackend::*;
+        // 2 loops × 8 colors = 16 barriers colored; 5 tile levels wins.
+        assert_eq!(choose_threaded_backend(4, 2, 8, 5), Tiled);
+        // 40 tile levels loses to 16 colored barriers.
+        assert_eq!(choose_threaded_backend(4, 2, 8, 40), Colored);
+        // Ties go to tiled (unmodelled locality win).
+        assert_eq!(choose_threaded_backend(4, 2, 8, 16), Tiled);
+        // Single-threaded: no pool, colored path (i.e. plain CA).
+        assert_eq!(choose_threaded_backend(1, 2, 8, 1), Colored);
     }
 
     #[test]

@@ -31,14 +31,13 @@
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
 use crate::plan::{ChainPlan, PlanCache};
-use crate::threads::{shared_pool, ThreadCtx, Threading};
-use crate::trace::{ExchangeRec, RankTrace, ThreadRec};
-use op2_core::par::{color_blocks_raw, conflict_accesses, BlockColoring};
-use op2_core::{AccessMode, Arg, Args, DatId, Domain, KernelFn, LoopSpec};
-use op2_core::kernel::ArgSlot;
-use op2_partition::layout::{RankLayout, NONLOCAL};
+use crate::threads::{run_schedule_pooled, ThreadCtx, Threading};
+use crate::trace::{ExchangeRec, RankTrace, SchedKind, ThreadRec};
+use op2_core::par::{adaptive_block_size, color_blocks_raw, conflict_accesses, BlockColoring};
+use op2_core::schedule::{run_schedule, BoundArg, BoundLoop, Schedule, ScheduleKind};
+use op2_core::{Arg, ChainSpec, DatId, Domain, LoopSpec};
+use op2_partition::layout::RankLayout;
 use std::sync::Arc;
-use std::time::Instant;
 
 enum ExecIters<'a> {
     Range(usize, usize),
@@ -142,9 +141,10 @@ impl<'a> RankEnv<'a> {
     /// reduction accumulators), one per [`op2_core::GblDecl`].
     ///
     /// With threading active ([`Threading::active`]) and a range worth
-    /// splitting, this dispatches to the colored-threaded executor,
-    /// caching the block coloring per (loop, range, block size) in the
-    /// rank's [`ThreadCtx`]. Results are bitwise identical either way.
+    /// splitting, the range is lowered to a colored [`Schedule`] (cached
+    /// per (loop, range, block size) in the rank's [`ThreadCtx`]) and
+    /// executed on the rank's pool. Results are bitwise identical either
+    /// way.
     pub fn exec_range(
         &mut self,
         spec: &LoopSpec,
@@ -152,35 +152,29 @@ impl<'a> RankEnv<'a> {
         end: usize,
         gbl_bufs: &mut [Vec<f64>],
     ) {
-        if self.use_threads(spec, start, end) {
-            let key = (
-                crate::plan::loop_signature(spec),
-                start,
-                end,
-                self.threads.opts.block_size,
-            );
-            let bc = match self.threads.cached(key) {
-                Some(bc) => {
-                    self.plans.stats.color_hits += 1;
-                    bc
-                }
-                None => {
-                    self.plans.stats.color_misses += 1;
-                    let bc = Arc::new(self.build_block_coloring(spec, start, end));
-                    self.threads.store(key, Arc::clone(&bc));
-                    bc
-                }
-            };
-            self.exec_range_colored(spec, gbl_bufs, &bc);
-        } else {
-            self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs)
-        }
+        let Some(block_size) = self.threaded_block_size(spec, start, end) else {
+            return self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs);
+        };
+        let key = (crate::plan::loop_signature(spec), start, end, block_size);
+        let sched = match self.threads.cached(key) {
+            Some(s) => {
+                self.plans.stats.color_hits += 1;
+                s
+            }
+            None => {
+                self.plans.stats.color_misses += 1;
+                let s = Arc::new(self.build_loop_schedule(spec, start, end, block_size));
+                self.threads.store(key, Arc::clone(&s));
+                s
+            }
+        };
+        self.exec_schedule_threaded(spec, gbl_bufs, &sched);
     }
 
     /// [`RankEnv::exec_range`] for a chain loop with a cached plan: the
-    /// block coloring is cached *in the plan* (keyed by loop position,
+    /// lowered schedule is cached *in the plan* (keyed by loop position,
     /// range and block size), alongside the other inspector products —
-    /// repeat chain invocations re-color nothing.
+    /// repeat chain invocations re-lower nothing.
     pub fn exec_range_planned(
         &mut self,
         spec: &LoopSpec,
@@ -190,34 +184,51 @@ impl<'a> RankEnv<'a> {
         plan: &ChainPlan,
         pos: usize,
     ) {
-        if !self.use_threads(spec, start, end) {
+        let Some(block_size) = self.threaded_block_size(spec, start, end) else {
             return self.exec_impl(spec, ExecIters::Range(start, end), gbl_bufs);
-        }
-        let key = (pos, start, end, self.threads.opts.block_size);
-        let bc = match plan.cached_block_coloring(key) {
-            Some(bc) => {
+        };
+        let key = (pos, start, end, block_size);
+        let sched = match plan.cached_schedule(key) {
+            Some(s) => {
                 self.plans.stats.color_hits += 1;
-                bc
+                s
             }
             None => {
                 self.plans.stats.color_misses += 1;
-                let bc = Arc::new(self.build_block_coloring(spec, start, end));
-                plan.store_block_coloring(key, Arc::clone(&bc));
-                bc
+                let s = Arc::new(self.build_loop_schedule(spec, start, end, block_size));
+                plan.store_schedule(key, Arc::clone(&s));
+                s
             }
         };
-        self.exec_range_colored(spec, gbl_bufs, &bc);
+        self.exec_schedule_threaded(spec, gbl_bufs, &sched);
     }
 
-    /// Should `[start, end)` of `spec` run on the thread pool? Requires
-    /// an active configuration, no global reduction (order-sensitive
-    /// float sums must accumulate in sequential order), and more than
-    /// one block's worth of iterations (a single block has no
-    /// parallelism to expose).
-    fn use_threads(&self, spec: &LoopSpec, start: usize, end: usize) -> bool {
-        self.threads.opts.active()
-            && !spec.has_reduction()
-            && end.saturating_sub(start) > self.threads.opts.block_size
+    /// Should `[start, end)` of `spec` run on the thread pool — and with
+    /// which block size? `None` means run sequentially. Requires an
+    /// active configuration, no global reduction (order-sensitive float
+    /// sums must accumulate in sequential order), and more than one
+    /// block's worth of iterations (a single block has no parallelism to
+    /// expose). Under `OP2_BLOCK_SIZE=auto` the block size is picked
+    /// per-loop from the measured conflict degree.
+    fn threaded_block_size(&self, spec: &LoopSpec, start: usize, end: usize) -> Option<usize> {
+        if !self.threads.opts.active() || spec.has_reduction() {
+            return None;
+        }
+        let block_size = self.chosen_block_size(spec, start, end);
+        (end.saturating_sub(start) > block_size).then_some(block_size)
+    }
+
+    /// The block size for `[start, end)` of `spec`: the configured value,
+    /// or — under `OP2_BLOCK_SIZE=auto` — the adaptive per-loop pick from
+    /// the measured conflict degree over this rank's localized maps.
+    pub fn chosen_block_size(&self, spec: &LoopSpec, start: usize, end: usize) -> usize {
+        if !self.threads.opts.auto_block {
+            return self.threads.opts.block_size;
+        }
+        let sig = spec.sig();
+        let set_sizes: Vec<usize> = self.layout.sets.iter().map(|s| s.n_local()).collect();
+        let accesses = conflict_accesses(&self.layout.maps, &sig);
+        adaptive_block_size(start, end, &set_sizes, &accesses)
     }
 
     /// Inspector: the levelized order-preserving block coloring of
@@ -237,33 +248,33 @@ impl<'a> RankEnv<'a> {
         color_blocks_raw(
             start,
             end,
-            self.threads.opts.block_size,
+            self.chosen_block_size(spec, start, end),
             &set_sizes,
             &accesses,
         )
     }
 
-    /// Executor: run `spec` over the colored blocks, color by color, on
-    /// the shared pool. Same-color blocks touch disjoint modified
-    /// elements (race-free) and conflicting blocks are ordered by
-    /// ascending color = ascending block index, so per-element update
-    /// order equals the sequential executor's — results are bitwise
-    /// identical for any thread count. Appends a [`ThreadRec`] with
-    /// per-color wall times to the trace.
-    fn exec_range_colored(
-        &mut self,
+    /// Inspector: lower `[start, end)` of `spec` to a colored
+    /// [`Schedule`] with the given block size.
+    fn build_loop_schedule(
+        &self,
         spec: &LoopSpec,
-        gbl_bufs: &mut [Vec<f64>],
-        bc: &BlockColoring,
-    ) {
-        struct Info {
-            base: *mut f64,
-            dim: u32,
-            mode: AccessMode,
-            map: Option<(*const u32, usize, usize)>,
-            direct: bool,
-        }
-        let mut infos: Vec<Info> = Vec::with_capacity(spec.args.len());
+        start: usize,
+        end: usize,
+        block_size: usize,
+    ) -> Schedule {
+        let sig = spec.sig();
+        let set_sizes: Vec<usize> = self.layout.sets.iter().map(|s| s.n_local()).collect();
+        let accesses = conflict_accesses(&self.layout.maps, &sig);
+        let bc = color_blocks_raw(start, end, block_size, &set_sizes, &accesses);
+        Schedule::from_block_coloring(&bc)
+    }
+
+    /// Resolve one loop's arguments against this rank's local buffers
+    /// and localized maps — the runtime-side constructor of the shared
+    /// [`BoundLoop`] execution path.
+    fn bind_loop(&mut self, spec: &LoopSpec, gbl_bufs: &mut [Vec<f64>]) -> BoundLoop {
+        let mut args = Vec::with_capacity(spec.args.len());
         for arg in &spec.args {
             match arg {
                 Arg::Dat { dat, map, mode } => {
@@ -273,7 +284,7 @@ impl<'a> RankEnv<'a> {
                         let lm = &self.layout.maps[m.idx()];
                         (lm.values.as_ptr(), lm.arity, idx as usize)
                     });
-                    infos.push(Info {
+                    args.push(BoundArg {
                         base,
                         dim,
                         mode: *mode,
@@ -282,10 +293,8 @@ impl<'a> RankEnv<'a> {
                     });
                 }
                 Arg::Gbl { idx, mode } => {
-                    // use_threads rejected reductions, so these are
-                    // read-only constants — safe to share.
                     let buf = &mut gbl_bufs[*idx as usize];
-                    infos.push(Info {
+                    args.push(BoundArg {
                         base: buf.as_mut_ptr(),
                         dim: buf.len() as u32,
                         mode: *mode,
@@ -295,76 +304,82 @@ impl<'a> RankEnv<'a> {
                 }
             }
         }
+        BoundLoop::from_parts(spec.kernel, args)
+    }
 
-        struct Shared {
-            infos: Vec<Info>,
-            kernel: KernelFn,
-        }
-        // SAFETY: the raw pointers target buffers that outlive this
-        // call; same-color blocks write disjoint elements (coloring
-        // invariant), and reads of shared data are benign.
-        unsafe impl Sync for Shared {}
-        let shared = Shared {
-            infos,
-            kernel: spec.kernel,
+    /// Executor: run one loop's colored schedule on the rank's own pool,
+    /// level by level. Same-level chunks touch disjoint modified
+    /// elements (race-free) and conflicting chunks are ordered by
+    /// ascending level = ascending block index, so per-element update
+    /// order equals the sequential executor's — results are bitwise
+    /// identical for any thread count. Appends a [`ThreadRec`] with
+    /// per-level wall times to the trace.
+    fn exec_schedule_threaded(
+        &mut self,
+        spec: &LoopSpec,
+        gbl_bufs: &mut [Vec<f64>],
+        sched: &Schedule,
+    ) {
+        let bound = self.bind_loop(spec, gbl_bufs);
+        let pool = self.threads.pool();
+        let level_ns = run_schedule_pooled(&pool, std::slice::from_ref(&bound), sched);
+        let block_size = match sched.kind {
+            ScheduleKind::Colored { block_size } => block_size,
+            _ => 0,
         };
-
-        // Borrow the wrapper itself (not its fields) so closures capture
-        // the `Sync` type, not the raw-pointer-bearing field directly.
-        let sh: &Shared = &shared;
-        let run_block = |b: usize| {
-            let (bs, be) = bc.block_range(b);
-            let mut slots: Vec<ArgSlot> = sh
-                .infos
-                .iter()
-                .map(|r| ArgSlot {
-                    ptr: r.base,
-                    dim: r.dim,
-                    mode: r.mode,
-                })
-                .collect();
-            for e in bs..be {
-                for (slot, r) in slots.iter_mut().zip(sh.infos.iter()) {
-                    let elem = match (&r.map, r.direct) {
-                        (Some((mbase, arity, idx)), _) => {
-                            // SAFETY: localized map, in bounds by layout.
-                            let v = unsafe { *mbase.add(e * arity + idx) };
-                            debug_assert_ne!(
-                                v, NONLOCAL,
-                                "threaded loop iter {e} dereferences an \
-                                 element beyond the built halo depth"
-                            );
-                            v as usize
-                        }
-                        (None, true) => e,
-                        (None, false) => 0,
-                    };
-                    // SAFETY: element index within the local buffer
-                    // (layout invariant).
-                    slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-                }
-                (sh.kernel)(&Args::new(&slots));
-            }
-        };
-
-        let pool = shared_pool(self.threads.opts.n_threads);
-        let mut color_ns = Vec::with_capacity(bc.by_color.len());
-        for bucket in &bc.by_color {
-            let t0 = Instant::now();
-            pool.run(bucket.len(), &|bi| run_block(bucket[bi] as usize));
-            color_ns.push(t0.elapsed().as_nanos() as u64);
-        }
-
         self.trace.threads.push(ThreadRec {
             name: spec.name.clone(),
-            start: bc.start,
-            iters: bc.end - bc.start,
-            n_threads: self.threads.opts.n_threads,
-            block_size: bc.block_size,
-            n_blocks: bc.n_blocks(),
-            n_colors: bc.n_colors,
-            color_ns,
+            iters: sched.loop_iters(0),
+            n_threads: pool.n_threads(),
+            block_size,
+            n_chunks: sched.n_chunks(),
+            n_levels: sched.n_levels(),
+            kind: SchedKind::Colored,
+            level_ns,
         });
+    }
+
+    /// Executor: run a whole chain's leveled tile schedule — same-level
+    /// tiles concurrently on the rank's pool when threading is active
+    /// and the schedule has parallelism to expose, sequentially (level
+    /// order, which is bitwise identical to tile-id order) otherwise.
+    /// Appends a [`ThreadRec`] (kind [`SchedKind::Tiled`]) with per-level
+    /// wall times when the pool ran.
+    pub fn exec_chain_schedule(&mut self, chain: &ChainSpec, sched: &Schedule) {
+        debug_assert_eq!(sched.n_loops, chain.len());
+        let mut gbls: Vec<Vec<f64>> = Vec::new();
+        let mut bound = Vec::with_capacity(chain.len());
+        // Flatten per-loop gbl buffers into one arena so every bind's
+        // pointers stay valid (chain loops carry constants only — the
+        // chain analysis rejects reductions).
+        let mut gbl_ranges = Vec::with_capacity(chain.len());
+        for spec in &chain.loops {
+            debug_assert!(!spec.has_reduction());
+            let s = gbls.len();
+            gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
+            gbl_ranges.push(s);
+        }
+        for (spec, &s) in chain.loops.iter().zip(gbl_ranges.iter()) {
+            let bufs = &mut gbls[s..s + spec.gbls.len()];
+            bound.push(self.bind_loop(spec, bufs));
+        }
+        if self.threads.opts.active() && sched.has_parallelism() {
+            let pool = self.threads.pool();
+            let level_ns = run_schedule_pooled(&pool, &bound, sched);
+            let iters: usize = (0..sched.n_loops).map(|j| sched.loop_iters(j)).sum();
+            self.trace.threads.push(ThreadRec {
+                name: chain.name.clone(),
+                iters,
+                n_threads: pool.n_threads(),
+                block_size: 0,
+                n_chunks: sched.n_chunks(),
+                n_levels: sched.n_levels(),
+                kind: SchedKind::Tiled,
+                level_ns,
+            });
+        } else {
+            run_schedule(&bound, sched);
+        }
     }
 
     /// Execute `spec`'s kernel over an explicit local iteration list —
@@ -374,6 +389,9 @@ impl<'a> RankEnv<'a> {
         self.exec_impl(spec, ExecIters::List(iters), gbl_bufs)
     }
 
+    /// Sequential execution through the shared [`BoundLoop`] path (a
+    /// degenerate one-chunk schedule — there is no second execution loop
+    /// in the runtime either).
     fn exec_impl(&mut self, spec: &LoopSpec, iters: ExecIters<'_>, gbl_bufs: &mut [Vec<f64>]) {
         let empty = match &iters {
             ExecIters::Range(s, e) => s >= e,
@@ -382,85 +400,10 @@ impl<'a> RankEnv<'a> {
         if empty {
             return;
         }
-        struct Resolved {
-            base: *mut f64,
-            dim: u32,
-            mode: AccessMode,
-            map: Option<(*const u32, usize, usize)>,
-            direct: bool,
-        }
-        let mut resolved: Vec<Resolved> = Vec::with_capacity(spec.args.len());
-        for arg in &spec.args {
-            match arg {
-                Arg::Dat { dat, map, mode } => {
-                    let dim = self.dom.dat(*dat).dim as u32;
-                    let base = self.dats[dat.idx()].as_mut_ptr();
-                    let map_info = map.map(|(m, idx)| {
-                        let lm = &self.layout.maps[m.idx()];
-                        (lm.values.as_ptr(), lm.arity, idx as usize)
-                    });
-                    resolved.push(Resolved {
-                        base,
-                        dim,
-                        mode: *mode,
-                        map: map_info,
-                        direct: map.is_none(),
-                    });
-                }
-                Arg::Gbl { idx, mode } => {
-                    let buf = &mut gbl_bufs[*idx as usize];
-                    resolved.push(Resolved {
-                        base: buf.as_mut_ptr(),
-                        dim: buf.len() as u32,
-                        mode: *mode,
-                        map: None,
-                        direct: false,
-                    });
-                }
-            }
-        }
-        let mut slots: Vec<ArgSlot> = resolved
-            .iter()
-            .map(|r| ArgSlot {
-                ptr: r.base,
-                dim: r.dim,
-                mode: r.mode,
-            })
-            .collect();
-        let mut body = |e: usize| {
-            for (slot, r) in slots.iter_mut().zip(resolved.iter()) {
-                let elem = match (&r.map, r.direct) {
-                    (Some((mbase, arity, idx)), _) => {
-                        // SAFETY: localized map, in bounds by layout.
-                        let v = unsafe { *mbase.add(e * arity + idx) };
-                        debug_assert_ne!(
-                            v, NONLOCAL,
-                            "rank {}: loop `{}` iter {e} dereferences an \
-                             element beyond the built halo depth",
-                            self.rank, spec.name
-                        );
-                        v as usize
-                    }
-                    (None, true) => e,
-                    (None, false) => 0,
-                };
-                // SAFETY: element index within the local buffer (layout
-                // invariant); value-based kernel access tolerates alias.
-                slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-            }
-            (spec.kernel)(&Args::new(&slots));
-        };
+        let bound = self.bind_loop(spec, gbl_bufs);
         match iters {
-            ExecIters::Range(start, end) => {
-                for e in start..end {
-                    body(e);
-                }
-            }
-            ExecIters::List(list) => {
-                for &e in list {
-                    body(e as usize);
-                }
-            }
+            ExecIters::Range(start, end) => bound.run_range(start, end),
+            ExecIters::List(list) => bound.run_list(list),
         }
     }
 
@@ -721,7 +664,7 @@ impl<'a> RankEnv<'a> {
 mod tests {
     use super::*;
     use crate::comm::CommWorld;
-    use op2_core::{AccessMode, Arg, LoopSpec};
+    use op2_core::{AccessMode, Arg, Args, LoopSpec};
     use op2_mesh::Quad2D;
     use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 

@@ -445,7 +445,10 @@ fn run_chain_unplanned_mode(
 /// Trade-off vs [`run_chain`]: no prewait core overlap (the exchange
 /// completes before the tiled execution starts), in exchange for the
 /// cache locality. This mirrors the paper's two levels: MPI-rank = outer
-/// tile, `n_tiles` inner tiles per rank.
+/// tile, `n_tiles` inner tiles per rank. With threading active the
+/// plan's leveled tile schedule runs same-level (provably conflict-free)
+/// tiles concurrently on the rank's pool — still bitwise identical to
+/// the sequential tile-by-tile walk.
 pub fn run_chain_tiled(
     env: &mut RankEnv<'_>,
     chain: &ChainSpec,
@@ -464,44 +467,44 @@ pub fn run_chain_tiled(
     let rec = env.exchange_planned(&plan);
     env.exchange_wait_planned(&plan)?;
 
-    let (tiles, built) = plan.tile_plan(env.layout, chain, n_tiles);
+    let (_tiles, sched, built) = plan.tile_schedule(env.layout, chain, n_tiles);
     if built {
         env.plans.stats.tile_misses += 1;
     } else {
         env.plans.stats.tile_hits += 1;
     }
 
-    // Validity requirements are those of run_chain's halo phase.
+    // Validity requirements are those of run_chain's halo phase,
+    // checked against the validity each loop observes *in loop order* —
+    // earlier loops' produced validity satisfies later loops' reads,
+    // and the tiled interleaving preserves exactly those cross-loop
+    // dependences by construction (the growth stamps order every
+    // consumer tile after its producers).
+    let mut valid = env.valid.clone();
     for (pos, spec) in chain.loops.iter().enumerate() {
         for &(d, req) in &plan.reqs[pos] {
             assert!(
-                env.valid[d.idx()] >= req,
+                valid[d.idx()] >= req,
                 "rank {}: tiled chain `{}` loop `{}` needs dat `{}` valid to {req}, have {}",
                 env.rank,
                 chain.name,
                 spec.name,
                 env.dom.dat(d).name,
-                env.valid[d.idx()],
+                valid[d.idx()],
             );
         }
-    }
-
-    let mut gbls: Vec<Vec<f64>> = Vec::new();
-    for tile in 0..tiles.n_tiles {
-        for (j, spec) in chain.loops.iter().enumerate() {
-            debug_assert!(!spec.has_reduction());
-            gbls.clear();
-            gbls.extend(spec.gbls.iter().map(|g| g.init.clone()));
-            env.exec_indexed(spec, &tiles.iters[j][tile], &mut gbls);
+        for &(d, v) in &plan.produces[pos] {
+            valid[d.idx()] = v;
         }
     }
+
+    // Executor: the plan's lowered leveled schedule — same-level tiles
+    // run concurrently on the rank's pool when threading is active,
+    // sequentially (bitwise identical) otherwise.
+    env.exec_chain_schedule(chain, &sched);
 
     // Validity transitions, as in run_chain.
-    for pos in 0..chain.len() {
-        for &(d, v) in &plan.produces[pos] {
-            env.valid[d.idx()] = v;
-        }
-    }
+    env.valid = valid;
 
     env.trace.chains.push(ChainRec {
         name: chain.name.clone(),

@@ -35,9 +35,13 @@ pub struct RunOptions {
     pub faults: Option<Arc<FaultPlan>>,
     /// Receive-side deadline/retry policy.
     pub comm: CommConfig,
-    /// Intra-rank threading for kernel execution (defaults to the
-    /// `OP2_THREADS`/`OP2_BLOCK_SIZE` environment).
-    pub threading: crate::threads::Threading,
+    /// Intra-rank threading for kernel execution, **per rank**. `None`
+    /// (the default) reads the `OP2_THREADS`/`OP2_BLOCK_SIZE`
+    /// environment and divides the thread budget across the co-located
+    /// ranks ([`Threading::split_across`]) so one node-wide `OP2_THREADS`
+    /// never oversubscribes the machine. `Some` is taken verbatim as the
+    /// per-rank configuration.
+    pub threading: Option<crate::threads::Threading>,
 }
 
 impl RunOptions {
@@ -58,13 +62,13 @@ impl RunOptions {
     /// Run every rank's kernels on `n_threads` threads (builder style),
     /// overriding the environment default.
     pub fn with_threads(mut self, n_threads: usize) -> Self {
-        self.threading = crate::threads::Threading::with_threads(n_threads);
+        self.threading = Some(crate::threads::Threading::with_threads(n_threads));
         self
     }
 
-    /// Full threading configuration (builder style).
+    /// Full per-rank threading configuration (builder style).
     pub fn threading(mut self, threading: crate::threads::Threading) -> Self {
-        self.threading = threading;
+        self.threading = Some(threading);
         self
     }
 }
@@ -173,6 +177,9 @@ where
 
     let dom_ref: &Domain = dom;
     let program_ref = &program;
+    let threading = opts
+        .threading
+        .unwrap_or_else(|| crate::threads::Threading::from_env().split_across(nparts));
     let mut collected: Vec<Option<RankYield<R>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -180,7 +187,7 @@ where
             .map(|(comm, layout)| {
                 scope.spawn(move || {
                     let mut env = RankEnv::new(layout, dom_ref, comm);
-                    env.threads.opts = opts.threading;
+                    env.threads.opts = threading;
                     let run = catch_unwind(AssertUnwindSafe(|| program_ref(&mut env)));
                     let verdict = match run {
                         Ok(Ok(r)) => Ok(r),

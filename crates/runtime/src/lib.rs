@@ -29,9 +29,10 @@
 //!   [`plan::ChainPlan`]s (import depths, core/execute ranges, pack
 //!   index lists, tile schedules) keyed by chain signature and
 //!   dirty-state class, with layout-epoch invalidation.
-//! * [`threads`] — intra-rank colored threading: a persistent worker
-//!   pool executing each loop's levelized block coloring color by
-//!   color, bitwise identical to sequential execution (`OP2_THREADS`).
+//! * [`threads`] — intra-rank threading: each rank owns a persistent
+//!   worker pool that executes any lowered [`op2_core::Schedule`]
+//!   (colored loop ranges and leveled tile plans alike) level by level,
+//!   bitwise identical to sequential execution (`OP2_THREADS`).
 //! * [`tuner`] — model-driven adaptive dispatch: feeds measured loop
 //!   weights and layout-derived halo components into `op2-model`'s §3.2
 //!   equations and picks standard (Alg 1) / CA (Alg 2) / tiled execution
@@ -67,6 +68,8 @@ pub use lazy::LazyExec;
 pub use plan::{
     chain_signature, dirty_class, loop_signature, plan_for, ChainPlan, PlanCache, PlanStats,
 };
-pub use threads::{shared_pool, ThreadCtx, ThreadPool, Threading};
-pub use trace::{ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, ThreadRec, TunerRec};
+pub use threads::{measure_sync_s, run_schedule_pooled, ThreadCtx, ThreadPool, Threading};
+pub use trace::{
+    ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, SchedKind, ThreadRec, TunerRec,
+};
 pub use tuner::{Backend, Tuner, TunerMode};

@@ -31,9 +31,8 @@
 //! do **zero** re-analysis.
 
 use op2_core::chain::{produced_validity, read_requirement};
-use op2_core::par::BlockColoring;
-use op2_core::tiling::{build_tile_plan_raw, seed_blocks, TilePlan};
-use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain, LoopSpec};
+use op2_core::tiling::{build_tile_plan_raw, seed_blocks, seed_from_targets, TilePlan};
+use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain, LoopSpec, Schedule};
 use op2_partition::layout::RankLayout;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -207,18 +206,22 @@ pub struct ChainPlan {
     pub recv_bytes: usize,
     /// Bitmask of neighbour ranks receiving a message (`min(rank,127)`).
     pub nbr_bits: u128,
-    /// Tile schedules by tile count, built lazily on first use.
-    tiles: Mutex<HashMap<usize, Arc<TilePlan>>>,
-    /// Block colorings for the threaded executor, keyed by
+    /// Tile plans and their lowered schedules by tile count, built
+    /// lazily on first use.
+    tiles: Mutex<HashMap<usize, TileSchedule>>,
+    /// Lowered colored schedules for the threaded executor, keyed by
     /// `(loop position, start, end, block size)` and built lazily on
     /// first threaded execution of that range — the coloring is
     /// inspector work, paid once per plan like the tile schedules.
-    colorings: Mutex<HashMap<ColoringKey, Arc<BlockColoring>>>,
+    colorings: Mutex<HashMap<ColoringKey, Arc<Schedule>>>,
 }
 
-/// Key of a cached block coloring: `(loop position, start, end, block
+/// Key of a cached colored schedule: `(loop position, start, end, block
 /// size)`.
 pub type ColoringKey = (usize, usize, usize, usize);
+
+/// A cached tile plan together with its lowered leveled schedule.
+type TileSchedule = (Arc<TilePlan>, Arc<Schedule>);
 
 impl ChainPlan {
     /// Run the full chain inspection for one rank: import depths, core
@@ -348,29 +351,23 @@ impl ChainPlan {
         }
     }
 
-    /// Cached block coloring for `(loop position, start, end, block
-    /// size)`, if a threaded execution of that range already built one.
-    pub fn cached_block_coloring(
-        &self,
-        key: ColoringKey,
-    ) -> Option<Arc<BlockColoring>> {
+    /// Cached colored schedule for `(loop position, start, end, block
+    /// size)`, if a threaded execution of that range already lowered
+    /// one.
+    pub fn cached_schedule(&self, key: ColoringKey) -> Option<Arc<Schedule>> {
         self.colorings
             .lock()
-            .expect("coloring cache poisoned")
+            .expect("schedule cache poisoned")
             .get(&key)
             .cloned()
     }
 
-    /// Store a freshly built block coloring under `key`.
-    pub fn store_block_coloring(
-        &self,
-        key: ColoringKey,
-        bc: Arc<BlockColoring>,
-    ) {
+    /// Store a freshly lowered colored schedule under `key`.
+    pub fn store_schedule(&self, key: ColoringKey, sched: Arc<Schedule>) {
         self.colorings
             .lock()
-            .expect("coloring cache poisoned")
-            .insert(key, bc);
+            .expect("schedule cache poisoned")
+            .insert(key, sched);
     }
 
     /// Grouped message size `m^r` of Eq 4 on this rank: the largest
@@ -393,13 +390,48 @@ impl ChainPlan {
         chain: &ChainSpec,
         n_tiles: usize,
     ) -> (Arc<TilePlan>, bool) {
+        let (tp, _, built) = self.tile_schedule(layout, chain, n_tiles);
+        (tp, built)
+    }
+
+    /// [`ChainPlan::tile_plan`] plus the plan's lowered leveled
+    /// [`Schedule`] — both cached together, so repeat tiled invocations
+    /// neither re-inspect nor re-lower.
+    pub fn tile_schedule(
+        &self,
+        layout: &RankLayout,
+        chain: &ChainSpec,
+        n_tiles: usize,
+    ) -> (Arc<TilePlan>, Arc<Schedule>, bool) {
         let mut tiles = self.tiles.lock().expect("tile cache poisoned");
-        if let Some(tp) = tiles.get(&n_tiles) {
-            return (Arc::clone(tp), false);
+        if let Some((tp, sched)) = tiles.get(&n_tiles) {
+            return (Arc::clone(tp), Arc::clone(sched), false);
         }
         let sigs = chain.sigs();
         let set_sizes: Vec<usize> = layout.sets.iter().map(|s| s.n_local()).collect();
-        let seed = seed_blocks(self.exec_end[0], n_tiles);
+        // Seed through the first loop's map targets when it has one:
+        // target-set numbering (e.g. lexicographic nodes) is spatially
+        // coherent even when the iteration set's is not (direction-
+        // grouped edges), so target-seeded tiles conflict only with
+        // their spatial neighbours and the red-black levelization can
+        // run about half of them per level.
+        let seed = match sigs[0].args.iter().find_map(|a| match a {
+            Arg::Dat {
+                map: Some((m, idx)),
+                ..
+            } => Some((*m, *idx)),
+            _ => None,
+        }) {
+            Some((m, idx)) => {
+                let md = &layout.maps[m.idx()];
+                let n_targets = set_sizes[md.to.idx()];
+                let targets: Vec<u32> = (0..self.exec_end[0])
+                    .map(|e| md.values[e * md.arity + idx as usize])
+                    .collect();
+                seed_from_targets(&targets, n_targets, n_tiles)
+            }
+            None => seed_blocks(self.exec_end[0], n_tiles),
+        };
         let tp = Arc::new(build_tile_plan_raw(
             &set_sizes,
             &layout.maps,
@@ -407,8 +439,9 @@ impl ChainPlan {
             &self.exec_end,
             &seed,
         ));
-        tiles.insert(n_tiles, Arc::clone(&tp));
-        (tp, true)
+        let sched = Arc::new(Schedule::from_tile_plan(&tp));
+        tiles.insert(n_tiles, (Arc::clone(&tp), Arc::clone(&sched)));
+        (tp, sched, true)
     }
 }
 

@@ -1,29 +1,32 @@
-//! Intra-rank threaded execution: configuration, worker pool, coloring
+//! Intra-rank threaded execution: configuration, worker pool, schedule
 //! cache.
 //!
 //! Each rank (already an OS thread under the harness) can spread its
-//! kernel iterations over a pool of worker threads, executing a loop's
-//! block coloring ([`op2_core::par`]) color by color: within a color,
-//! blocks are claimed from a shared cursor; between colors the pool
-//! barriers. The levelized coloring preserves per-element update order,
-//! so results are bitwise identical to sequential execution for every
-//! thread count.
+//! kernel iterations over a pool of worker threads by executing a
+//! lowered [`Schedule`] level by level: within a level, chunks are
+//! claimed from a shared cursor; between levels the pool barriers.
+//! Order-preserving lowerings (the levelized block coloring, the leveled
+//! tile plan) keep results bitwise identical to sequential execution for
+//! every thread count — see [`op2_core::schedule`].
 //!
-//! Pools are process-global, keyed by thread count: ranks requesting the
-//! same `n_threads` share one pool (their color rounds serialize on it,
-//! which is semantically transparent). Workers park on their channel
-//! between rounds — no spinning.
+//! Each rank **owns** its pool ([`ThreadCtx::pool`]), created lazily at
+//! the rank's configured width; the harness divides `OP2_THREADS` across
+//! in-process ranks ([`Threading::split_across`]) so many threaded ranks
+//! do not oversubscribe the node. Workers park on their channel between
+//! rounds — no spinning.
 //!
 //! Control surface: [`Threading::from_env`] reads `OP2_THREADS`
 //! (`1`/unset = sequential, `0`/`auto` = hardware parallelism, `N` =
-//! exactly N) and `OP2_BLOCK_SIZE`; programmatic control goes through
+//! exactly N) and `OP2_BLOCK_SIZE` (`auto` = per-loop adaptive sizing
+//! from the measured conflict degree); programmatic control goes through
 //! [`crate::harness::RunOptions`].
 
-use op2_core::par::BlockColoring;
+use op2_core::schedule::{run_chunk, BoundLoop, Schedule};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex, OnceLock};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Instant;
 
 /// Default iterations per coloring block: big enough to amortize the
 /// per-block claim, small enough to load-balance the tail.
@@ -35,8 +38,11 @@ pub struct Threading {
     /// Threads executing each colored loop (1 = sequential, the
     /// pre-subsystem behaviour).
     pub n_threads: usize,
-    /// Iterations per coloring block.
+    /// Iterations per coloring block (ignored when `auto_block` is set).
     pub block_size: usize,
+    /// Pick per-loop block sizes from the measured conflict degree
+    /// ([`op2_core::par::adaptive_block_size`]) instead of `block_size`.
+    pub auto_block: bool,
 }
 
 impl Threading {
@@ -45,6 +51,7 @@ impl Threading {
         Threading {
             n_threads: 1,
             block_size: DEFAULT_BLOCK_SIZE,
+            auto_block: false,
         }
     }
 
@@ -54,13 +61,15 @@ impl Threading {
         Threading {
             n_threads,
             block_size: DEFAULT_BLOCK_SIZE,
+            auto_block: false,
         }
     }
 
     /// Read `OP2_THREADS` (unset/`1` = sequential, `0`/`auto` = hardware
     /// parallelism, `N` = exactly N threads) and `OP2_BLOCK_SIZE`
-    /// (unset = [`DEFAULT_BLOCK_SIZE`]). Panics on malformed values — a
-    /// silent fallback would mask a typo'd override.
+    /// (unset = [`DEFAULT_BLOCK_SIZE`], `auto` = adaptive per-loop
+    /// sizing). Panics on malformed values — a silent fallback would
+    /// mask a typo'd override.
     pub fn from_env() -> Threading {
         let n_threads = match std::env::var("OP2_THREADS") {
             Err(_) => 1,
@@ -74,25 +83,38 @@ impl Threading {
                 }),
             },
         };
-        let block_size = match std::env::var("OP2_BLOCK_SIZE") {
-            Err(_) => DEFAULT_BLOCK_SIZE,
+        let (block_size, auto_block) = match std::env::var("OP2_BLOCK_SIZE") {
+            Err(_) => (DEFAULT_BLOCK_SIZE, false),
+            Ok(v) if v == "auto" => (DEFAULT_BLOCK_SIZE, true),
             Ok(v) => {
                 let n: usize = v
                     .parse()
-                    .unwrap_or_else(|_| panic!("OP2_BLOCK_SIZE must be a positive integer, got `{v}`"));
+                    .unwrap_or_else(|_| panic!("OP2_BLOCK_SIZE must be auto or a positive integer, got `{v}`"));
                 assert!(n >= 1, "OP2_BLOCK_SIZE must be at least 1");
-                n
+                (n, false)
             }
         };
         Threading {
             n_threads: n_threads.max(1),
             block_size,
+            auto_block,
         }
     }
 
     /// True when execution actually fans out (more than one thread).
     pub fn active(&self) -> bool {
         self.n_threads > 1
+    }
+
+    /// Divide this budget across `ranks` in-process ranks: each rank's
+    /// pool gets `n_threads / ranks` workers (at least 1), so co-located
+    /// threaded ranks stop oversubscribing the node's cores. Explicit
+    /// per-rank configurations ([`crate::harness::RunOptions::threading`])
+    /// bypass this.
+    pub fn split_across(mut self, ranks: usize) -> Threading {
+        assert!(ranks >= 1);
+        self.n_threads = (self.n_threads / ranks).max(1);
+        self
     }
 }
 
@@ -256,32 +278,61 @@ fn worker_loop(rx: mpsc::Receiver<Msg>) {
     }
 }
 
-/// Process-global pool registry: one pool per thread count, created on
-/// first request and kept for the process lifetime (workers park on
-/// their channels between rounds).
-pub fn shared_pool(n_threads: usize) -> Arc<ThreadPool> {
-    static POOLS: OnceLock<Mutex<HashMap<usize, Arc<ThreadPool>>>> = OnceLock::new();
-    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
-    let mut pools = pools.lock().expect("pool registry poisoned");
-    Arc::clone(
-        pools
-            .entry(n_threads)
-            .or_insert_with(|| Arc::new(ThreadPool::new(n_threads))),
-    )
+/// Execute a lowered [`Schedule`] on a pool, level by level: within a
+/// level, chunks are claimed from the round cursor; the pool barriers
+/// between levels. Returns wall-clock nanoseconds per level (the uniform
+/// per-level timing every back-end records in
+/// [`crate::trace::ThreadRec`]).
+///
+/// With an order-preserving lowering, results are bitwise identical to
+/// [`op2_core::schedule::run_schedule`] for any pool width.
+pub fn run_schedule_pooled(pool: &ThreadPool, bound: &[BoundLoop], sched: &Schedule) -> Vec<u64> {
+    debug_assert_eq!(bound.len(), sched.n_loops);
+    let mut level_ns = Vec::with_capacity(sched.levels.len());
+    for level in &sched.levels {
+        let t0 = Instant::now();
+        pool.run(level.chunks.len(), &|ci| run_chunk(bound, &level.chunks[ci]));
+        level_ns.push(t0.elapsed().as_nanos() as u64);
+    }
+    level_ns
 }
 
-/// Per-rank threading state: the configuration plus a cache of block
-/// colorings for the *standalone* (Alg 1) loop path, keyed by (loop
-/// signature, range, block size). Chain loops cache their colorings in
-/// the [`crate::plan::ChainPlan`] instead, alongside the other
-/// inspector products.
+/// Measure the per-level synchronization cost of a pool: the mean
+/// wall-clock seconds of an empty round (dispatch + claim + barrier),
+/// averaged over `rounds` after a short warm-up. Feeds the profit
+/// model's barrier term in place of its compile-time constant
+/// ([`op2_model::profit::COLOR_SYNC_S`]); returns `0.0` for
+/// single-thread pools, whose rounds run inline.
+pub fn measure_sync_s(pool: &ThreadPool, rounds: usize) -> f64 {
+    assert!(rounds >= 1);
+    if pool.n_threads() <= 1 {
+        return 0.0;
+    }
+    for _ in 0..4 {
+        pool.run(pool.n_threads(), &|_| {});
+    }
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        pool.run(pool.n_threads(), &|_| {});
+    }
+    t0.elapsed().as_secs_f64() / rounds as f64
+}
+
+/// Per-rank threading state: the configuration, the rank's **owned**
+/// worker pool (created lazily at the configured width — ranks no longer
+/// share process-global pools), and a cache of lowered schedules for the
+/// *standalone* (Alg 1) loop path, keyed by (loop signature, range,
+/// block size). Chain loops cache their schedules in the
+/// [`crate::plan::ChainPlan`] instead, alongside the other inspector
+/// products.
 pub struct ThreadCtx {
     /// Active configuration.
     pub opts: Threading,
-    colorings: HashMap<(u64, usize, usize, usize), Arc<BlockColoring>>,
-    /// Colorings built by the standalone path (inspector work).
+    pool: Option<Arc<ThreadPool>>,
+    schedules: HashMap<(u64, usize, usize, usize), Arc<Schedule>>,
+    /// Schedules built by the standalone path (inspector work).
     pub color_builds: u64,
-    /// Colorings served from the standalone cache.
+    /// Schedules served from the standalone cache.
     pub color_reuses: u64,
 }
 
@@ -290,25 +341,39 @@ impl ThreadCtx {
     pub fn new(opts: Threading) -> ThreadCtx {
         ThreadCtx {
             opts,
-            colorings: HashMap::new(),
+            pool: None,
+            schedules: HashMap::new(),
             color_builds: 0,
             color_reuses: 0,
         }
     }
 
-    /// Cached coloring for `(loop signature, start, end, block_size)`.
-    pub fn cached(&mut self, key: (u64, usize, usize, usize)) -> Option<Arc<BlockColoring>> {
-        let hit = self.colorings.get(&key).cloned();
+    /// The rank's own pool, created on first use at `opts.n_threads`
+    /// width. If the configuration narrows or widens afterwards (the
+    /// tuner suspends threading during calibration by swapping `opts`),
+    /// the existing pool is kept — width changes only apply before first
+    /// use.
+    pub fn pool(&mut self) -> Arc<ThreadPool> {
+        let width = self.opts.n_threads;
+        Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(ThreadPool::new(width))),
+        )
+    }
+
+    /// Cached schedule for `(loop signature, start, end, block_size)`.
+    pub fn cached(&mut self, key: (u64, usize, usize, usize)) -> Option<Arc<Schedule>> {
+        let hit = self.schedules.get(&key).cloned();
         if hit.is_some() {
             self.color_reuses += 1;
         }
         hit
     }
 
-    /// Store a freshly built coloring.
-    pub fn store(&mut self, key: (u64, usize, usize, usize), bc: Arc<BlockColoring>) {
+    /// Store a freshly lowered schedule.
+    pub fn store(&mut self, key: (u64, usize, usize, usize), sched: Arc<Schedule>) {
         self.color_builds += 1;
-        self.colorings.insert(key, bc);
+        self.schedules.insert(key, sched);
     }
 }
 
@@ -368,16 +433,6 @@ mod tests {
     }
 
     #[test]
-    fn shared_pools_keyed_by_thread_count() {
-        let a = shared_pool(2);
-        let b = shared_pool(2);
-        let c = shared_pool(3);
-        assert!(Arc::ptr_eq(&a, &b));
-        assert!(!Arc::ptr_eq(&a, &c));
-        assert_eq!(c.n_threads(), 3);
-    }
-
-    #[test]
     fn threading_default_without_env_is_sequential() {
         // The test runner does not set OP2_THREADS.
         if std::env::var("OP2_THREADS").is_err() {
@@ -387,13 +442,90 @@ mod tests {
     }
 
     #[test]
+    fn split_across_divides_with_floor_of_one() {
+        let t = Threading::with_threads(8);
+        assert_eq!(t.split_across(2).n_threads, 4);
+        assert_eq!(t.split_across(3).n_threads, 2);
+        assert_eq!(t.split_across(16).n_threads, 1);
+        assert_eq!(Threading::single().split_across(4).n_threads, 1);
+    }
+
+    #[test]
+    fn thread_ctx_owns_one_pool() {
+        let mut ctx = ThreadCtx::new(Threading::with_threads(2));
+        let a = ctx.pool();
+        let b = ctx.pool();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.n_threads(), 2);
+        let mut other = ThreadCtx::new(Threading::with_threads(2));
+        assert!(!Arc::ptr_eq(&a, &other.pool()));
+    }
+
+    #[test]
     fn thread_ctx_caches_by_key() {
         let mut ctx = ThreadCtx::new(Threading::with_threads(2));
         let key = (42u64, 0usize, 100usize, 16usize);
         assert!(ctx.cached(key).is_none());
-        let bc = Arc::new(op2_core::par::color_blocks_raw(0, 100, 16, &[], &[]));
-        ctx.store(key, Arc::clone(&bc));
-        assert!(Arc::ptr_eq(&ctx.cached(key).unwrap(), &bc));
+        let sched = Arc::new(Schedule::range(0, 100));
+        ctx.store(key, Arc::clone(&sched));
+        assert!(Arc::ptr_eq(&ctx.cached(key).unwrap(), &sched));
         assert_eq!((ctx.color_builds, ctx.color_reuses), (1, 1));
+    }
+
+    #[test]
+    fn pooled_schedule_matches_sequential_walk() {
+        use op2_core::{seq, AccessMode, Arg, Args, Domain, LoopSpec};
+        fn flux(args: &Args<'_>) {
+            let a = args.get(2, 0);
+            let b = args.get(3, 0);
+            args.inc(0, 0, (b - a) * 0.123456789);
+            args.inc(1, 0, (a - b) * 0.987654321);
+        }
+        let build = || {
+            let mut dom = Domain::new();
+            let nodes = dom.decl_set("nodes", 129);
+            let edges = dom.decl_set("edges", 128);
+            let vals: Vec<u32> = (0..128u32).flat_map(|i| [i, i + 1]).collect();
+            let e2n = dom.decl_map("e2n", edges, nodes, 2, vals).unwrap();
+            let pres: Vec<f64> = (0..129).map(|i| (i as f64 * 0.7).sin()).collect();
+            let p = dom.decl_dat("pres", nodes, 1, pres);
+            let r = dom.decl_dat_zeros("res", nodes, 1);
+            let spec = LoopSpec::new(
+                "flux",
+                edges,
+                vec![
+                    Arg::dat_indirect(r, e2n, 0, AccessMode::Inc),
+                    Arg::dat_indirect(r, e2n, 1, AccessMode::Inc),
+                    Arg::dat_indirect(p, e2n, 0, AccessMode::Read),
+                    Arg::dat_indirect(p, e2n, 1, AccessMode::Read),
+                ],
+                flux,
+            );
+            (dom, spec, r)
+        };
+        let (mut ref_dom, spec, r) = build();
+        seq::run_loop(&mut ref_dom, &spec);
+        let reference = ref_dom.dat(r).data.clone();
+
+        for n_threads in [1usize, 2, 4] {
+            let (mut dom, spec, r) = build();
+            let bc = op2_core::color_blocks(&dom, &spec.sig(), 8);
+            let sched = Schedule::from_block_coloring(&bc);
+            let mut gbls: Vec<Vec<f64>> = Vec::new();
+            let bound = BoundLoop::bind(&mut dom, &spec, &mut gbls);
+            let pool = ThreadPool::new(n_threads);
+            let level_ns = run_schedule_pooled(&pool, std::slice::from_ref(&bound), &sched);
+            assert_eq!(level_ns.len(), sched.n_levels());
+            assert_eq!(dom.dat(r).data, reference, "n_threads={n_threads}");
+        }
+    }
+
+    #[test]
+    fn measured_sync_is_positive_for_real_pools() {
+        let pool = ThreadPool::new(2);
+        let s = measure_sync_s(&pool, 16);
+        assert!(s > 0.0);
+        let inline = ThreadPool::new(1);
+        assert_eq!(measure_sync_s(&inline, 16), 0.0);
     }
 }

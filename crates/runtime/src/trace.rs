@@ -103,9 +103,11 @@ impl ChainRec {
 /// predictions come from §3.2's closed-form equations, so `backend`,
 /// `class` and the predicted times are identical on every rank.
 /// `t_measured_ns` is this rank's wall clock for the calibration run —
-/// the predicted-vs-measured comparison — and is the one field that
-/// varies between runs; loop/chain trace records never carry wall-clock
-/// values, keeping the replay-determinism tests meaningful.
+/// the predicted-vs-measured comparison — and, with `sync_ns` (the
+/// agreed measured pool-barrier cost), the only wall-clock-derived
+/// fields; both may vary between runs, but `sync_ns` is allreduced so
+/// it never varies between ranks. Loop/chain trace records never carry
+/// wall-clock values, keeping the replay-determinism tests meaningful.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TunerRec {
     /// Chain name.
@@ -124,48 +126,66 @@ pub struct TunerRec {
     /// calibration itself always measures sequentially — the tuner
     /// derives the threaded `g` via [`op2_model::threaded_g`].
     pub n_threads: usize,
+    /// Agreed (allreduce-max) per-barrier synchronisation cost the
+    /// threaded model priced pool rounds with, nanoseconds — measured on
+    /// each rank's own pool, replacing [`op2_model::COLOR_SYNC_S`]. Zero
+    /// for sequential decisions.
+    pub sync_ns: u64,
     /// Predicted gain `(t_op2 - t_ca)/t_op2`, in thousandths of a percent
     /// (milli-percent) so the record stays integer and `Eq`.
     pub gain_milli_pct: i64,
 }
 
-/// One colored-threaded execution of a loop range (see
-/// [`crate::threads`]): the schedule shape plus per-color wall time.
+/// Which lowering produced a pooled [`op2_core::Schedule`] execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SchedKind {
+    /// A single loop range lowered through the levelized block coloring.
+    #[default]
+    Colored,
+    /// A whole chain lowered through the leveled tile plan.
+    Tiled,
+}
+
+/// One pooled [`op2_core::Schedule`] execution — a colored loop range or
+/// a tiled chain (see [`crate::threads`]): the schedule shape plus
+/// per-level wall time.
 ///
-/// Equality ignores the *values* in `color_ns` (wall clock varies run to
+/// Equality ignores the *values* in `level_ns` (wall clock varies run to
 /// run) but keeps its *length* — two equal records executed the same
 /// schedule. This keeps whole-[`RankTrace`] comparisons in the replay
 /// determinism tests meaningful with threading on.
 #[derive(Debug, Clone, Default)]
 pub struct ThreadRec {
-    /// Loop name.
+    /// Loop or chain name.
     pub name: String,
-    /// First local iteration of the range.
-    pub start: usize,
-    /// Iterations in the range.
+    /// Total iterations executed (summed over the chain's loops for
+    /// tiled schedules).
     pub iters: usize,
     /// Threads that executed it.
     pub n_threads: usize,
-    /// Iterations per coloring block.
+    /// Iterations per coloring block (0 for tiled schedules, which
+    /// chunk by tile, not by block).
     pub block_size: usize,
-    /// Blocks in the range.
-    pub n_blocks: usize,
-    /// Colors in the schedule (inter-thread synchronisation points).
-    pub n_colors: usize,
-    /// Wall time per color, nanoseconds (not compared by `==`).
-    pub color_ns: Vec<u64>,
+    /// Conflict-free chunks across all levels (blocks or tiles).
+    pub n_chunks: usize,
+    /// Levels in the schedule (inter-thread synchronisation points).
+    pub n_levels: usize,
+    /// Which lowering produced the schedule.
+    pub kind: SchedKind,
+    /// Wall time per level, nanoseconds (not compared by `==`).
+    pub level_ns: Vec<u64>,
 }
 
 impl PartialEq for ThreadRec {
     fn eq(&self, other: &Self) -> bool {
         self.name == other.name
-            && self.start == other.start
             && self.iters == other.iters
             && self.n_threads == other.n_threads
             && self.block_size == other.block_size
-            && self.n_blocks == other.n_blocks
-            && self.n_colors == other.n_colors
-            && self.color_ns.len() == other.color_ns.len()
+            && self.n_chunks == other.n_chunks
+            && self.n_levels == other.n_levels
+            && self.kind == other.kind
+            && self.level_ns.len() == other.level_ns.len()
     }
 }
 
@@ -214,8 +234,8 @@ pub struct RankTrace {
     /// Adaptive-dispatch decisions, in program order. Empty unless the
     /// program ran chains through [`crate::tuner::Tuner`].
     pub tuner: Vec<TunerRec>,
-    /// Colored-threaded loop executions, in program order. Empty when
-    /// the rank ran single-threaded.
+    /// Pooled schedule executions (colored loops and tiled chains), in
+    /// program order. Empty when the rank ran single-threaded.
     pub threads: Vec<ThreadRec>,
 }
 

@@ -234,13 +234,47 @@ impl Tuner {
             1
         };
 
+        // Measured per-barrier cost of *this rank's own pool* — an empty
+        // dispatch/drain/latch round — replacing the model's baked-in
+        // [`op2_model::COLOR_SYNC_S`] constant. Zero when sequential (no
+        // pool, no barriers).
+        let sync_local = if threads > 1 {
+            crate::threads::measure_sync_s(&env.threads.pool(), 32)
+        } else {
+            0.0
+        };
+
+        // Tile conflict levels of the chain under the configured tile
+        // count — the barrier count of the threaded-tiled executor. Only
+        // priced when tiling may be chosen; building it here warms the
+        // plan's tile-schedule cache for the dispatches that follow.
+        let tile_levels_local = if self.tile_auto && threads > 1 {
+            let plan = crate::plan::plan_for(env, chain, false);
+            let (_, sched, _) = plan.tile_schedule(env.layout, chain, self.n_tiles);
+            sched.n_levels()
+        } else {
+            0
+        };
+
         let sigs = chain.sigs();
-        // Agree on g (critical path) and the color count across ranks
-        // before shaping, so shape and decision are rank-identical.
+        // Agree on g (critical path), the color count, the measured sync
+        // cost and the tile level count across ranks before shaping, so
+        // shape and decision are rank-identical.
         let tag = env.next_tag();
         g.push(n_colors_local as f64);
+        g.push(sync_local);
+        g.push(tile_levels_local as f64);
         env.comm.allreduce(&mut g, tag, GblOp::Max)?;
+        let n_tile_levels = g.pop().expect("tile levels appended above") as usize;
+        let sync_s = g.pop().expect("sync cost appended above");
         let n_colors = g.pop().expect("color count appended above") as usize;
+        // A degenerate measurement (clock too coarse) falls back to the
+        // model constant rather than pricing barriers as free.
+        let sync_s = if sync_s > 0.0 {
+            sync_s
+        } else {
+            op2_model::COLOR_SYNC_S
+        };
         let shape = shape_from_sigs(env.dom, &chain.name, &sigs, &chain.halo_ext, &g, &|d| {
             entry_valid[d.idx()] as usize
         });
@@ -249,7 +283,7 @@ impl Tuner {
         // communication doesn't — CA turns profitable earlier on
         // threaded ranks.
         let comp = if threads > 1 {
-            comp.with_threads(threads, n_colors, op2_model::COLOR_SYNC_S)
+            comp.with_threads(threads, n_colors, sync_s)
         } else {
             comp
         };
@@ -258,7 +292,26 @@ impl Tuner {
         let backend = if !prof.enable_ca {
             Backend::Op2
         } else if self.tile_auto {
-            Backend::Tiled
+            if threads > 1 {
+                // Model-driven colored-vs-tiled arm: the tiled executor
+                // pays one barrier per conflict level per chain, the
+                // colored one `n_colors` per loop — fewer total barriers
+                // wins (tiling's locality benefit is unmodelled, so ties
+                // go to tiled).
+                match op2_model::choose_threaded_backend(
+                    threads,
+                    chain.len(),
+                    n_colors,
+                    n_tile_levels,
+                ) {
+                    op2_model::ThreadedBackend::Tiled => Backend::Tiled,
+                    op2_model::ThreadedBackend::Colored => Backend::Ca,
+                }
+            } else {
+                // Sequential ranks: tiling is a pure cache-locality
+                // opt-in, exactly as before the threaded arm existed.
+                Backend::Tiled
+            }
         } else {
             Backend::Ca
         };
@@ -274,6 +327,7 @@ impl Tuner {
             t_ca_pred_ns: (t_ca * 1e9).round() as u64,
             t_measured_ns: measured.as_nanos() as u64,
             n_threads: threads,
+            sync_ns: (sync_s * 1e9).round() as u64 * u64::from(threads > 1),
             gain_milli_pct: (prof.gain_pct * 1000.0).round() as i64,
         });
         Ok(())

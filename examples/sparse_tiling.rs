@@ -68,5 +68,13 @@ fn main() {
             .fold(1e-30f64, |m, v| m.max(v.abs()));
     println!("\nmax relative |tiled - plain| on dflux: {max_err:.3e}");
     assert!(max_err < 1e-12);
+
+    println!(
+        "\nconflict levels: {} levels over {} tiles, level of each tile: {:?}",
+        plan.n_levels, plan.n_tiles, plan.levels
+    );
+    for (lv, bucket) in plan.by_level.iter().enumerate() {
+        println!("  level {lv}: tiles {bucket:?}");
+    }
     println!("ok");
 }

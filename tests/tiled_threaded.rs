@@ -1,13 +1,14 @@
-//! Threaded-executor equivalence properties.
+//! Tiled-threaded executor equivalence properties.
 //!
-//! The colored-threaded executor's contract is *bitwise identity*: the
-//! levelized block coloring preserves ascending per-element update
-//! order, so thread count and block size are invisible in the results —
-//! not "equal up to reassociation tolerance", equal to the bit. These
-//! properties pin that contract on randomly generated 2-D quad and 3-D
-//! tet meshes, for chains with `OP_INC` through maps, against both the
-//! sequential reference and the unplanned distributed path, at 1, 2 and
-//! 4 threads.
+//! The leveled tile schedule extends the determinism contract to the
+//! sparse-tiled chain executor: inter-tile conflict levels order every
+//! conflicting tile pair the same way the sequential tile-by-tile walk
+//! does (ascending tile id), so running same-level tiles concurrently
+//! is *bitwise identical* to the sequential tiled run — which is itself
+//! bitwise identical to plain sequential execution. These properties
+//! pin the full three-way identity on randomly generated 2-D quad and
+//! 3-D tet meshes, for chains with `OP_INC` through maps, at 1, 2 and 4
+//! pool threads.
 //!
 //! The kernels keep all values dyadic rationals of small magnitude, so
 //! floating-point addition is exact and the sequential reference is
@@ -16,8 +17,8 @@
 use op2::core::{seq, AccessMode, Arg, Args, ChainSpec, DatId, Domain, LoopSpec, SetId};
 use op2::mesh::{Quad2D, Tet3D};
 use op2::partition::{build_layouts, derive_ownership, rcb_partition, RankLayout};
-use op2::runtime::exec::{run_chain, run_chain_unplanned, run_loop};
-use op2::runtime::{run_distributed_with, RankTrace, RunOptions, Threading};
+use op2::runtime::exec::{run_chain_tiled, run_loop};
+use op2::runtime::{run_distributed_with, RankTrace, RunOptions, SchedKind, Threading};
 use proptest::prelude::*;
 
 fn bump(args: &Args<'_>) {
@@ -61,7 +62,7 @@ fn build_case(nx: usize, ny: usize, nz: usize, tet: bool) -> Case {
         bump,
     );
     let chain = ChainSpec::new(
-        "th",
+        "tt",
         vec![
             LoopSpec::new(
                 "produce",
@@ -107,25 +108,22 @@ fn layouts_for(case: &Case, nparts: usize) -> Vec<RankLayout> {
     build_layouts(&case.dom, &own, 2)
 }
 
-/// Two distributed iterations of bump + chain under `threading`, through
-/// the planned or unplanned chain executor. Returns bit patterns of the
-/// dats plus the per-rank traces.
-fn run_dist(
+/// Three distributed iterations of bump + tiled chain under
+/// `threading` (three, so iterations 2 and 3 share a dirty class and
+/// repeat invocations provably hit the cached tile schedule). Returns
+/// the per-rank traces plus the dats' bit patterns.
+fn run_tiled(
     case: &Case,
     dom: &mut Domain,
     layouts: &[RankLayout],
+    n_tiles: usize,
     threading: Threading,
-    planned: bool,
 ) -> (Vec<RankTrace>, Vec<Vec<u64>>) {
     let opts = RunOptions::default().threading(threading);
     let out = run_distributed_with(dom, layouts, &opts, |env| {
-        for _ in 0..2 {
+        for _ in 0..3 {
             run_loop(env, &case.bump_loop)?;
-            if planned {
-                run_chain(env, &case.chain)?;
-            } else {
-                run_chain_unplanned(env, &case.chain)?;
-            }
+            run_chain_tiled(env, &case.chain, n_tiles)?;
         }
         Ok(())
     });
@@ -141,7 +139,7 @@ fn run_dist(
 /// The sequential reference of the same program: dat bit patterns.
 fn run_seq(case: &Case) -> Vec<Vec<u64>> {
     let mut dom = case.dom.clone();
-    for _ in 0..2 {
+    for _ in 0..3 {
         seq::run_loop(&mut dom, &case.bump_loop);
         for l in &case.chain.loops {
             seq::run_loop(&mut dom, l);
@@ -156,111 +154,84 @@ fn run_seq(case: &Case) -> Vec<Vec<u64>> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Planned chains under 1/2/4 pool threads are bitwise identical to
-    /// the sequential reference AND trace-equivalent (same loop records,
-    /// same chain records, same exchange totals) to the single-threaded
-    /// planned run. Thread count only ever adds `threads` records.
+    /// Threaded-tiled == sequential-tiled == plain sequential, to the
+    /// bit, at 1/2/4 threads and random tile counts — and the threaded
+    /// runs are trace-equivalent to the sequential tiled run on every
+    /// record thread count cannot touch (loops, chains, exchange
+    /// totals). The tile schedule is built once per (plan, tile count):
+    /// repeat invocations hit the cache.
     #[test]
-    fn threaded_planned_chain_bitwise_and_trace_equal(
+    fn tiled_threaded_bitwise_and_trace_equal(
         nx in 4usize..8,
         ny in 4usize..8,
         nz in 2usize..4,
-        nparts in 2usize..5,
+        nparts in 2usize..4,
+        n_tiles in 2usize..7,
         tet in proptest::bool::ANY,
     ) {
         let case = build_case(nx, ny, nz, tet);
         let seq_bits = run_seq(&case);
 
-        let mut dom_ref = case.dom.clone();
         let layouts = layouts_for(&case, nparts);
+        let mut dom_ref = case.dom.clone();
         let (traces_ref, bits_ref) =
-            run_dist(&case, &mut dom_ref, &layouts, Threading::single(), true);
-        prop_assert_eq!(&bits_ref, &seq_bits, "single-threaded planned != seq");
+            run_tiled(&case, &mut dom_ref, &layouts, n_tiles, Threading::single());
+        prop_assert_eq!(&bits_ref, &seq_bits, "sequential tiled != seq");
         for t in &traces_ref {
             prop_assert!(t.threads.is_empty(), "rank {}: unexpected ThreadRec", t.rank);
+            prop_assert!(t.plan.tile_misses >= 1, "rank {}: no tiling inspection", t.rank);
+            prop_assert!(t.plan.tile_hits >= 1, "rank {}: repeats must hit the cache", t.rank);
         }
 
         for n_threads in [1usize, 2, 4] {
             let threading = Threading { n_threads, block_size: 4, auto_block: false };
             let mut dom = case.dom.clone();
-            let (traces, bits) = run_dist(&case, &mut dom, &layouts, threading, true);
+            let (traces, bits) = run_tiled(&case, &mut dom, &layouts, n_tiles, threading);
             prop_assert_eq!(&bits, &seq_bits, "{} threads: data != seq", n_threads);
             for (t, tr) in traces.iter().zip(&traces_ref) {
                 prop_assert_eq!(&t.loops, &tr.loops, "rank {} loop records", t.rank);
                 prop_assert_eq!(&t.chains, &tr.chains, "rank {} chain records", t.rank);
                 prop_assert_eq!(t.total_msgs(), tr.total_msgs());
                 prop_assert_eq!(t.total_bytes(), tr.total_bytes());
-                if n_threads == 1 {
-                    prop_assert!(t.threads.is_empty());
-                } else {
-                    // Repeat invocations re-color nothing: at most one
-                    // coloring build per (plan, loop, phase range) plus
-                    // one per standalone loop signature — every further
-                    // colored execution is a cache hit.
-                    let bound = t.plan.misses * 2 * case.chain.len() as u64 + 2;
-                    prop_assert!(
-                        t.plan.color_misses <= bound,
-                        "rank {}: {:?} exceeds {}", t.rank, t.plan, bound
-                    );
+                prop_assert_eq!(t.plan.tile_misses, tr.plan.tile_misses);
+                for rec in t.threads.iter().filter(|r| r.kind == SchedKind::Tiled) {
+                    prop_assert_eq!(rec.n_threads, n_threads);
+                    prop_assert_eq!(rec.level_ns.len(), rec.n_levels);
+                    prop_assert_eq!(rec.block_size, 0);
                 }
             }
         }
     }
-
-    /// The unplanned distributed path (standalone per-rank coloring
-    /// cache, no chain plan) obeys the same contract: 2- and 4-thread
-    /// runs are bitwise identical to its single-threaded run and to the
-    /// sequential reference.
-    #[test]
-    fn threaded_unplanned_chain_bitwise_equal(
-        nx in 4usize..8,
-        ny in 4usize..8,
-        nz in 2usize..4,
-        nparts in 2usize..4,
-        tet in proptest::bool::ANY,
-    ) {
-        let case = build_case(nx, ny, nz, tet);
-        let seq_bits = run_seq(&case);
-
-        let layouts = layouts_for(&case, nparts);
-        let mut dom_ref = case.dom.clone();
-        let (_, bits_ref) =
-            run_dist(&case, &mut dom_ref, &layouts, Threading::single(), false);
-        prop_assert_eq!(&bits_ref, &seq_bits, "single-threaded unplanned != seq");
-
-        for n_threads in [2usize, 4] {
-            let threading = Threading { n_threads, block_size: 4, auto_block: false };
-            let mut dom = case.dom.clone();
-            let (_, bits) = run_dist(&case, &mut dom, &layouts, threading, false);
-            prop_assert_eq!(&bits, &seq_bits, "{} threads: data != seq", n_threads);
-        }
-    }
 }
 
-// Deterministic (non-property) check that the threaded path actually
-// engages on a mesh big enough to exceed the block size, so the
-// properties above aren't vacuously comparing sequential fallbacks.
+// Deterministic (non-property) check that the tiled-threaded path
+// actually puts same-level tiles through the pool on a mesh big enough
+// for real inter-tile parallelism, so the property above isn't
+// vacuously comparing sequential fallbacks.
 #[test]
-fn threaded_path_engages_on_large_mesh() {
-    let case = build_case(12, 12, 2, false);
+fn tiled_threaded_path_engages_on_large_mesh() {
+    let case = build_case(16, 16, 2, false);
     let layouts = layouts_for(&case, 2);
+
+    let mut dom_ref = case.dom.clone();
+    let (_, bits_ref) = run_tiled(&case, &mut dom_ref, &layouts, 8, Threading::single());
+    assert_eq!(bits_ref, run_seq(&case));
+
     let mut dom = case.dom.clone();
-    let threading = Threading {
-        n_threads: 4,
-        block_size: 8,
-        auto_block: false,
-    };
-    let (traces, bits) = run_dist(&case, &mut dom, &layouts, threading, true);
-    assert_eq!(bits, run_seq(&case));
+    let (traces, bits) = run_tiled(&case, &mut dom, &layouts, 8, Threading::with_threads(4));
+    assert_eq!(bits, bits_ref);
+    let tiled: Vec<_> = traces
+        .iter()
+        .flat_map(|t| &t.threads)
+        .filter(|r| r.kind == SchedKind::Tiled)
+        .collect();
     assert!(
-        traces.iter().any(|t| !t.threads.is_empty()),
-        "no rank recorded a threaded execution"
+        !tiled.is_empty(),
+        "no rank recorded a tiled pool execution"
     );
-    for t in &traces {
-        for rec in &t.threads {
-            assert_eq!(rec.n_threads, 4);
-            assert_eq!(rec.level_ns.len(), rec.n_levels);
-            assert!(rec.n_chunks > 0 && rec.n_levels > 0);
-        }
+    for rec in tiled {
+        assert_eq!(rec.n_threads, 4);
+        assert_eq!(rec.level_ns.len(), rec.n_levels);
+        assert!(rec.n_chunks > rec.n_levels, "no level holds more than one tile");
     }
 }
