@@ -39,8 +39,8 @@ fn bench_grouping(c: &mut Criterion) {
                         for &(d, _) in &spec {
                             env.valid[d.idx()] = 0;
                         }
-                        let _ = env.exchange(&spec, grouped);
-                        env.exchange_wait(&spec, grouped)?;
+                        let mut rec = env.exchange(&spec, grouped);
+                        env.exchange_wait(&spec, grouped, &mut rec)?;
                     }
                     Ok(env.comm.sent_msgs)
                 })
@@ -56,8 +56,8 @@ fn bench_grouping(c: &mut Criterion) {
             for &(d, _) in &spec {
                 env.valid[d.idx()] = 0;
             }
-            let rec = env.exchange(&spec, grouped);
-            env.exchange_wait(&spec, grouped)?;
+            let mut rec = env.exchange(&spec, grouped);
+            env.exchange_wait(&spec, grouped, &mut rec)?;
             Ok(rec.n_msgs)
         });
         let total: usize = out.unwrap_results().into_iter().sum();

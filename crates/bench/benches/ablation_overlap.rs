@@ -71,8 +71,8 @@ fn bench_overlap(c: &mut Criterion) {
                     // Wait first, then execute everything — no hiding.
                     let ext = standalone_extent(&flux2);
                     let exch = exchange_list(env, &flux2, ext);
-                    let _ = env.exchange(&exch, false);
-                    env.exchange_wait(&exch, false)?;
+                    let mut rec = env.exchange(&exch, false);
+                    env.exchange_wait(&exch, false, &mut rec)?;
                     let end = env.layout.sets[flux2.set.idx()].exec_end(ext);
                     let mut gbls = Vec::new();
                     env.exec_range(&flux2, 0, end, &mut gbls);

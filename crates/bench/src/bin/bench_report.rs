@@ -19,8 +19,15 @@
 //! `--tiles` tiles) and writes its report next to `--out` with a
 //! `_tiled_tN` suffix — e.g. `BENCH_runtime_tiled_t4.json` — so CI can
 //! archive the threaded-tiling counters alongside the adaptive run's.
+//!
+//! `--exchange` runs the halo-exchange engine report: the same solver
+//! once through the CA back-end (grouped planned exchanges, persistent
+//! pooled buffers, arrival-order unpack) and once through per-loop OP2
+//! (per-dat messages), emitting `BENCH_exchange.json` with each mode's
+//! pack/unpack/wait wall time and payload allocation counts so the
+//! zero-allocation steady state and the grouping win are diffable in CI.
 
-use mg_cfd::{run_auto, run_ca_tiled_threaded, MgCfd, MgCfdParams};
+use mg_cfd::{run_auto, run_ca, run_ca_tiled_threaded, run_op2, MgCfd, MgCfdParams, RunOutcome};
 use op2_bench::json::{trace_summary, Json};
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
@@ -33,6 +40,7 @@ fn main() {
     let mut ranks = 4usize;
     let mut tiled_threads = 0usize;
     let mut tiles = 8usize;
+    let mut exchange = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -72,10 +80,11 @@ fn main() {
                 i += 1;
                 tiles = args.get(i).expect("--tiles needs a count").parse().unwrap();
             }
+            "--exchange" => exchange = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
-                     --tiled-threads N  --tiles N"
+                     --tiled-threads N  --tiles N  --exchange"
                 );
                 std::process::exit(0);
             }
@@ -160,5 +169,52 @@ fn main() {
             "wrote {tiled_path} ({} ranks, {iters} iters, {tiled_threads} threads, {tiles} tiles)",
             out.traces.len()
         );
+    }
+
+    if exchange {
+        // Halo-exchange engine report: the same solver through the CA
+        // back-end (grouped planned exchanges, pooled buffers,
+        // arrival-order unpack) and the per-loop OP2 baseline (per-dat
+        // messages), each on a fresh flow field.
+        let mut modes: Vec<(&str, RunOutcome)> = Vec::new();
+        for mode in ["ca_planned", "op2_per_loop"] {
+            let mut app = MgCfd::new(params);
+            let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+            let base = rcb_partition(coords, 3, ranks);
+            let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+            let layouts = build_layouts(&app.dom, &own, 2);
+            let out = match mode {
+                "ca_planned" => run_ca(&mut app, &layouts, iters),
+                _ => run_op2(&mut app, &layouts, iters),
+            };
+            modes.push((mode, out));
+        }
+        let exch_path = "BENCH_exchange.json".to_string();
+        let mode_json = |out: &RunOutcome| {
+            Json::obj(vec![
+                ("rms", Json::F64(out.rms)),
+                (
+                    "per_rank",
+                    Json::Arr(out.traces.iter().map(trace_summary).collect()),
+                ),
+            ])
+        };
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            (
+                "modes",
+                Json::Obj(
+                    modes
+                        .iter()
+                        .map(|(name, out)| (name.to_string(), mode_json(out)))
+                        .collect(),
+                ),
+            ),
+        ]);
+        std::fs::write(&exch_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {exch_path}: {e}"));
+        println!("wrote {exch_path} ({ranks} ranks, {iters} iters)");
     }
 }

@@ -133,6 +133,7 @@ pub fn tuner_json(r: &TunerRec) -> Json {
 /// Per-rank report record: communication totals, transport recovery
 /// counters, plan-cache counters and tuner decisions.
 pub fn trace_summary(t: &RankTrace) -> Json {
+    let exch = t.exch_total();
     Json::obj(vec![
         ("rank", Json::U64(t.rank as u64)),
         ("total_msgs", Json::U64(t.total_msgs() as u64)),
@@ -150,6 +151,10 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("injected_corrupt", Json::U64(t.comm.injected_corrupt)),
                 ("injected_dups", Json::U64(t.comm.injected_dups)),
                 ("retransmits", Json::U64(t.comm.retransmits)),
+                ("payload_allocs", Json::U64(t.comm.payload_allocs)),
+                ("pack_ns", Json::U64(exch.pack_ns)),
+                ("unpack_ns", Json::U64(exch.unpack_ns)),
+                ("wait_ns", Json::U64(exch.wait_ns)),
             ]),
         ),
         (
@@ -162,6 +167,7 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("tile_misses", Json::U64(t.plan.tile_misses)),
                 ("color_hits", Json::U64(t.plan.color_hits)),
                 ("color_misses", Json::U64(t.plan.color_misses)),
+                ("overlap_tiles", Json::U64(t.plan.overlap_tiles)),
             ]),
         ),
         ("threads", threads_json(t)),
@@ -225,9 +231,21 @@ mod tests {
             ..Default::default()
         };
         t.comm.retries = 2;
+        t.comm.payload_allocs = 7;
         t.plan.hits = 5;
         t.plan.misses = 1;
         t.plan.color_hits = 4;
+        t.plan.overlap_tiles = 6;
+        t.loops.push(op2_runtime::LoopRec {
+            name: "edge_flux".into(),
+            exch: op2_runtime::ExchangeRec {
+                pack_ns: 100,
+                unpack_ns: 200,
+                wait_ns: 300,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
         t.threads.push(op2_runtime::ThreadRec {
             name: "edge_flux".into(),
             n_threads: 4,
@@ -251,5 +269,10 @@ mod tests {
         assert!(s.contains("\"execs\": 1"));
         assert!(s.contains("\"max_levels\": 2"));
         assert!(s.contains("\"level_ns\": 30"));
+        assert!(s.contains("\"payload_allocs\": 7"));
+        assert!(s.contains("\"overlap_tiles\": 6"));
+        assert!(s.contains("\"pack_ns\": 100"));
+        assert!(s.contains("\"unpack_ns\": 200"));
+        assert!(s.contains("\"wait_ns\": 300"));
     }
 }

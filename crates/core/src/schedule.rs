@@ -234,18 +234,7 @@ impl Schedule {
             .by_level
             .iter()
             .map(|tiles| Level {
-                chunks: tiles
-                    .iter()
-                    .map(|&t| Chunk {
-                        pieces: (0..n_loops)
-                            .filter(|&j| !plan.iters[j][t as usize].is_empty())
-                            .map(|j| Piece::List {
-                                loop_idx: j as u32,
-                                iters: plan.iters[j][t as usize].clone(),
-                            })
-                            .collect(),
-                    })
-                    .collect(),
+                chunks: tiles.iter().map(|&t| Self::tile_chunk(plan, t)).collect(),
             })
             .collect();
         Schedule {
@@ -254,6 +243,51 @@ impl Schedule {
                 n_tiles: plan.n_tiles,
             },
             levels,
+        }
+    }
+
+    /// Lower only the tiles with `keep[t] == true` from a leveled
+    /// [`TilePlan`], preserving the plan's level structure (levels left
+    /// with no kept tiles are dropped). Used by the overlap executor to
+    /// split one plan into a core schedule (runs while the exchange is
+    /// in flight) and a post schedule (runs after the wait); level order
+    /// within each half is exactly the full plan's, so running one half
+    /// and then the other replays the full plan whenever the split
+    /// itself is order-safe (see `tiling::overlap_core_tiles`).
+    pub fn from_tile_plan_subset(plan: &TilePlan, keep: &[bool]) -> Schedule {
+        let n_loops = plan.iters.len();
+        let levels: Vec<Level> = plan
+            .by_level
+            .iter()
+            .map(|tiles| Level {
+                chunks: tiles
+                    .iter()
+                    .filter(|&&t| keep[t as usize])
+                    .map(|&t| Self::tile_chunk(plan, t))
+                    .collect(),
+            })
+            .filter(|l| !l.chunks.is_empty())
+            .collect();
+        Schedule {
+            n_loops,
+            kind: ScheduleKind::Tiled {
+                n_tiles: plan.n_tiles,
+            },
+            levels,
+        }
+    }
+
+    /// One tile as an executable chunk: its slice of every loop in
+    /// program order, empty slices skipped.
+    fn tile_chunk(plan: &TilePlan, t: u32) -> Chunk {
+        Chunk {
+            pieces: (0..plan.iters.len())
+                .filter(|&j| !plan.iters[j][t as usize].is_empty())
+                .map(|j| Piece::List {
+                    loop_idx: j as u32,
+                    iters: plan.iters[j][t as usize].clone(),
+                })
+                .collect(),
         }
     }
 

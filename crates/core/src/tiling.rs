@@ -378,6 +378,88 @@ fn tile_conflict_levels(
     (levels, n_levels, by_level)
 }
 
+/// Which tiles may execute **while a halo exchange is in flight**
+/// (before the wait), given per-loop core ends: the latency-hiding
+/// analogue of Alg 2's prewait core, lifted to whole tiles.
+///
+/// A tile is *eligible* when every iteration of every loop it holds
+/// lies inside that loop's core region (`< core_end[j]`) — such
+/// iterations read nothing the exchange delivers, by the core-depth
+/// construction. Eligibility alone is not enough, though: the split
+/// runs eligible tiles *before* the remaining ("post") tiles, which
+/// inverts the ascending-tile-id order for any (post `b` < core `t`)
+/// pair. The function therefore closes the split under **demotion**: a
+/// tile that conflicts (shared element of a chain-modified dat, at
+/// least one side modifying) with any lower-id post tile is demoted to
+/// post, in one ascending pass — by the time tile `t` is decided, every
+/// lower tile's fate is final. For every conflicting pair `a < b` the
+/// split then preserves order: both-core and both-post keep their level
+/// order; core `a` / post `b` runs `a` first; post `a` / core `b` is
+/// exactly what demotion removed. Executing core tiles prewait and
+/// post tiles after the wait is thus bitwise identical to the
+/// sequential ascending-tile walk.
+///
+/// Returns one flag per tile; `true` = overlap-eligible (core). Fully
+/// deterministic: a pure function of the plan and the core ends.
+pub fn overlap_core_tiles(
+    set_sizes: &[usize],
+    maps: &[crate::MapData],
+    sigs: &[LoopSig],
+    plan: &TilePlan,
+    core_end: &[usize],
+) -> Vec<bool> {
+    assert_eq!(core_end.len(), plan.iters.len());
+    let accesses = chain_tile_accesses(maps, sigs);
+    // Elements touched by already-decided post tiles.
+    let mut post_w: Vec<Vec<bool>> = set_sizes.iter().map(|&s| vec![false; s]).collect();
+    let mut post_r: Vec<Vec<bool>> = set_sizes.iter().map(|&s| vec![false; s]).collect();
+    let mut core = vec![false; plan.n_tiles];
+    for t in 0..plan.n_tiles {
+        let eligible = plan
+            .iters
+            .iter()
+            .zip(core_end)
+            .all(|(per_loop, &ce)| per_loop[t].iter().all(|&e| (e as usize) < ce));
+        let mut ok = eligible;
+        if ok {
+            'check: for (j, per_loop) in accesses.iter().enumerate() {
+                for &e in &plan.iters[j][t] {
+                    for a in per_loop {
+                        let Some(elem) = a.target(e as usize) else {
+                            continue;
+                        };
+                        // A lower-id post tile wrote this element (any
+                        // access of ours must come after), or read it
+                        // and we modify it (WAR).
+                        if post_w[a.set][elem] || (a.modifies && post_r[a.set][elem]) {
+                            ok = false;
+                            break 'check;
+                        }
+                    }
+                }
+            }
+        }
+        core[t] = ok;
+        if !ok {
+            for (j, per_loop) in accesses.iter().enumerate() {
+                for &e in &plan.iters[j][t] {
+                    for a in per_loop {
+                        let Some(elem) = a.target(e as usize) else {
+                            continue;
+                        };
+                        if a.modifies {
+                            post_w[a.set][elem] = true;
+                        } else if a.reads {
+                            post_r[a.set][elem] = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    core
+}
+
 /// Verify a plan's conflict levels against the raw structure:
 /// level/`by_level` consistency, and for every element of a
 /// chain-modified dat touched by two different tiles with at least one

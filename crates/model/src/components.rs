@@ -227,6 +227,17 @@ impl ChainComponents {
         }
         out
     }
+
+    /// These components with Eq 3's pack term `c` replaced by a
+    /// *measured* per-byte pack cost (seconds/byte) — the runtime feeds
+    /// the traced pack wall-time of real exchanges here, so the CA
+    /// decision prices the engine actually running (pooled buffers,
+    /// threaded pack) instead of the machine's baked-in `pack_rate`.
+    pub fn with_pack_cost(&self, s_per_byte: f64) -> ChainComponents {
+        let mut out = self.clone();
+        out.ca.pack_s_per_byte = Some(s_per_byte);
+        out
+    }
 }
 
 /// Combine a chain shape with measured halo statistics, taking the
@@ -331,6 +342,7 @@ pub fn chain_components(stats: &HaloStats, shape: &ChainShape) -> ChainComponent
             loops: ca_loops,
             p,
             m_r_bytes: m_r,
+            pack_s_per_byte: None,
         },
         op2_comm_bytes,
         op2_core: op2_core_total,

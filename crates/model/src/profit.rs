@@ -213,6 +213,7 @@ mod tests {
                 loops: vec![(5e-8, ca_iters, ca_iters / 3); 2],
                 p,
                 m_r_bytes: (ca_bytes / p as f64) as usize,
+                pack_s_per_byte: None,
             },
             op2_comm_bytes: op2_bytes,
             op2_core: 2 * op2_iters,

@@ -35,7 +35,7 @@
 //! control plane (hangup) sits above both at [`tags::CONTROL_BASE`].
 
 use crate::fault::{Disposition, FaultPlan};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -188,6 +188,11 @@ pub struct CommCounters {
     pub injected_dups: u64,
     /// Retransmissions scheduled after dropped/corrupted attempts.
     pub retransmits: u64,
+    /// Payload buffers allocated because the buffer pool could not
+    /// satisfy a [`RankComm::take_buf`] request. Steady-state planned
+    /// exchanges must not grow this: every payload is served from (and
+    /// returned to) the pool.
+    pub payload_allocs: u64,
 }
 
 impl CommCounters {
@@ -203,6 +208,7 @@ impl CommCounters {
         self.injected_corrupt += o.injected_corrupt;
         self.injected_dups += o.injected_dups;
         self.retransmits += o.retransmits;
+        self.payload_allocs += o.payload_allocs;
     }
 
     /// True when any fault-recovery work happened at all.
@@ -332,6 +338,8 @@ impl CommWorld {
                 counters: CommCounters::default(),
                 plan: plan.clone(),
                 hung_up: false,
+                pool: vec![Vec::new(); n],
+                stash: (0..n).map(|_| None).collect(),
             })
             .collect()
     }
@@ -360,7 +368,35 @@ pub struct RankComm {
     pub counters: CommCounters,
     plan: Option<Arc<FaultPlan>>,
     hung_up: bool,
+    /// Per-peer free-lists of reusable payload buffers (the borrow/
+    /// return side of the persistent-exchange engine). Buffers are
+    /// cleared on return, so a recycled buffer can never leak stale
+    /// values into the next message. The pool is keyed by peer because
+    /// payload buffers *travel*: a sent buffer ends up in the peer's
+    /// pool and comes back with its next message. Send and receive
+    /// sizes mirror across a pair, so pinning buffers to the pair they
+    /// circulate on makes every rank's capacity needs locally
+    /// satisfiable — a shared pool could hand a small buffer from one
+    /// pair to another and re-allocate forever.
+    pool: Vec<Vec<Vec<f64>>>,
+    /// Per-source parking slot for a delayed packet pulled off the wire
+    /// before its injected latency elapsed. Per-pair channels are FIFO,
+    /// so once a delayed packet is dequeued it *must* be surfaced before
+    /// any later traffic from that source — parking it here (instead of
+    /// in a local) keeps it alive across `recv`/`recv_any` calls.
+    stash: Vec<Option<(Msg, Instant)>>,
 }
+
+/// Upper bound on pooled buffers per peer; beyond this, returned
+/// buffers are simply freed. Steady-state planned exchanges circulate
+/// one buffer per peer per direction — the cap only guards against
+/// pathological accumulation.
+const POOL_MAX_PER_PEER: usize = 8;
+
+/// Sleep between empty poll rounds in [`RankComm::recv_any`]. Short
+/// enough that arrival-order completion stays responsive, long enough
+/// not to spin a core while peers are packing.
+const POLL_INTERVAL: Duration = Duration::from_micros(20);
 
 impl RankComm {
     /// Non-blocking send (buffered like `MPI_Isend` + internal copy).
@@ -467,28 +503,38 @@ impl RankComm {
                     retries,
                 });
             }
-            let packet = match self.recvs[from as usize].recv_timeout(deadline - now) {
-                Ok(p) => p,
-                Err(RecvTimeoutError::Timeout) => {
-                    self.counters.timeouts += 1;
-                    return Err(CommError::Timeout {
-                        from,
-                        tag,
-                        waited: start.elapsed(),
-                        retries,
-                    });
+            let msg = if let Some((m, visible_at)) = self.stash[from as usize].take() {
+                // A prior recv_any parked this packet mid-latency; FIFO
+                // order requires draining it before newer traffic.
+                let now = Instant::now();
+                if visible_at > now {
+                    std::thread::sleep(visible_at - now);
                 }
-                Err(RecvTimeoutError::Disconnected) => {
-                    self.counters.hangups_seen += 1;
-                    return Err(CommError::PeerHangup { peer: from });
+                m
+            } else {
+                let packet = match self.recvs[from as usize].recv_timeout(deadline - now) {
+                    Ok(p) => p,
+                    Err(RecvTimeoutError::Timeout) => {
+                        self.counters.timeouts += 1;
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited: start.elapsed(),
+                            retries,
+                        });
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.counters.hangups_seen += 1;
+                        return Err(CommError::PeerHangup { peer: from });
+                    }
+                };
+                if let Some(d) = packet.delay {
+                    // The wire was slow: the payload only becomes visible
+                    // after the injected latency has elapsed.
+                    std::thread::sleep(d);
                 }
+                packet.msg
             };
-            if let Some(d) = packet.delay {
-                // The wire was slow: the payload only becomes visible
-                // after the injected latency has elapsed.
-                std::thread::sleep(d);
-            }
-            let msg = packet.msg;
             if msg.tag >= tags::CONTROL_BASE {
                 self.counters.hangups_seen += 1;
                 return Err(CommError::PeerHangup { peer: from });
@@ -516,6 +562,212 @@ impl RankComm {
                 });
             }
             return Ok(msg.data);
+        }
+    }
+
+    /// Borrow a payload buffer of at least `cap` f64s from `peer`'s
+    /// pool slot.
+    ///
+    /// Best-fit: the smallest pooled buffer whose capacity covers `cap`
+    /// is returned (best-fit keeps the take/miss sequence a pure
+    /// function of the slot's capacity *multiset*, independent of
+    /// message arrival order — replay determinism). A miss bumps
+    /// [`CommCounters::payload_allocs`] and either grows the largest
+    /// pooled buffer in place or allocates fresh; because capacities
+    /// only ever grow and sent buffers circulate back on the same pair,
+    /// misses die out after the first rounds and steady-state planned
+    /// exchanges never allocate.
+    pub fn take_buf(&mut self, peer: u32, cap: usize) -> Vec<f64> {
+        if cap == 0 {
+            return Vec::new();
+        }
+        let slot = &mut self.pool[peer as usize];
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, b) in slot.iter().enumerate() {
+            let c = b.capacity();
+            if c >= cap && best.is_none_or(|(_, bc)| c < bc) {
+                best = Some((i, c));
+            }
+        }
+        if let Some((i, _)) = best {
+            return slot.swap_remove(i);
+        }
+        self.counters.payload_allocs += 1;
+        let mut largest: Option<(usize, usize)> = None;
+        for (i, b) in slot.iter().enumerate() {
+            let c = b.capacity();
+            if largest.is_none_or(|(_, lc)| c > lc) {
+                largest = Some((i, c));
+            }
+        }
+        match largest {
+            Some((i, _)) => {
+                let mut b = slot.swap_remove(i);
+                b.reserve_exact(cap);
+                b
+            }
+            None => Vec::with_capacity(cap),
+        }
+    }
+
+    /// Return a payload buffer to `peer`'s pool slot. The buffer is
+    /// cleared first, so pooled buffers never carry previous payloads
+    /// (a corrupted or duplicated delivery unpacked from a borrowed
+    /// buffer cannot poison later messages). Beyond
+    /// [`POOL_MAX_PER_PEER`] buffers the return is dropped instead.
+    pub fn recycle(&mut self, peer: u32, mut buf: Vec<f64>) {
+        let slot = &mut self.pool[peer as usize];
+        if slot.len() >= POOL_MAX_PER_PEER || buf.capacity() == 0 {
+            return;
+        }
+        buf.clear();
+        slot.push(buf);
+    }
+
+    /// Pre-warm `peer`'s pool slot to hold at least one buffer of `cap`
+    /// f64s — the `MPI_Send_init` moment where the persistent engine is
+    /// allowed to allocate (counted in `payload_allocs` like any other
+    /// pool growth). No-op if the slot can already stage `cap`.
+    pub fn ensure_buf(&mut self, peer: u32, cap: usize) {
+        if cap == 0 {
+            return;
+        }
+        let slot = &mut self.pool[peer as usize];
+        if slot.iter().any(|b| b.capacity() >= cap) {
+            return;
+        }
+        self.counters.payload_allocs += 1;
+        let mut largest: Option<(usize, usize)> = None;
+        for (i, b) in slot.iter().enumerate() {
+            let c = b.capacity();
+            if largest.is_none_or(|(_, lc)| c > lc) {
+                largest = Some((i, c));
+            }
+        }
+        match largest {
+            Some((i, _)) => slot[i].reserve_exact(cap),
+            None => slot.push(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Number of buffers currently pooled across all peer slots
+    /// (test/bench introspection).
+    pub fn pooled_bufs(&self) -> usize {
+        self.pool.iter().map(Vec::len).sum()
+    }
+
+    /// Blocking receive of the next valid message from **any** of
+    /// `peers`, in arrival order: whichever peer's message lands (and
+    /// clears its injected wire latency) first is validated and
+    /// returned as `(index into peers, payload)`.
+    ///
+    /// Applies the exact per-peer discipline of [`RankComm::recv`]:
+    /// checksum and duplicate discards count retries (bounded by
+    /// `config.max_retries` per peer), control-plane tags surface as
+    /// [`CommError::PeerHangup`], wrong tags as
+    /// [`CommError::TagMismatch`], and the shared deadline as
+    /// [`CommError::Timeout`] (reported against `peers[0]`). A delayed
+    /// packet is parked in the per-source stash until its latency
+    /// elapses — it does not block another peer's already-arrived
+    /// message (the whole point of arrival-order completion), and it
+    /// survives into the next `recv`/`recv_any` call if this one
+    /// completes through a different peer first.
+    pub fn recv_any(&mut self, peers: &[u32], tag: u64) -> Result<(usize, Vec<f64>), CommError> {
+        assert!(!peers.is_empty(), "recv_any needs at least one peer");
+        if peers.len() == 1 {
+            return self.recv(peers[0], tag).map(|d| (0, d));
+        }
+        let start = Instant::now();
+        let deadline = start + self.config.deadline;
+        let mut retries = vec![0u64; peers.len()];
+        let mut corrupt_seen = vec![0u64; peers.len()];
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                self.counters.timeouts += 1;
+                return Err(CommError::Timeout {
+                    from: peers[0],
+                    tag,
+                    waited: start.elapsed(),
+                    retries: retries.iter().sum(),
+                });
+            }
+            let mut progressed = false;
+            for (i, &from) in peers.iter().enumerate() {
+                let msg = if let Some((_, visible_at)) = &self.stash[from as usize] {
+                    if Instant::now() < *visible_at {
+                        continue;
+                    }
+                    self.stash[from as usize]
+                        .take()
+                        .expect("stash slot checked above")
+                        .0
+                } else {
+                    match self.recvs[from as usize].try_recv() {
+                        Ok(packet) => match packet.delay {
+                            Some(d) => {
+                                // The wire was slow: park the payload
+                                // until the injected latency elapses and
+                                // keep polling the other peers.
+                                self.stash[from as usize] = Some((packet.msg, Instant::now() + d));
+                                progressed = true;
+                                continue;
+                            }
+                            None => packet.msg,
+                        },
+                        Err(TryRecvError::Empty) => continue,
+                        Err(TryRecvError::Disconnected) => {
+                            self.counters.hangups_seen += 1;
+                            return Err(CommError::PeerHangup { peer: from });
+                        }
+                    }
+                };
+                progressed = true;
+                if msg.tag >= tags::CONTROL_BASE {
+                    self.counters.hangups_seen += 1;
+                    return Err(CommError::PeerHangup { peer: from });
+                }
+                if !msg.is_intact() {
+                    self.counters.corrupt_dropped += 1;
+                    self.counters.retries += 1;
+                    retries[i] += 1;
+                    corrupt_seen[i] += 1;
+                    if retries[i] > self.config.max_retries {
+                        return Err(CommError::Corrupt {
+                            from,
+                            discarded: corrupt_seen[i],
+                        });
+                    }
+                    continue;
+                }
+                if msg.seq <= self.last_seq[from as usize] {
+                    self.counters.duplicates_dropped += 1;
+                    self.counters.retries += 1;
+                    retries[i] += 1;
+                    if retries[i] > self.config.max_retries {
+                        self.counters.timeouts += 1;
+                        return Err(CommError::Timeout {
+                            from,
+                            tag,
+                            waited: start.elapsed(),
+                            retries: retries[i],
+                        });
+                    }
+                    continue;
+                }
+                self.last_seq[from as usize] = msg.seq;
+                if msg.tag != tag {
+                    return Err(CommError::TagMismatch {
+                        from,
+                        expected: tag,
+                        got: msg.tag,
+                    });
+                }
+                return Ok((i, msg.data));
+            }
+            if !progressed {
+                std::thread::sleep(POLL_INTERVAL);
+            }
         }
     }
 
@@ -882,6 +1134,107 @@ mod tests {
             r0.counters
         );
         assert!(r1.counters.any_recovery(), "receiver saw no faults");
+    }
+
+    /// take/recycle round-trips serve every subsequent borrow from the
+    /// pool: the allocation counter only moves on genuine misses.
+    #[test]
+    fn buffer_pool_reuses_and_counts_misses() {
+        let mut rc = CommWorld::new(1).into_ranks().remove(0);
+        let a = rc.take_buf(0, 16);
+        let b = rc.take_buf(0, 8);
+        assert_eq!(rc.counters.payload_allocs, 2, "cold pool must miss");
+        rc.recycle(0, a);
+        rc.recycle(0, b);
+        assert_eq!(rc.pooled_bufs(), 2);
+        // Best fit: asking for 8 must take the 8-capacity buffer, so the
+        // 16-capacity one stays available for the bigger request.
+        let b2 = rc.take_buf(0, 8);
+        assert!(b2.capacity() >= 8 && b2.capacity() < 16);
+        let a2 = rc.take_buf(0, 16);
+        assert!(a2.capacity() >= 16);
+        assert!(a2.is_empty() && b2.is_empty(), "recycle must clear");
+        assert_eq!(rc.counters.payload_allocs, 2, "warm pool must not miss");
+        // A request nothing pooled can satisfy is a miss: the largest
+        // pooled buffer is grown in place so capacities are monotone.
+        rc.recycle(0, a2);
+        let big = rc.take_buf(0, 1024);
+        assert_eq!(rc.counters.payload_allocs, 3);
+        assert!(big.capacity() >= 1024);
+        assert_eq!(rc.pooled_bufs(), 0, "miss must consume the grown slot");
+        // ensure_buf is the Send_init moment: it only allocates when no
+        // pooled buffer can already stage the request.
+        rc.recycle(0, big);
+        rc.ensure_buf(0, 512);
+        assert_eq!(rc.counters.payload_allocs, 3, "adequate slot is a no-op");
+        rc.ensure_buf(0, 4096);
+        assert_eq!(rc.counters.payload_allocs, 4);
+        assert!(rc.take_buf(0, 4096).capacity() >= 4096);
+    }
+
+    /// `recv_any` completes in arrival order: the late peer does not
+    /// gate the early peer's message.
+    #[test]
+    fn recv_any_unblocks_on_first_arrival() {
+        let ranks = CommWorld::new(3).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let mut r2 = iter.next().unwrap();
+        let slow = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(80));
+            r1.isend(0, 5, vec![1.0]);
+            r1
+        });
+        r2.isend(0, 5, vec![2.0, 2.0]);
+        // Peer order lists the slow rank first; arrival order must win.
+        let (i, data) = r0.recv_any(&[1, 2], 5).unwrap();
+        assert_eq!((i, data), (1, vec![2.0, 2.0]));
+        let (i, data) = r0.recv_any(&[1], 5).unwrap();
+        assert_eq!((i, data), (0, vec![1.0]));
+        slow.join().unwrap();
+    }
+
+    /// `recv_any` keeps the duplicate/corruption discipline of `recv`
+    /// under an active fault plan: every payload still arrives exactly
+    /// once, intact, whichever peer lands first.
+    #[test]
+    fn recv_any_survives_faulty_links() {
+        let spec = FaultSpec {
+            seed: 0xabcd,
+            drop_permille: 150,
+            dup_permille: 150,
+            corrupt_permille: 150,
+            delay_permille: 150,
+            max_delay: Duration::from_micros(200),
+            ..FaultSpec::default()
+        };
+        let ranks = CommWorld::with_faults(3, Arc::new(FaultPlan::new(spec))).into_ranks();
+        let mut iter = ranks.into_iter();
+        let mut r0 = iter.next().unwrap();
+        let mut r1 = iter.next().unwrap();
+        let mut r2 = iter.next().unwrap();
+        let rounds = 60u64;
+        let t1 = std::thread::spawn(move || {
+            for s in 0..rounds {
+                r1.isend(0, s, vec![1.0, s as f64]);
+            }
+        });
+        let t2 = std::thread::spawn(move || {
+            for s in 0..rounds {
+                r2.isend(0, s, vec![2.0, s as f64]);
+            }
+        });
+        for s in 0..rounds {
+            let mut pending = vec![1u32, 2u32];
+            while !pending.is_empty() {
+                let (i, data) = r0.recv_any(&pending, s).unwrap();
+                let from = pending.remove(i);
+                assert_eq!(data, vec![from as f64, s as f64], "tag {s} from {from}");
+            }
+        }
+        t1.join().unwrap();
+        t2.join().unwrap();
     }
 
     /// Collective traffic lives in its own tag namespace: an allreduce

@@ -30,18 +30,77 @@
 
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
-use crate::plan::{ChainPlan, PlanCache};
+use crate::plan::{ChainPlan, NeighborPack, PlanCache};
 use crate::threads::{run_schedule_pooled, ThreadCtx, Threading};
 use crate::trace::{ExchangeRec, RankTrace, SchedKind, ThreadRec};
 use op2_core::par::{adaptive_block_size, color_blocks_raw, conflict_accesses, BlockColoring};
 use op2_core::schedule::{run_schedule, BoundArg, BoundLoop, Schedule, ScheduleKind};
 use op2_core::{Arg, ChainSpec, DatId, Domain, LoopSpec};
-use op2_partition::layout::RankLayout;
+use op2_partition::layout::{NeighborPlan, RankLayout};
+use std::collections::HashSet;
 use std::sync::Arc;
+use std::time::Instant;
 
 enum ExecIters<'a> {
     Range(usize, usize),
     List(&'a [u32]),
+}
+
+/// Payload size above which planned pack/unpack splits a neighbour's
+/// index lists across the rank's thread pool. Tuned so the fork/join
+/// cost (two pool barriers, ~µs) stays well under the memory traffic it
+/// parallelises; below it the sequential copy wins.
+pub const PACK_THREAD_BYTES: usize = 32 << 10;
+
+/// The `MPI_Send_init` moment of the persistent-exchange engine: tracks
+/// which plans have had their message buffers pre-sized into the
+/// transport's per-peer pool. Warming happens once per (chain signature,
+/// dirty class) — the same key that selects a [`ChainPlan`] — and sizes
+/// each peer's slot to the *larger* of the pair's send/recv payloads.
+/// Buffers travel with messages and return with the peer's replies, so a
+/// buffer warmed to `max(send, recv)` keeps circulating on its pair
+/// without ever needing to grow: steady-state planned exchanges perform
+/// zero payload allocations (asserted via
+/// [`crate::comm::CommCounters::payload_allocs`]).
+#[derive(Debug, Default)]
+pub struct ExchangeBuffers {
+    warmed: HashSet<(u64, u64)>,
+}
+
+impl ExchangeBuffers {
+    /// Pre-size `comm`'s per-peer buffer pool for `plan`'s grouped
+    /// messages. Idempotent per plan identity; repeat calls are a hash
+    /// lookup.
+    pub fn warm(&mut self, comm: &mut RankComm, plan: &ChainPlan) {
+        if !self.warmed.insert((plan.sig, plan.dirty)) {
+            return;
+        }
+        for pack in &plan.packs {
+            comm.ensure_buf(pack.rank, pack.send_f64s.max(pack.recv_f64s));
+        }
+    }
+
+    /// Number of plans warmed so far (introspection).
+    pub fn warmed_plans(&self) -> usize {
+        self.warmed.len()
+    }
+}
+
+/// Raw-pointer wrapper so pack/unpack closures can fan copies out over
+/// the pool; safety rests on the disjointness of the copied ranges (pack
+/// entries partition the payload; receive ranges are disjoint local
+/// windows).
+struct PackPtr(*mut f64);
+unsafe impl Send for PackPtr {}
+unsafe impl Sync for PackPtr {}
+
+impl PackPtr {
+    /// The raw pointer. Going through a method (rather than `.0`) keeps
+    /// closures capturing the `Sync` wrapper, not the bare pointer.
+    #[inline]
+    fn get(&self) -> *mut f64 {
+        self.0
+    }
 }
 
 /// Per-rank state: local data, validity, transport, trace.
@@ -69,6 +128,8 @@ pub struct RankEnv<'a> {
     /// block-coloring cache (chain loops cache theirs in the
     /// [`ChainPlan`]).
     pub threads: ThreadCtx,
+    /// Persistent-exchange warm-up state (see [`ExchangeBuffers`]).
+    pub exch_bufs: ExchangeBuffers,
     /// Boundaries crossed so far, per [`BoundaryKind`] — the coordinates
     /// fault plans name crash/stall points by.
     boundaries: [u64; 3],
@@ -96,6 +157,7 @@ impl<'a> RankEnv<'a> {
             plans: PlanCache::new(),
             tag_seq: 0,
             threads: ThreadCtx::new(Threading::default()),
+            exch_bufs: ExchangeBuffers::default(),
             boundaries: [0; 3],
         }
     }
@@ -424,14 +486,40 @@ impl<'a> RankEnv<'a> {
         let layout = self.layout;
         rec.n_neighbors = layout.neighbors.len();
 
-        // --- Post sends. ---
+        // --- Post sends (payloads staged in the per-peer buffer pool,
+        // never freshly allocated once the pool is warm). ---
         for nbr in &layout.neighbors {
             if grouped {
-                let mut payload = Vec::new();
+                let cap: usize = dats
+                    .iter()
+                    .map(|&(dat, depth)| self.send_len(nbr, dat, depth))
+                    .sum();
+                if cap == 0 {
+                    continue;
+                }
+                let mut payload = self.comm.take_buf(nbr.rank, cap);
+                let t0 = Instant::now();
                 for &(dat, depth) in dats {
                     self.pack_dat(nbr, dat, depth, &mut payload);
                 }
-                if !payload.is_empty() {
+                rec.pack_ns += t0.elapsed().as_nanos() as u64;
+                rec.n_msgs += 1;
+                let bytes = payload.len() * 8;
+                rec.bytes += bytes;
+                rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
+                rec.packed_elems += payload.len();
+                rec.nbr_bits |= 1u128 << nbr.rank.min(127);
+                self.comm.isend(nbr.rank, tag, payload);
+            } else {
+                for &(dat, depth) in dats {
+                    let cap = self.send_len(nbr, dat, depth);
+                    if cap == 0 {
+                        continue;
+                    }
+                    let mut payload = self.comm.take_buf(nbr.rank, cap);
+                    let t0 = Instant::now();
+                    self.pack_dat(nbr, dat, depth, &mut payload);
+                    rec.pack_ns += t0.elapsed().as_nanos() as u64;
                     rec.n_msgs += 1;
                     let bytes = payload.len() * 8;
                     rec.bytes += bytes;
@@ -440,62 +528,95 @@ impl<'a> RankEnv<'a> {
                     rec.nbr_bits |= 1u128 << nbr.rank.min(127);
                     self.comm.isend(nbr.rank, tag, payload);
                 }
-            } else {
-                for &(dat, depth) in dats {
-                    let mut payload = Vec::new();
-                    self.pack_dat(nbr, dat, depth, &mut payload);
-                    if !payload.is_empty() {
-                        rec.n_msgs += 1;
-                        let bytes = payload.len() * 8;
-                        rec.bytes += bytes;
-                        rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
-                        rec.packed_elems += payload.len();
-                        rec.nbr_bits |= 1u128 << nbr.rank.min(127);
-                        self.comm.isend(nbr.rank, tag, payload);
-                    }
-                }
             }
         }
         rec
     }
 
+    /// Outgoing f64 count for one (dat, neighbour) at `depth` — the
+    /// exact capacity [`RankEnv::exchange`] borrows from the pool, so a
+    /// pack never reallocates mid-copy.
+    fn send_len(&self, nbr: &NeighborPlan, dat: DatId, depth: u8) -> usize {
+        let d = self.dom.dat(dat);
+        nbr.send
+            .iter()
+            .filter(|seg| seg.set == d.set && seg.level <= depth)
+            .map(|seg| seg.elems.len() * d.dim)
+            .sum()
+    }
+
     /// Complete the exchange posted by [`RankEnv::exchange`] (the
     /// `MPI_Wait` of Algs 1–2): receive and unpack from every neighbour.
+    ///
+    /// Grouped messages complete in **arrival order** (`recv_any`):
+    /// whichever neighbour's payload lands first is unpacked first, so
+    /// the tail is one slowest neighbour, not the sum of in-order stalls.
+    /// Receive segments of different neighbours are disjoint local
+    /// ranges, so unpack order cannot change results. Wait/unpack wall
+    /// time accumulates into `rec`; payload buffers return to the
+    /// per-peer pool.
     ///
     /// Transport failures (timeout, hangup, corruption past the retry
     /// budget) surface as [`CommError`]; validity is only raised after
     /// *every* neighbour delivered, so a failed wait never leaves rings
     /// marked valid that were not actually filled.
-    pub fn exchange_wait(&mut self, dats: &[(DatId, u8)], grouped: bool) -> Result<(), CommError> {
+    pub fn exchange_wait(
+        &mut self,
+        dats: &[(DatId, u8)],
+        grouped: bool,
+        rec: &mut ExchangeRec,
+    ) -> Result<(), CommError> {
         if dats.is_empty() {
             return Ok(());
         }
         let tag = self.tag_seq;
         // Collect neighbor ranks first (borrow discipline).
         let nbr_ranks: Vec<u32> = self.layout.neighbors.iter().map(|n| n.rank).collect();
-        for (ni, peer) in nbr_ranks.iter().enumerate() {
-            if grouped {
-                let expect = self.expected_len(ni, dats);
-                if expect == 0 {
-                    continue;
+        if grouped {
+            let mut pending: Vec<usize> = Vec::new();
+            let mut peers: Vec<u32> = Vec::new();
+            for (ni, &peer) in nbr_ranks.iter().enumerate() {
+                if self.expected_len(ni, dats) > 0 {
+                    pending.push(ni);
+                    peers.push(peer);
                 }
-                let payload = self.comm.recv(*peer, tag)?;
-                assert_eq!(payload.len(), expect, "grouped message length mismatch");
+            }
+            while !pending.is_empty() {
+                let t0 = Instant::now();
+                let (i, payload) = self.comm.recv_any(&peers, tag)?;
+                rec.wait_ns += t0.elapsed().as_nanos() as u64;
+                let ni = pending.remove(i);
+                let peer = peers.remove(i);
+                assert_eq!(
+                    payload.len(),
+                    self.expected_len(ni, dats),
+                    "grouped message length mismatch"
+                );
+                let t1 = Instant::now();
                 let mut off = 0;
                 for &(dat, depth) in dats {
                     off = self.unpack_dat(ni, dat, depth, &payload, off);
                 }
                 debug_assert_eq!(off, payload.len());
-            } else {
+                rec.unpack_ns += t1.elapsed().as_nanos() as u64;
+                self.comm.recycle(peer, payload);
+            }
+        } else {
+            for (ni, &peer) in nbr_ranks.iter().enumerate() {
                 for &(dat, depth) in dats {
                     let expect = self.expected_len(ni, &[(dat, depth)]);
                     if expect == 0 {
                         continue;
                     }
-                    let payload = self.comm.recv(*peer, tag)?;
+                    let t0 = Instant::now();
+                    let payload = self.comm.recv(peer, tag)?;
+                    rec.wait_ns += t0.elapsed().as_nanos() as u64;
                     assert_eq!(payload.len(), expect, "per-dat message length mismatch");
+                    let t1 = Instant::now();
                     let off = self.unpack_dat(ni, dat, depth, &payload, 0);
                     debug_assert_eq!(off, payload.len());
+                    rec.unpack_ns += t1.elapsed().as_nanos() as u64;
+                    self.comm.recycle(peer, payload);
                 }
             }
         }
@@ -517,63 +638,205 @@ impl<'a> RankEnv<'a> {
         if plan.import.is_empty() {
             return rec;
         }
+        // Send_init: size the per-peer pool once per plan, so the takes
+        // below never allocate in steady state.
+        self.exch_bufs.warm(&mut self.comm, plan);
         let tag = self.next_tag();
         rec.n_neighbors = self.layout.neighbors.len();
         for pack in &plan.packs {
-            let mut payload = Vec::with_capacity(pack.send_f64s);
-            for (di, &(dat, _)) in plan.import.iter().enumerate() {
-                let dim = self.dom.dat(dat).dim;
-                let buf = &self.dats[dat.idx()];
-                for &e in &pack.send[di] {
-                    let e = e as usize;
-                    payload.extend_from_slice(&buf[e * dim..(e + 1) * dim]);
+            if pack.send_f64s == 0 {
+                continue;
+            }
+            let mut payload = self.comm.take_buf(pack.rank, pack.send_f64s);
+            let t0 = Instant::now();
+            if !self.threaded_pack(plan, pack, &mut payload) {
+                for (di, &(dat, _)) in plan.import.iter().enumerate() {
+                    let dim = self.dom.dat(dat).dim;
+                    let buf = &self.dats[dat.idx()];
+                    for &e in &pack.send[di] {
+                        let e = e as usize;
+                        payload.extend_from_slice(&buf[e * dim..(e + 1) * dim]);
+                    }
                 }
             }
+            rec.pack_ns += t0.elapsed().as_nanos() as u64;
             debug_assert_eq!(payload.len(), pack.send_f64s);
-            if !payload.is_empty() {
-                rec.n_msgs += 1;
-                let bytes = payload.len() * 8;
-                rec.bytes += bytes;
-                rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
-                rec.packed_elems += payload.len();
-                rec.nbr_bits |= 1u128 << pack.rank.min(127);
-                self.comm.isend(pack.rank, tag, payload);
-            }
+            rec.n_msgs += 1;
+            let bytes = payload.len() * 8;
+            rec.bytes += bytes;
+            rec.max_msg_bytes = rec.max_msg_bytes.max(bytes);
+            rec.packed_elems += payload.len();
+            rec.nbr_bits |= 1u128 << pack.rank.min(127);
+            self.comm.isend(pack.rank, tag, payload);
         }
         rec
     }
 
+    /// Pack one neighbour's grouped payload on the thread pool when the
+    /// message is big enough to amortize the fork/join
+    /// ([`PACK_THREAD_BYTES`]). The pack's flattened index entries are
+    /// split into even contiguous spans, one per thread; every entry
+    /// writes a disjoint `dim`-sized window of the payload, so the copy
+    /// is race-free and the payload is byte-identical to the sequential
+    /// pack. Returns false (caller packs sequentially) when threading is
+    /// off or the message is small.
+    fn threaded_pack(&mut self, plan: &ChainPlan, pack: &NeighborPack, payload: &mut Vec<f64>) -> bool {
+        if !self.threads.opts.active() || pack.send_f64s * 8 < PACK_THREAD_BYTES {
+            return false;
+        }
+        let pool = self.threads.pool();
+        let n_tasks = pool.n_threads();
+        if n_tasks <= 1 {
+            return false;
+        }
+        payload.resize(pack.send_f64s, 0.0);
+        let n_dats = plan.import.len();
+        // Entry e = one element copy; entry_start maps dat → first entry.
+        let mut entry_start = Vec::with_capacity(n_dats + 1);
+        let mut f64_off = Vec::with_capacity(n_dats);
+        let mut dims = Vec::with_capacity(n_dats);
+        let mut srcs: Vec<PackPtr> = Vec::with_capacity(n_dats);
+        let mut entries = 0usize;
+        let mut off = 0usize;
+        for (di, &(dat, _)) in plan.import.iter().enumerate() {
+            let dim = self.dom.dat(dat).dim;
+            entry_start.push(entries);
+            f64_off.push(off);
+            dims.push(dim);
+            srcs.push(PackPtr(self.dats[dat.idx()].as_ptr() as *mut f64));
+            entries += pack.send[di].len();
+            off += pack.send[di].len() * dim;
+        }
+        entry_start.push(entries);
+        debug_assert_eq!(off, pack.send_f64s);
+        let dst = PackPtr(payload.as_mut_ptr());
+        pool.run_spans(entries, &|lo, hi| {
+            let mut di = entry_start.partition_point(|&s| s <= lo) - 1;
+            for e in lo..hi {
+                while entry_start[di + 1] <= e {
+                    di += 1;
+                }
+                let j = e - entry_start[di];
+                let dim = dims[di];
+                let el = pack.send[di][j] as usize;
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        srcs[di].get().add(el * dim) as *const f64,
+                        dst.get().add(f64_off[di] + j * dim),
+                        dim,
+                    );
+                }
+            }
+        });
+        true
+    }
+
+    /// Scatter one neighbour's grouped payload on the thread pool (the
+    /// unpack mirror of [`RankEnv::threaded_pack`]): the payload is
+    /// split into even f64 spans, one per thread, and each thread copies
+    /// the intersection of its span with the plan's contiguous receive
+    /// ranges. Destination ranges are disjoint, so the scatter is
+    /// race-free and bitwise identical to the sequential unpack.
+    fn threaded_unpack(&mut self, plan: &ChainPlan, pack: &NeighborPack, payload: &[f64]) -> bool {
+        if !self.threads.opts.active() || pack.recv_f64s * 8 < PACK_THREAD_BYTES {
+            return false;
+        }
+        let pool = self.threads.pool();
+        let n_tasks = pool.n_threads();
+        if n_tasks <= 1 {
+            return false;
+        }
+        let n_dats = plan.import.len();
+        let mut dims = Vec::with_capacity(n_dats);
+        let mut bases: Vec<PackPtr> = Vec::with_capacity(n_dats);
+        for &(dat, _) in plan.import.iter() {
+            dims.push(self.dom.dat(dat).dim);
+            bases.push(PackPtr(self.dats[dat.idx()].as_mut_ptr()));
+        }
+        let total = pack.recv_f64s;
+        let src = PackPtr(payload.as_ptr() as *mut f64);
+        pool.run_spans(total, &|lo, hi| {
+            let mut off = 0usize;
+            'outer: for di in 0..n_dats {
+                let dim = dims[di];
+                for &(start, len) in &pack.recv[di] {
+                    let n = len as usize * dim;
+                    let a = off.max(lo);
+                    let b = (off + n).min(hi);
+                    if a < b {
+                        unsafe {
+                            std::ptr::copy_nonoverlapping(
+                                src.get().add(a) as *const f64,
+                                bases[di].get().add(start as usize * dim + (a - off)),
+                                b - a,
+                            );
+                        }
+                    }
+                    off += n;
+                    if off >= hi {
+                        break 'outer;
+                    }
+                }
+            }
+        });
+        true
+    }
+
     /// Complete a planned exchange: receive each neighbour's grouped
     /// message (size known from the plan) and scatter it through the
-    /// plan's contiguous copy ranges. Raises validity to each dat's
-    /// planned import depth only after every neighbour delivered.
-    pub fn exchange_wait_planned(&mut self, plan: &ChainPlan) -> Result<(), CommError> {
+    /// plan's contiguous copy ranges. Completion is in **arrival
+    /// order** — whichever neighbour's message lands first is unpacked
+    /// first (receive ranges of different neighbours are disjoint, so
+    /// order cannot change results). Wait/unpack wall time accumulates
+    /// into `rec`; payload buffers return to the per-peer pool. Raises
+    /// validity to each dat's planned import depth only after every
+    /// neighbour delivered.
+    pub fn exchange_wait_planned(
+        &mut self,
+        plan: &ChainPlan,
+        rec: &mut ExchangeRec,
+    ) -> Result<(), CommError> {
         if plan.import.is_empty() {
             return Ok(());
         }
         let tag = self.tag_seq;
-        for pack in &plan.packs {
-            if pack.recv_f64s == 0 {
-                continue;
+        let mut pending: Vec<usize> = Vec::new();
+        let mut peers: Vec<u32> = Vec::new();
+        for (pi, pack) in plan.packs.iter().enumerate() {
+            if pack.recv_f64s > 0 {
+                pending.push(pi);
+                peers.push(pack.rank);
             }
-            let payload = self.comm.recv(pack.rank, tag)?;
+        }
+        while !pending.is_empty() {
+            let t0 = Instant::now();
+            let (i, payload) = self.comm.recv_any(&peers, tag)?;
+            rec.wait_ns += t0.elapsed().as_nanos() as u64;
+            let pi = pending.remove(i);
+            let peer = peers.remove(i);
+            let pack = &plan.packs[pi];
             assert_eq!(
                 payload.len(),
                 pack.recv_f64s,
                 "planned grouped message length mismatch"
             );
-            let mut off = 0;
-            for (di, &(dat, _)) in plan.import.iter().enumerate() {
-                let dim = self.dom.dat(dat).dim;
-                let buf = &mut self.dats[dat.idx()];
-                for &(start, len) in &pack.recv[di] {
-                    let n = len as usize * dim;
-                    let s = start as usize * dim;
-                    buf[s..s + n].copy_from_slice(&payload[off..off + n]);
-                    off += n;
+            let t1 = Instant::now();
+            if !self.threaded_unpack(plan, pack, &payload) {
+                let mut off = 0;
+                for (di, &(dat, _)) in plan.import.iter().enumerate() {
+                    let dim = self.dom.dat(dat).dim;
+                    let buf = &mut self.dats[dat.idx()];
+                    for &(start, len) in &pack.recv[di] {
+                        let n = len as usize * dim;
+                        let s = start as usize * dim;
+                        buf[s..s + n].copy_from_slice(&payload[off..off + n]);
+                        off += n;
+                    }
                 }
+                debug_assert_eq!(off, payload.len());
             }
-            debug_assert_eq!(off, payload.len());
+            rec.unpack_ns += t1.elapsed().as_nanos() as u64;
+            self.comm.recycle(peer, payload);
         }
         for &(dat, depth) in &plan.import {
             self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
@@ -702,8 +965,8 @@ mod tests {
                         }
                         env.valid[dat.idx()] = 0;
                         let spec = [(dat, 2u8)];
-                        let _ = env.exchange(&spec, true);
-                        env.exchange_wait(&spec, true).unwrap();
+                        let mut rec = env.exchange(&spec, true);
+                        env.exchange_wait(&spec, true, &mut rec).unwrap();
                         assert_eq!(env.valid[dat.idx()], 2);
                         // Every local copy must now equal the owner's
                         // global values.
@@ -744,8 +1007,8 @@ mod tests {
                 scope.spawn(move || {
                     let mut env = RankEnv::new(layout, dom, comm);
                     env.valid[d.idx()] = 0;
-                    let rec = env.exchange(&[], true);
-                    env.exchange_wait(&[], true).unwrap();
+                    let mut rec = env.exchange(&[], true);
+                    env.exchange_wait(&[], true, &mut rec).unwrap();
                     assert_eq!(rec.n_msgs, 0);
                     assert_eq!(env.valid[d.idx()], 0);
                     assert_eq!(env.comm.sent_msgs, 0);

@@ -100,7 +100,6 @@ pub fn run_loop_hooked(
 
     // Post sends (MPI_Isend / Irecv of Alg 1, lines 1-2).
     let mut rec = env.exchange(&exch, false);
-    rec.n_neighbors = env.layout.neighbors.len();
     hooks.stage_out(rec.bytes);
 
     let set_layout = &env.layout.sets[spec.set.idx()];
@@ -115,7 +114,7 @@ pub fn run_loop_hooked(
     env.exec_range(spec, 0, core_end, &mut gbls);
 
     // Wait (line 6).
-    env.exchange_wait(&exch, false)?;
+    env.exchange_wait(&exch, false, &mut rec)?;
     hooks.stage_in(env.expected_recv_bytes(&exch));
 
     // Boundary-owned iterations contribute to reductions; redundant ring
@@ -254,7 +253,7 @@ fn run_chain_mode(
 
     // Grouped message per neighbour (lines 5-7 of Alg 2), packed via the
     // plan's index lists.
-    let rec = env.exchange_planned(&plan);
+    let mut rec = env.exchange_planned(&plan);
     hooks.stage_out(rec.bytes);
 
     // Core of every loop while the exchange is in flight (lines 8-12).
@@ -271,8 +270,9 @@ fn run_chain_mode(
         env.exec_range_planned(spec, 0, core_end, &mut gbls, &plan, pos);
     }
 
-    // Wait (line 13).
-    env.exchange_wait_planned(&plan)?;
+    // Wait (line 13) — arrival order: whichever neighbour lands first
+    // is unpacked first.
+    env.exchange_wait_planned(&plan, &mut rec)?;
     hooks.stage_in(plan.recv_bytes);
 
     // Halo regions in loop order (lines 14-18), with validity checked
@@ -361,7 +361,7 @@ fn run_chain_unplanned_mode(
     };
 
     // Grouped message per neighbour (lines 5-7 of Alg 2).
-    let rec = env.exchange(&exch, true);
+    let mut rec = env.exchange(&exch, true);
 
     // Core of every loop while the exchange is in flight (lines 8-12).
     let cdepth = if relaxed {
@@ -379,7 +379,7 @@ fn run_chain_unplanned_mode(
     }
 
     // Wait (line 13).
-    env.exchange_wait(&exch, true)?;
+    env.exchange_wait(&exch, true, &mut rec)?;
 
     // Halo regions in loop order (lines 14-18).
     let mut per_loop = Vec::with_capacity(chain.len());
@@ -442,10 +442,13 @@ fn run_chain_unplanned_mode(
 /// growth schedule instead of loop-by-loop sweeps — each tile's working
 /// set stays cache-resident across the whole chain.
 ///
-/// Trade-off vs [`run_chain`]: no prewait core overlap (the exchange
-/// completes before the tiled execution starts), in exchange for the
-/// cache locality. This mirrors the paper's two levels: MPI-rank = outer
-/// tile, `n_tiles` inner tiles per rank. With threading active the
+/// Latency hiding mirrors [`run_chain`]'s prewait core at tile
+/// granularity: the plan's **core tiles** — tiles whose footprint sits
+/// inside every loop's core region, closed under demotion against
+/// earlier post tiles (see [`op2_core::tiling::overlap_core_tiles`]) —
+/// execute while the grouped exchange is in flight; the remaining tiles
+/// run after the wait. This mirrors the paper's two levels: MPI-rank =
+/// outer tile, `n_tiles` inner tiles per rank. With threading active the
 /// plan's leveled tile schedule runs same-level (provably conflict-free)
 /// tiles concurrently on the rank's pool — still bitwise identical to
 /// the sequential tile-by-tile walk.
@@ -464,10 +467,7 @@ pub fn run_chain_tiled(
         plan.depth,
         env.layout.depth
     );
-    let rec = env.exchange_planned(&plan);
-    env.exchange_wait_planned(&plan)?;
-
-    let (_tiles, sched, built) = plan.tile_schedule(env.layout, chain, n_tiles);
+    let (tc, built) = plan.tile_schedule(env.layout, chain, n_tiles);
     if built {
         env.plans.stats.tile_misses += 1;
     } else {
@@ -479,8 +479,13 @@ pub fn run_chain_tiled(
     // earlier loops' produced validity satisfies later loops' reads,
     // and the tiled interleaving preserves exactly those cross-loop
     // dependences by construction (the growth stamps order every
-    // consumer tile after its producers).
+    // consumer tile after its producers). The check runs before the
+    // exchange, so it simulates the wait's raise from the plan's import
+    // list — identical to the post-wait validity.
     let mut valid = env.valid.clone();
+    for &(d, depth) in &plan.import {
+        valid[d.idx()] = valid[d.idx()].max(depth);
+    }
     for (pos, spec) in chain.loops.iter().enumerate() {
         for &(d, req) in &plan.reqs[pos] {
             assert!(
@@ -498,10 +503,24 @@ pub fn run_chain_tiled(
         }
     }
 
-    // Executor: the plan's lowered leveled schedule — same-level tiles
-    // run concurrently on the rank's pool when threading is active,
-    // sequentially (bitwise identical) otherwise.
-    env.exec_chain_schedule(chain, &sched);
+    let mut rec = env.exchange_planned(&plan);
+
+    // Core tiles while the exchange is in flight — they read nothing the
+    // wait delivers, and the core/post split preserves the full plan's
+    // conflict order, so the result stays bitwise identical.
+    if tc.n_core_tiles > 0 {
+        env.exec_chain_schedule(chain, &tc.core);
+        env.plans.stats.overlap_tiles += tc.n_core_tiles as u64;
+    }
+
+    env.exchange_wait_planned(&plan, &mut rec)?;
+
+    // Remaining tiles after the wait — same-level tiles run concurrently
+    // on the rank's pool when threading is active, sequentially (bitwise
+    // identical) otherwise.
+    if tc.n_core_tiles < tc.tiles.n_tiles {
+        env.exec_chain_schedule(chain, &tc.post);
+    }
 
     // Validity transitions, as in run_chain.
     env.valid = valid;

@@ -31,7 +31,9 @@
 //! do **zero** re-analysis.
 
 use op2_core::chain::{produced_validity, read_requirement};
-use op2_core::tiling::{build_tile_plan_raw, seed_blocks, seed_from_targets, TilePlan};
+use op2_core::tiling::{
+    build_tile_plan_raw, overlap_core_tiles, seed_blocks, seed_from_targets, TilePlan,
+};
 use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain, LoopSpec, Schedule};
 use op2_partition::layout::RankLayout;
 use std::collections::HashMap;
@@ -208,7 +210,7 @@ pub struct ChainPlan {
     pub nbr_bits: u128,
     /// Tile plans and their lowered schedules by tile count, built
     /// lazily on first use.
-    tiles: Mutex<HashMap<usize, TileSchedule>>,
+    tiles: Mutex<HashMap<usize, Arc<TiledChain>>>,
     /// Lowered colored schedules for the threaded executor, keyed by
     /// `(loop position, start, end, block size)` and built lazily on
     /// first threaded execution of that range — the coloring is
@@ -220,8 +222,26 @@ pub struct ChainPlan {
 /// size)`.
 pub type ColoringKey = (usize, usize, usize, usize);
 
-/// A cached tile plan together with its lowered leveled schedule.
-type TileSchedule = (Arc<TilePlan>, Arc<Schedule>);
+/// A cached tile plan together with its lowered schedules: the full
+/// leveled schedule plus the core/post split the overlap executor uses
+/// (see [`overlap_core_tiles`]). All inspector work — built once per
+/// (plan, tile count), replayed by every tiled invocation.
+#[derive(Debug)]
+pub struct TiledChain {
+    /// The leveled tile plan itself.
+    pub tiles: Arc<TilePlan>,
+    /// Full schedule over every tile (the non-overlapping executor).
+    pub sched: Arc<Schedule>,
+    /// Overlap-eligible tiles only — footprint inside every loop's core
+    /// region and demotion-closed against earlier post tiles, so they
+    /// may run while the grouped exchange is in flight.
+    pub core: Arc<Schedule>,
+    /// The remaining tiles, run after the wait. Core then post replays
+    /// the full plan's conflict order exactly.
+    pub post: Arc<Schedule>,
+    /// Number of overlap-eligible tiles (`core`'s chunk count).
+    pub n_core_tiles: usize,
+}
 
 impl ChainPlan {
     /// Run the full chain inspection for one rank: import depths, core
@@ -390,22 +410,22 @@ impl ChainPlan {
         chain: &ChainSpec,
         n_tiles: usize,
     ) -> (Arc<TilePlan>, bool) {
-        let (tp, _, built) = self.tile_schedule(layout, chain, n_tiles);
-        (tp, built)
+        let (tc, built) = self.tile_schedule(layout, chain, n_tiles);
+        (Arc::clone(&tc.tiles), built)
     }
 
-    /// [`ChainPlan::tile_plan`] plus the plan's lowered leveled
-    /// [`Schedule`] — both cached together, so repeat tiled invocations
-    /// neither re-inspect nor re-lower.
+    /// [`ChainPlan::tile_plan`] plus the plan's lowered schedules (full
+    /// and core/post overlap split) — all cached together, so repeat
+    /// tiled invocations neither re-inspect nor re-lower.
     pub fn tile_schedule(
         &self,
         layout: &RankLayout,
         chain: &ChainSpec,
         n_tiles: usize,
-    ) -> (Arc<TilePlan>, Arc<Schedule>, bool) {
+    ) -> (Arc<TiledChain>, bool) {
         let mut tiles = self.tiles.lock().expect("tile cache poisoned");
-        if let Some((tp, sched)) = tiles.get(&n_tiles) {
-            return (Arc::clone(tp), Arc::clone(sched), false);
+        if let Some(tc) = tiles.get(&n_tiles) {
+            return (Arc::clone(tc), false);
         }
         let sigs = chain.sigs();
         let set_sizes: Vec<usize> = layout.sets.iter().map(|s| s.n_local()).collect();
@@ -440,8 +460,22 @@ impl ChainPlan {
             &seed,
         ));
         let sched = Arc::new(Schedule::from_tile_plan(&tp));
-        tiles.insert(n_tiles, (Arc::clone(&tp), Arc::clone(&sched)));
-        (tp, sched, true)
+        // The overlap split: tiles whose footprint sits inside every
+        // loop's core region run while the exchange is in flight.
+        let keep = overlap_core_tiles(&set_sizes, &layout.maps, &sigs, &tp, &self.core_end);
+        let n_core_tiles = keep.iter().filter(|&&k| k).count();
+        let core = Arc::new(Schedule::from_tile_plan_subset(&tp, &keep));
+        let not_keep: Vec<bool> = keep.iter().map(|&k| !k).collect();
+        let post = Arc::new(Schedule::from_tile_plan_subset(&tp, &not_keep));
+        let tc = Arc::new(TiledChain {
+            tiles: tp,
+            sched,
+            core,
+            post,
+            n_core_tiles,
+        });
+        tiles.insert(n_tiles, Arc::clone(&tc));
+        (tc, true)
     }
 }
 
@@ -463,6 +497,10 @@ pub struct PlanStats {
     pub color_hits: u64,
     /// Threaded executions that ran the block-coloring inspection.
     pub color_misses: u64,
+    /// Tiles executed *while an exchange was in flight* by the tiled
+    /// overlap executor (summed over invocations). A pure function of
+    /// the plan and tile count, so deterministic across thread counts.
+    pub overlap_tiles: u64,
 }
 
 /// Per-rank plan cache: `(signature, dirty class) → Arc<ChainPlan>`,

@@ -232,6 +232,22 @@ impl ThreadPool {
             panic!("a pool worker panicked during colored execution");
         }
     }
+
+    /// Split `0..total` into one even contiguous span per pool thread
+    /// and run `task(lo, hi)` for each non-empty span — the fork/join
+    /// shape of the threaded pack/unpack engine. Contiguous disjoint
+    /// spans give callers race freedom for slice copies without any
+    /// per-item claiming.
+    pub fn run_spans(&self, total: usize, task: &(dyn Fn(usize, usize) + Sync)) {
+        let n = self.n_threads;
+        self.run(n, &|t| {
+            let lo = total * t / n;
+            let hi = total * (t + 1) / n;
+            if lo < hi {
+                task(lo, hi);
+            }
+        });
+    }
 }
 
 impl Drop for ThreadPool {
@@ -389,6 +405,24 @@ mod tests {
             hits[i].fetch_add(1, Ordering::Relaxed);
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn run_spans_partitions_exactly() {
+        let pool = ThreadPool::new(3);
+        for total in [0usize, 1, 2, 3, 7, 1000] {
+            let hits: Vec<AtomicUsize> = (0..total).map(|_| AtomicUsize::new(0)).collect();
+            pool.run_spans(total, &|lo, hi| {
+                assert!(lo < hi && hi <= total);
+                for h in &hits[lo..hi] {
+                    h.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "total={total}"
+            );
+        }
     }
 
     #[test]

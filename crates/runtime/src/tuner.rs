@@ -36,6 +36,11 @@ use op2_model::{
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// Minimum traced exchange traffic before the measured per-byte pack
+/// cost replaces the model constant. Below this, the per-byte figure is
+/// mostly fixed per-exchange overhead and would mis-price Eq 3.
+pub const PACK_CAL_MIN_BYTES: usize = 64 << 10;
+
 /// Which executor a chain is dispatched to.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum Backend {
@@ -250,21 +255,45 @@ impl Tuner {
         // plan's tile-schedule cache for the dispatches that follow.
         let tile_levels_local = if self.tile_auto && threads > 1 {
             let plan = crate::plan::plan_for(env, chain, false);
-            let (_, sched, _) = plan.tile_schedule(env.layout, chain, self.n_tiles);
-            sched.n_levels()
+            let (tc, _) = plan.tile_schedule(env.layout, chain, self.n_tiles);
+            tc.sched.n_levels()
         } else {
             0
         };
 
+        // Measured per-byte pack cost of this rank's traced exchanges so
+        // far (the calibration run included) — replaces Eq 3's constant
+        // `c` when non-degenerate. A per-byte figure extrapolated from a
+        // few KiB of traffic is dominated by fixed per-exchange overhead
+        // (timer reads, gather setup), so the measurement only counts
+        // once enough bytes have moved. Rank-local here, allreduced
+        // below.
+        let (pack_ns_total, pack_bytes_total) = env
+            .trace
+            .loops
+            .iter()
+            .map(|l| &l.exch)
+            .chain(env.trace.chains.iter().map(|c| &c.exch))
+            .fold((0u64, 0usize), |(ns, by), e| {
+                (ns + e.pack_ns, by + e.bytes)
+            });
+        let pack_local = if pack_bytes_total >= PACK_CAL_MIN_BYTES {
+            pack_ns_total as f64 / 1e9 / pack_bytes_total as f64
+        } else {
+            0.0
+        };
+
         let sigs = chain.sigs();
         // Agree on g (critical path), the color count, the measured sync
-        // cost and the tile level count across ranks before shaping, so
-        // shape and decision are rank-identical.
+        // cost, the tile level count and the pack cost across ranks
+        // before shaping, so shape and decision are rank-identical.
         let tag = env.next_tag();
         g.push(n_colors_local as f64);
         g.push(sync_local);
         g.push(tile_levels_local as f64);
+        g.push(pack_local);
         env.comm.allreduce(&mut g, tag, GblOp::Max)?;
+        let pack_s = g.pop().expect("pack cost appended above");
         let n_tile_levels = g.pop().expect("tile levels appended above") as usize;
         let sync_s = g.pop().expect("sync cost appended above");
         let n_colors = g.pop().expect("color count appended above") as usize;
@@ -284,6 +313,13 @@ impl Tuner {
         // threaded ranks.
         let comp = if threads > 1 {
             comp.with_threads(threads, n_colors, sync_s)
+        } else {
+            comp
+        };
+        // A degenerate measurement (no exchange traffic yet, clock too
+        // coarse) keeps the model's constant `c` instead.
+        let comp = if pack_s > 0.0 {
+            comp.with_pack_cost(pack_s)
         } else {
             comp
         };
@@ -456,6 +492,7 @@ fn agreed_components(
             loops: ca_loops,
             p,
             m_r_bytes: m_r,
+            pack_s_per_byte: None,
         },
         op2_comm_bytes,
         op2_core,
