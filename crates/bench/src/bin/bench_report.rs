@@ -26,12 +26,26 @@
 //! (per-dat messages), emitting `BENCH_exchange.json` with each mode's
 //! pack/unpack/wait wall time and payload allocation counts so the
 //! zero-allocation steady state and the grouping win are diffable in CI.
+//!
+//! `--recovery` runs the self-healing supervisor report: the CA solver
+//! unsupervised (baseline), supervised fault-free (isolating the
+//! chain-boundary checkpoint overhead), and supervised with an injected
+//! mid-chain rank crash (isolating rollback + replay cost), emitting
+//! `BENCH_recovery.json` with the wall times, the overhead/replay
+//! percentages, the summed `RecoveryRec` counters and the per-rank
+//! records — plus the bitwise-identity verdict between the faulted and
+//! fault-free results.
 
-use mg_cfd::{run_auto, run_ca, run_ca_tiled_threaded, run_op2, MgCfd, MgCfdParams, RunOutcome};
+use mg_cfd::{
+    run_auto, run_ca, run_ca_supervised, run_ca_tiled_threaded, run_op2, MgCfd, MgCfdParams,
+    RunOutcome,
+};
 use op2_bench::json::{trace_summary, Json};
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
-use op2_runtime::TunerMode;
+use op2_runtime::{
+    Boundary, BoundaryKind, FaultPlan, FaultSpec, RunOptions, SuperviseOptions, TunerMode,
+};
 
 fn main() {
     let mut out_path = String::from("BENCH_runtime.json");
@@ -41,6 +55,7 @@ fn main() {
     let mut tiled_threads = 0usize;
     let mut tiles = 8usize;
     let mut exchange = false;
+    let mut recovery = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -81,10 +96,11 @@ fn main() {
                 tiles = args.get(i).expect("--tiles needs a count").parse().unwrap();
             }
             "--exchange" => exchange = true,
+            "--recovery" => recovery = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
-                     --tiled-threads N  --tiles N  --exchange"
+                     --tiled-threads N  --tiles N  --exchange  --recovery"
                 );
                 std::process::exit(0);
             }
@@ -216,5 +232,106 @@ fn main() {
         std::fs::write(&exch_path, report.pretty())
             .unwrap_or_else(|e| panic!("writing {exch_path}: {e}"));
         println!("wrote {exch_path} ({ranks} ranks, {iters} iters)");
+    }
+
+    if recovery {
+        // Self-healing supervisor report. Three passes on fresh flow
+        // fields: unsupervised CA (baseline), supervised fault-free
+        // (checkpoint overhead), supervised with rank 1 crashed at its
+        // second chain boundary (rollback + replay cost).
+        let fresh = || {
+            let app = MgCfd::new(params);
+            let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+            let base = rcb_partition(coords, 3, ranks);
+            let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+            let layouts = build_layouts(&app.dom, &own, 2);
+            (app, layouts)
+        };
+        let timed = |f: &mut dyn FnMut() -> RunOutcome| {
+            let t0 = std::time::Instant::now();
+            let out = f();
+            (out, t0.elapsed().as_secs_f64() * 1e3)
+        };
+
+        let (mut app, layouts) = fresh();
+        let (baseline, baseline_ms) =
+            timed(&mut || run_ca(&mut app, &layouts, iters));
+
+        let (mut app, layouts) = fresh();
+        let opts = SuperviseOptions::new(RunOptions::default().checkpoint_every(1));
+        let (clean, clean_ms) = timed(&mut || {
+            run_ca_supervised(&mut app, &layouts, iters, &opts)
+                .expect("fault-free supervised run")
+        });
+
+        let (mut app, layouts) = fresh();
+        let spec = FaultSpec::default()
+            .with_crash_site(1, Boundary::new(BoundaryKind::Chain, 1));
+        let opts = SuperviseOptions::new(
+            RunOptions::with_faults(FaultPlan::new(spec)).checkpoint_every(1),
+        );
+        let (faulted, faulted_ms) = timed(&mut || {
+            run_ca_supervised(&mut app, &layouts, iters, &opts)
+                .expect("supervised recovery from a single crash")
+        });
+
+        let sum = |out: &RunOutcome, f: &dyn Fn(&op2_runtime::RecoveryRec) -> u64| {
+            out.traces.iter().map(|t| f(&t.recovery)).sum::<u64>()
+        };
+        let overhead_pct = (clean_ms / baseline_ms - 1.0) * 100.0;
+        let replay_ms = faulted_ms - clean_ms;
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            ("baseline_ms", Json::F64(baseline_ms)),
+            ("supervised_ms", Json::F64(clean_ms)),
+            ("checkpoint_overhead_pct", Json::F64(overhead_pct)),
+            ("faulted_ms", Json::F64(faulted_ms)),
+            ("replay_cost_ms", Json::F64(replay_ms)),
+            (
+                "bitwise_identical",
+                Json::Bool(
+                    baseline.rms.to_bits() == clean.rms.to_bits()
+                        && baseline.rms.to_bits() == faulted.rms.to_bits(),
+                ),
+            ),
+            (
+                "totals",
+                Json::obj(vec![
+                    ("checkpoints", Json::U64(sum(&faulted, &|r| r.checkpoints))),
+                    ("ckpt_bytes", Json::U64(sum(&faulted, &|r| r.ckpt_bytes))),
+                    (
+                        "dats_snapshotted",
+                        Json::U64(sum(&faulted, &|r| r.dats_snapshotted)),
+                    ),
+                    ("dats_skipped", Json::U64(sum(&faulted, &|r| r.dats_skipped))),
+                    ("rollbacks", Json::U64(sum(&faulted, &|r| r.rollbacks))),
+                    (
+                        "restored_bytes",
+                        Json::U64(sum(&faulted, &|r| r.restored_bytes)),
+                    ),
+                    (
+                        "replayed_loops",
+                        Json::U64(sum(&faulted, &|r| r.replayed_loops)),
+                    ),
+                    (
+                        "replayed_chains",
+                        Json::U64(sum(&faulted, &|r| r.replayed_chains)),
+                    ),
+                ]),
+            ),
+            (
+                "per_rank",
+                Json::Arr(faulted.traces.iter().map(trace_summary).collect()),
+            ),
+        ]);
+        let rec_path = "BENCH_recovery.json".to_string();
+        std::fs::write(&rec_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {rec_path}: {e}"));
+        println!(
+            "wrote {rec_path} ({ranks} ranks, {iters} iters, overhead {overhead_pct:.1}%, \
+             replay {replay_ms:.1}ms)"
+        );
     }
 }

@@ -170,6 +170,21 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("overlap_tiles", Json::U64(t.plan.overlap_tiles)),
             ]),
         ),
+        (
+            "recovery",
+            Json::obj(vec![
+                ("attempts", Json::U64(t.recovery.attempts as u64)),
+                ("checkpoints", Json::U64(t.recovery.checkpoints)),
+                ("ckpt_bytes", Json::U64(t.recovery.ckpt_bytes)),
+                ("dats_snapshotted", Json::U64(t.recovery.dats_snapshotted)),
+                ("dats_skipped", Json::U64(t.recovery.dats_skipped)),
+                ("rollbacks", Json::U64(t.recovery.rollbacks)),
+                ("restored_bytes", Json::U64(t.recovery.restored_bytes)),
+                ("replayed_loops", Json::U64(t.recovery.replayed_loops)),
+                ("replayed_chains", Json::U64(t.recovery.replayed_chains)),
+                ("escalations", Json::U64(t.recovery.escalations)),
+            ]),
+        ),
         ("threads", threads_json(t)),
         ("tuner", Json::Arr(t.tuner.iter().map(tuner_json).collect())),
     ])
@@ -259,6 +274,10 @@ mod tests {
             gain_milli_pct: 1250,
             ..Default::default()
         });
+        t.recovery.attempts = 2;
+        t.recovery.checkpoints = 8;
+        t.recovery.rollbacks = 1;
+        t.recovery.replayed_chains = 3;
         let s = trace_summary(&t).pretty();
         assert!(s.contains("\"rank\": 3"));
         assert!(s.contains("\"retries\": 2"));
@@ -274,5 +293,9 @@ mod tests {
         assert!(s.contains("\"pack_ns\": 100"));
         assert!(s.contains("\"unpack_ns\": 200"));
         assert!(s.contains("\"wait_ns\": 300"));
+        assert!(s.contains("\"attempts\": 2"));
+        assert!(s.contains("\"checkpoints\": 8"));
+        assert!(s.contains("\"rollbacks\": 1"));
+        assert!(s.contains("\"replayed_chains\": 3"));
     }
 }

@@ -7,7 +7,8 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, RankTrace, RunOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, RankTrace, RunOptions, RuntimeError,
+    SuperviseOptions, Threading, Tuner, TunerMode,
 };
 
 /// Result of a driver run.
@@ -137,6 +138,59 @@ pub fn run_ca(
         1,
         &RunOptions::default(),
     )
+}
+
+/// [`run_ca`] under the self-healing supervisor: chain-boundary
+/// checkpointing, coordinated rollback on rank death or straggler
+/// timeout, and bitwise-deterministic replay, bounded by the recovery
+/// budget in `opts`. Returns [`RuntimeError::RecoveryExhausted`] when
+/// the budget runs out.
+pub fn run_ca_supervised(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    opts: &SuperviseOptions,
+) -> Result<RunOutcome, RuntimeError> {
+    let setup = app.setup(true, mode);
+    let iteration = app.rk_iteration(true, mode, 1);
+    let norm_spec = app.norm_loop();
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let exec_steps = |env: &mut op2_runtime::RankEnv<'_>,
+                      steps: &[Step]|
+     -> Result<(), RuntimeError> {
+        for step in steps {
+            match step {
+                Step::Loop(l) => {
+                    run_loop(env, l)?;
+                }
+                Step::Chain(c, relaxed) => {
+                    if *relaxed {
+                        run_chain_relaxed(env, c)?;
+                    } else {
+                        run_chain(env, c)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    };
+    let out = run_supervised(&mut app.mesh.dom, layouts, opts, |env| {
+        exec_steps(env, &setup)?;
+        let mut norm = 0.0;
+        for _ in 0..iters {
+            exec_steps(env, &iteration)?;
+            let r = run_loop(env, &norm_spec)?;
+            norm = (r.gbls[0][0] / n).sqrt();
+        }
+        Ok(norm)
+    })?;
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let norm = match &results[0] {
+        Ok(n) => *n,
+        Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
+    };
+    Ok(RunOutcome { norm, traces })
 }
 
 /// [`run_ca`] with `threading.n_threads` colored pool threads per rank.

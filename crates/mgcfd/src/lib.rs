@@ -26,8 +26,8 @@ pub mod app;
 pub mod kernels;
 pub mod run;
 
-pub use app::{MgCfd, MgCfdParams};
+pub use app::{MgCfd, MgCfdParams, Step};
 pub use run::{
-    run_auto, run_ca, run_ca_threaded, run_ca_tiled, run_ca_tiled_threaded, run_op2,
-    run_sequential, run_tuned, RunOutcome,
+    run_auto, run_ca, run_ca_supervised, run_ca_threaded, run_ca_tiled, run_ca_tiled_threaded,
+    run_op2, run_sequential, run_tuned, RunOutcome,
 };

@@ -7,7 +7,8 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, RankTrace, RunOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, RankTrace, RunOptions, RuntimeError,
+    SuperviseOptions, Threading, Tuner, TunerMode,
 };
 
 /// Outcome of a driver run: final RMS residual plus (for distributed
@@ -100,6 +101,50 @@ pub fn run_op2(app: &mut MgCfd, layouts: &[RankLayout], iters: usize) -> RunOutc
 /// chain, Alg 1 for everything else — the paper's mixed execution).
 pub fn run_ca(app: &mut MgCfd, layouts: &[RankLayout], iters: usize) -> RunOutcome {
     run_dist(app, layouts, iters, true, &RunOptions::default())
+}
+
+/// [`run_ca`] under the self-healing supervisor: the CA iteration runs
+/// with chain-boundary checkpointing attached; a rank that dies
+/// mid-chain (or a straggler that trips its receive deadline) triggers
+/// coordinated rollback to the last globally consistent epoch and a
+/// bitwise-deterministic replay, bounded by the recovery budget in
+/// `opts`. Returns [`RuntimeError::RecoveryExhausted`] when the budget
+/// runs out.
+pub fn run_ca_supervised(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    opts: &SuperviseOptions,
+) -> Result<RunOutcome, RuntimeError> {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let program: Vec<Vec<Step>> = (0..iters).map(|_| app.iteration(true)).collect();
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let out = run_supervised(&mut app.dom, layouts, opts, |env| {
+        for l in &init {
+            run_loop(env, l)?;
+        }
+        let mut rms = 0.0;
+        for iteration in &program {
+            for step in iteration {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l)?;
+                    }
+                    Step::Chain(c) => run_chain(env, c)?,
+                }
+            }
+            let r = run_loop(env, &rms_spec)?;
+            rms = (r.gbls[0][0] / n_fine).sqrt();
+        }
+        Ok(rms)
+    })?;
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let rms = match &results[0] {
+        Ok(r) => *r,
+        Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
+    };
+    Ok(RunOutcome { rms, traces })
 }
 
 /// [`run_ca`] with intra-rank colored threading: every rank executes

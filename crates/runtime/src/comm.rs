@@ -656,6 +656,25 @@ impl RankComm {
         self.pool.iter().map(Vec::len).sum()
     }
 
+    /// Detach the per-peer buffer pools so a supervisor can carry the
+    /// warmed allocations across a world restart. Leaves this endpoint
+    /// with no pool slots — only call when the rank is done with the
+    /// transport (the harness seals at rank exit).
+    pub fn take_pool(&mut self) -> Vec<Vec<Vec<f64>>> {
+        std::mem::take(&mut self.pool)
+    }
+
+    /// Re-install buffer pools detached from a previous attempt's
+    /// endpoint. The world shape must match.
+    pub fn install_pool(&mut self, pool: Vec<Vec<Vec<f64>>>) {
+        assert_eq!(
+            pool.len(),
+            self.pool.len(),
+            "carried buffer pool does not match the world size"
+        );
+        self.pool = pool;
+    }
+
     /// Blocking receive of the next valid message from **any** of
     /// `peers`, in arrival order: whichever peer's message lands (and
     /// clears its injected wire latency) first is validated and

@@ -130,9 +130,13 @@ pub struct RankEnv<'a> {
     pub threads: ThreadCtx,
     /// Persistent-exchange warm-up state (see [`ExchangeBuffers`]).
     pub exch_bufs: ExchangeBuffers,
+    /// Checkpoint/replay state (see [`crate::checkpoint`]); inert — all
+    /// hooks are no-ops — unless [`RankEnv::ckpt_attach`] was called.
+    pub ckpt: crate::checkpoint::CheckpointCtx,
     /// Boundaries crossed so far, per [`BoundaryKind`] — the coordinates
-    /// fault plans name crash/stall points by.
-    boundaries: [u64; 3],
+    /// fault plans name crash/stall points by. Restored by checkpoint
+    /// rollback so those coordinates keep their meaning across restarts.
+    pub(crate) boundaries: [u64; 3],
 }
 
 impl<'a> RankEnv<'a> {
@@ -156,8 +160,13 @@ impl<'a> RankEnv<'a> {
             },
             plans: PlanCache::new(),
             tag_seq: 0,
-            threads: ThreadCtx::new(Threading::default()),
+            // Sequential until configured: the harness resolves the
+            // OP2_THREADS environment once (with typed errors) and sets
+            // `threads.opts` before the program runs, so env creation
+            // itself can never panic on a malformed variable.
+            threads: ThreadCtx::new(Threading::single()),
             exch_bufs: ExchangeBuffers::default(),
+            ckpt: crate::checkpoint::CheckpointCtx::inert(),
             boundaries: [0; 3],
         }
     }
@@ -622,6 +631,9 @@ impl<'a> RankEnv<'a> {
         }
         for &(dat, depth) in dats {
             self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
+            // Unpack mutated the import rings: the dat is dirty for
+            // incremental checkpointing even if no loop touches it.
+            self.ckpt.note_write(dat.idx());
         }
         Ok(())
     }
@@ -840,6 +852,7 @@ impl<'a> RankEnv<'a> {
         }
         for &(dat, depth) in &plan.import {
             self.valid[dat.idx()] = self.valid[dat.idx()].max(depth);
+            self.ckpt.note_write(dat.idx());
         }
         Ok(())
     }

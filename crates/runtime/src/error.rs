@@ -7,8 +7,49 @@
 //! per-rank verdict the harness reports after containing panics.
 
 use crate::comm::CommError;
+use crate::trace::RankTrace;
 use op2_core::error::CoreError;
 use std::fmt;
+
+/// A malformed runtime configuration knob — an environment variable (or
+/// the programmatic equivalent) that failed to parse. Reported once at
+/// startup as a typed error instead of a panic inside a rank thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `OP2_THREADS` was not `auto`, `0`, or a positive integer.
+    Threads {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_BLOCK_SIZE` was not `auto` or a positive integer.
+    BlockSize {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_CKPT_EVERY` was not a positive integer.
+    CkptEvery {
+        /// The rejected value.
+        value: String,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Threads { value } => {
+                write!(f, "OP2_THREADS must be auto|0|N, got `{value}`")
+            }
+            ConfigError::BlockSize { value } => {
+                write!(f, "OP2_BLOCK_SIZE must be auto or a positive integer, got `{value}`")
+            }
+            ConfigError::CkptEvery { value } => {
+                write!(f, "OP2_CKPT_EVERY must be a positive integer, got `{value}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Errors surfaced while executing a distributed program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,6 +58,37 @@ pub enum RuntimeError {
     Comm(CommError),
     /// A core-layer declaration/validation error reached the runtime.
     Core(CoreError),
+    /// A strict-mode executor found a dat's halo shallower than the
+    /// chain's inspector promised — an inspector/executor disagreement,
+    /// surfaced as a typed fault so supervision can contain it.
+    Validity {
+        /// The rank that detected the violation.
+        rank: u32,
+        /// The chain being executed.
+        chain: String,
+        /// The loop within the chain that needed the data.
+        loop_name: String,
+        /// The dat whose halo was too shallow.
+        dat: String,
+        /// Halo depth the loop required.
+        need: u8,
+        /// Halo depth actually valid.
+        have: u8,
+    },
+    /// A runtime configuration knob failed to parse at startup.
+    Config(ConfigError),
+    /// Supervised recovery ran out of budget: the fault kept recurring
+    /// after `attempts` coordinated rollbacks. Carries the partial
+    /// per-rank traces and failures of the final attempt for post
+    /// mortem.
+    RecoveryExhausted {
+        /// Restart attempts consumed (the first run plus retries).
+        attempts: u32,
+        /// Per-rank traces from the last attempt.
+        traces: Vec<RankTrace>,
+        /// Per-rank failures from the last attempt.
+        failures: Vec<RankFailure>,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -24,6 +96,28 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::Comm(e) => write!(f, "communication failed: {e}"),
             RuntimeError::Core(e) => write!(f, "core error: {e}"),
+            RuntimeError::Validity {
+                rank,
+                chain,
+                loop_name,
+                dat,
+                need,
+                have,
+            } => write!(
+                f,
+                "rank {rank}: chain `{chain}` loop `{loop_name}` needs dat `{dat}` \
+                 valid to depth {need}, have {have}"
+            ),
+            RuntimeError::Config(e) => write!(f, "invalid runtime configuration: {e}"),
+            RuntimeError::RecoveryExhausted {
+                attempts, failures, ..
+            } => {
+                write!(f, "recovery budget exhausted after {attempts} attempt(s)")?;
+                for fail in failures {
+                    write!(f, "; {fail}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -33,7 +127,15 @@ impl std::error::Error for RuntimeError {
         match self {
             RuntimeError::Comm(e) => Some(e),
             RuntimeError::Core(e) => Some(e),
+            RuntimeError::Config(e) => Some(e),
+            RuntimeError::Validity { .. } | RuntimeError::RecoveryExhausted { .. } => None,
         }
+    }
+}
+
+impl From<ConfigError> for RuntimeError {
+    fn from(e: ConfigError) -> Self {
+        RuntimeError::Config(e)
     }
 }
 

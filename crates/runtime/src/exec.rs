@@ -90,6 +90,11 @@ pub fn run_loop_hooked(
     spec: &LoopSpec,
     hooks: &mut dyn ExecHooks,
 ) -> Result<LoopResult, RuntimeError> {
+    // Post-rollback replay: serve the journaled result (no execution,
+    // no communication, no boundary crossing).
+    if let Some(gbls) = env.ckpt_skip_loop() {
+        return Ok(LoopResult { gbls });
+    }
     let ext = standalone_extent(spec);
     let exch = exchange_list(env, spec, ext);
     debug_assert!(
@@ -145,6 +150,7 @@ pub fn run_loop_hooked(
             if let Some(v) = produced_validity(mode, indirect, ext) {
                 let conservative = if indirect { v } else { 0 };
                 env.valid[d.idx()] = env.valid[d.idx()].min(conservative as u8);
+                env.ckpt.note_write(d.idx());
             }
         }
     }
@@ -172,6 +178,7 @@ pub fn run_loop_hooked(
     });
 
     env.boundary(BoundaryKind::Loop);
+    env.ckpt_loop_done(&gbls);
     Ok(LoopResult { gbls })
 }
 
@@ -240,6 +247,9 @@ fn run_chain_mode(
     hooks: &mut dyn ExecHooks,
     relaxed: bool,
 ) -> Result<(), RuntimeError> {
+    if env.ckpt_skip_chain() {
+        return Ok(());
+    }
     // Inspector: cached plan lookup — analysis runs only on a miss.
     let plan = crate::plan::plan_for(env, chain, relaxed);
     assert!(
@@ -287,15 +297,16 @@ fn run_chain_mode(
                 if relaxed {
                     stale_reads += 1;
                 } else {
-                    panic!(
-                        "rank {}: chain `{}` loop `{}` needs dat `{}` \
-                         valid to {req}, have {}",
-                        env.rank,
-                        chain.name,
-                        spec.name,
-                        env.dom.dat(d).name,
-                        env.valid[d.idx()],
-                    );
+                    // An inspector/executor disagreement: typed, so
+                    // supervision can treat it as a recoverable fault.
+                    return Err(RuntimeError::Validity {
+                        rank: env.rank,
+                        chain: chain.name.clone(),
+                        loop_name: spec.name.clone(),
+                        dat: env.dom.dat(d).name.clone(),
+                        need: req,
+                        have: env.valid[d.idx()],
+                    });
                 }
             }
         }
@@ -308,6 +319,7 @@ fn run_chain_mode(
         per_loop.push((core_end, exec_end - core_end));
         for &(d, v) in &plan.produces[pos] {
             env.valid[d.idx()] = v;
+            env.ckpt.note_write(d.idx());
         }
         env.boundary(BoundaryKind::ChainLoop);
     }
@@ -321,6 +333,7 @@ fn run_chain_mode(
         stale_reads,
     });
     env.boundary(BoundaryKind::Chain);
+    env.ckpt_chain_done();
     Ok(())
 }
 
@@ -346,6 +359,9 @@ fn run_chain_unplanned_mode(
     chain: &ChainSpec,
     relaxed: bool,
 ) -> Result<(), RuntimeError> {
+    if env.ckpt_skip_chain() {
+        return Ok(());
+    }
     let depth = chain.max_halo_layers();
     assert!(
         depth <= env.layout.depth,
@@ -394,15 +410,14 @@ fn run_chain_unplanned_mode(
                     if relaxed {
                         stale_reads += 1;
                     } else {
-                        panic!(
-                            "rank {}: chain `{}` loop `{}` needs dat `{}` \
-                             valid to {req}, have {}",
-                            env.rank,
-                            chain.name,
-                            spec.name,
-                            env.dom.dat(d).name,
-                            env.valid[d.idx()],
-                        );
+                        return Err(RuntimeError::Validity {
+                            rank: env.rank,
+                            chain: chain.name.clone(),
+                            loop_name: spec.name.clone(),
+                            dat: env.dom.dat(d).name.clone(),
+                            need: req as u8,
+                            have: env.valid[d.idx()],
+                        });
                     }
                 }
             }
@@ -418,6 +433,7 @@ fn run_chain_unplanned_mode(
             if let Some((mode, indirect)) = sig.access_of(d) {
                 if let Some(v) = produced_validity(mode, indirect, ext) {
                     env.valid[d.idx()] = v as u8;
+                    env.ckpt.note_write(d.idx());
                 }
             }
         }
@@ -433,6 +449,7 @@ fn run_chain_unplanned_mode(
         stale_reads,
     });
     env.boundary(BoundaryKind::Chain);
+    env.ckpt_chain_done();
     Ok(())
 }
 
@@ -457,6 +474,9 @@ pub fn run_chain_tiled(
     chain: &ChainSpec,
     n_tiles: usize,
 ) -> Result<(), RuntimeError> {
+    if env.ckpt_skip_chain() {
+        return Ok(());
+    }
     // Inspector: cached chain plan, plus its lazily-built tile schedule
     // for this tile count (the expensive growth inspection runs once).
     let plan = crate::plan::plan_for(env, chain, false);
@@ -524,6 +544,11 @@ pub fn run_chain_tiled(
 
     // Validity transitions, as in run_chain.
     env.valid = valid;
+    for per_loop in &plan.produces {
+        for &(d, _) in per_loop {
+            env.ckpt.note_write(d.idx());
+        }
+    }
 
     env.trace.chains.push(ChainRec {
         name: chain.name.clone(),
@@ -534,6 +559,7 @@ pub fn run_chain_tiled(
         stale_reads: 0,
     });
     env.boundary(BoundaryKind::Chain);
+    env.ckpt_chain_done();
     Ok(())
 }
 

@@ -24,6 +24,8 @@
 //! permanently. Permanent loss is expressed explicitly via
 //! [`FaultSpec::blackhole`], and rank death via [`FaultSpec::crash`].
 
+use std::collections::HashMap;
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// What happens to one delivery attempt of a message.
@@ -55,7 +57,7 @@ pub struct SendSchedule {
 }
 
 /// Where in the executed program a boundary action fires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BoundaryKind {
     /// After finishing the `index`-th `par_loop` (Alg 1 path).
     Loop,
@@ -66,7 +68,7 @@ pub enum BoundaryKind {
 }
 
 /// A specific boundary: the `index`-th occurrence of `kind` on a rank.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Boundary {
     /// Kind of boundary counted.
     pub kind: BoundaryKind,
@@ -88,6 +90,23 @@ pub enum BoundaryAction {
     Crash,
     /// Sleep for the given duration before continuing.
     Stall(Duration),
+}
+
+/// A crash with a *fire budget*: the rank panics at the named boundary
+/// at most `fires` times, then the site goes quiet. This is the
+/// recoverable-fault shape the supervised runtime is built around — a
+/// transient rank death that does **not** recur after rollback replays
+/// the same boundary coordinates — whereas [`FaultSpec::crash`] entries
+/// fire on every crossing and therefore model a permanent fault (the
+/// recovery-budget-exhaustion path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSite {
+    /// The rank that dies.
+    pub rank: u32,
+    /// Where it dies.
+    pub boundary: Boundary,
+    /// How many times the site fires before going quiet (0 = never).
+    pub fires: u32,
 }
 
 /// Declarative description of the faults to inject. All probabilities
@@ -112,7 +131,14 @@ pub struct FaultSpec {
     /// and every non-blackholed message eventually delivered.
     pub max_faults_per_msg: u8,
     /// Ranks to crash (panic) at a boundary: `(rank, boundary)`.
+    /// Unlimited — fires on *every* crossing of the coordinate,
+    /// including replays after a rollback (a permanent fault). For
+    /// transient, recoverable crashes use [`FaultSpec::crash_sites`].
     pub crash: Vec<(u32, Boundary)>,
+    /// Fire-limited crash sites (see [`CrashSite`]): the plan tracks how
+    /// often each has fired, so a supervised replay that re-crosses the
+    /// same boundary does not die again.
+    pub crash_sites: Vec<CrashSite>,
     /// Ranks to stall at a boundary: `(rank, boundary, how_long)`.
     pub stall: Vec<(u32, Boundary, Duration)>,
     /// Ordered links `(src, dst)` that lose *everything* — permanent
@@ -131,6 +157,7 @@ impl Default for FaultSpec {
             max_delay: Duration::from_micros(200),
             max_faults_per_msg: 2,
             crash: Vec::new(),
+            crash_sites: Vec::new(),
             stall: Vec::new(),
             blackhole: Vec::new(),
         }
@@ -163,6 +190,18 @@ impl FaultSpec {
         self.stall.push((rank, boundary, dur));
         self
     }
+
+    /// Add a crash of `rank` at `boundary` that fires exactly once
+    /// (builder style) — the transient-fault shape supervised recovery
+    /// is tested against.
+    pub fn with_crash_site(mut self, rank: u32, boundary: Boundary) -> Self {
+        self.crash_sites.push(CrashSite {
+            rank,
+            boundary,
+            fires: 1,
+        });
+        self
+    }
 }
 
 /// SplitMix64 step — the same generator the `rand` shim uses, so the
@@ -177,15 +216,35 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 /// A compiled, shareable fault plan (wrap in `Arc` and hand to
 /// [`CommWorld::with_faults`](crate::comm::CommWorld::with_faults)).
-#[derive(Debug, Clone)]
+///
+/// Link-fault schedules remain pure functions of the coordinates; the
+/// only mutable state is the per-site fire counter for
+/// [`FaultSpec::crash_sites`], which must persist across supervised
+/// restart attempts (the same `Arc<FaultPlan>` is handed to every
+/// attempt) so a transient crash does not recur forever.
+#[derive(Debug)]
 pub struct FaultPlan {
     spec: FaultSpec,
+    /// How many times each fire-limited crash site has fired, keyed by
+    /// its (rank, boundary) coordinate.
+    fired: Mutex<HashMap<(u32, Boundary), u32>>,
+}
+
+impl Clone for FaultPlan {
+    /// Cloning resets the fire counters: a clone is a fresh compilation
+    /// of the same spec, not a live view of another plan's history.
+    fn clone(&self) -> Self {
+        FaultPlan::new(self.spec.clone())
+    }
 }
 
 impl FaultPlan {
     /// Compile a spec into a plan.
     pub fn new(spec: FaultSpec) -> Self {
-        FaultPlan { spec }
+        FaultPlan {
+            spec,
+            fired: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The spec this plan was built from.
@@ -271,10 +330,28 @@ impl FaultPlan {
 
     /// Action (if any) when `rank` reaches its `index`-th boundary of
     /// `kind`. Crash takes precedence over stall if both are named.
+    ///
+    /// Fire-limited crash sites are *consumed* by this query: each call
+    /// that resolves to a site crash spends one unit of its budget, so
+    /// a supervised replay crossing the same coordinate again sees the
+    /// site exhausted and proceeds.
     pub fn boundary_action(&self, rank: u32, kind: BoundaryKind, index: u64) -> Option<BoundaryAction> {
         let b = Boundary { kind, index };
         if self.spec.crash.iter().any(|&(r, cb)| r == rank && cb == b) {
             return Some(BoundaryAction::Crash);
+        }
+        if let Some(site) = self
+            .spec
+            .crash_sites
+            .iter()
+            .find(|s| s.rank == rank && s.boundary == b)
+        {
+            let mut fired = self.fired.lock().unwrap_or_else(|p| p.into_inner());
+            let count = fired.entry((rank, b)).or_insert(0);
+            if *count < site.fires {
+                *count += 1;
+                return Some(BoundaryAction::Crash);
+            }
         }
         self.spec
             .stall
@@ -339,6 +416,26 @@ mod tests {
         let plan = FaultPlan::new(spec);
         assert!(plan.send_schedule(0, 1, 1).attempts.is_empty());
         assert!(!plan.send_schedule(1, 0, 1).attempts.is_empty());
+    }
+
+    #[test]
+    fn crash_sites_exhaust_their_fire_budget() {
+        let spec =
+            FaultSpec::default().with_crash_site(2, Boundary::new(BoundaryKind::ChainLoop, 3));
+        let plan = FaultPlan::new(spec);
+        // First crossing fires, second is quiet: the replay survives.
+        assert_eq!(
+            plan.boundary_action(2, BoundaryKind::ChainLoop, 3),
+            Some(BoundaryAction::Crash)
+        );
+        assert_eq!(plan.boundary_action(2, BoundaryKind::ChainLoop, 3), None);
+        // Other coordinates never fire, and a clone starts fresh.
+        assert_eq!(plan.boundary_action(2, BoundaryKind::ChainLoop, 2), None);
+        let fresh = plan.clone();
+        assert_eq!(
+            fresh.boundary_action(2, BoundaryKind::ChainLoop, 3),
+            Some(BoundaryAction::Crash)
+        );
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub struct RunOptions {
     /// never oversubscribes the machine. `Some` is taken verbatim as the
     /// per-rank configuration.
     pub threading: Option<crate::threads::Threading>,
+    /// Checkpoint cadence for supervised runs
+    /// ([`run_supervised`](crate::supervise::run_supervised)). `None`
+    /// (the default) reads `OP2_CKPT_EVERY` from the environment;
+    /// unsupervised runs ignore this field entirely.
+    pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
 }
 
 impl RunOptions {
@@ -69,6 +74,13 @@ impl RunOptions {
     /// Full per-rank threading configuration (builder style).
     pub fn threading(mut self, threading: crate::threads::Threading) -> Self {
         self.threading = Some(threading);
+        self
+    }
+
+    /// Checkpoint every `every` chain completions under supervision
+    /// (builder style), overriding the `OP2_CKPT_EVERY` default.
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint = Some(crate::checkpoint::CheckpointConfig::new(every));
         self
     }
 }
@@ -168,6 +180,34 @@ where
     type RankYield<R> = (Option<Vec<Vec<f64>>>, RankTrace, Result<R, RankFailure>);
     let nparts = layouts.len();
     assert!(nparts >= 1);
+    // Resolve threading up front so a malformed OP2_THREADS /
+    // OP2_BLOCK_SIZE is reported once, as a typed per-rank config
+    // failure, instead of panicking inside every rank thread.
+    let threading = match opts.threading {
+        Some(t) => t,
+        None => match crate::threads::Threading::try_from_env() {
+            Ok(t) => t.split_across(nparts),
+            Err(e) => {
+                let traces = layouts
+                    .iter()
+                    .map(|l| RankTrace {
+                        rank: l.rank,
+                        ..RankTrace::default()
+                    })
+                    .collect();
+                let results = layouts
+                    .iter()
+                    .map(|l| {
+                        Err(RankFailure::Failed {
+                            rank: l.rank,
+                            error: RuntimeError::Config(e.clone()),
+                        })
+                    })
+                    .collect();
+                return DistOutcome { traces, results };
+            }
+        },
+    };
     let world = match &opts.faults {
         Some(plan) => CommWorld::with_faults(nparts, plan.clone()),
         None => CommWorld::new(nparts),
@@ -177,9 +217,6 @@ where
 
     let dom_ref: &Domain = dom;
     let program_ref = &program;
-    let threading = opts
-        .threading
-        .unwrap_or_else(|| crate::threads::Threading::from_env().split_across(nparts));
     let mut collected: Vec<Option<RankYield<R>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = comms
             .into_iter()
@@ -207,6 +244,11 @@ where
                     env.comm.hangup_all();
                     env.trace.comm = env.comm.counters;
                     env.trace.plan = env.plans.stats;
+                    // Park checkpoint state (plan cache, thread pool,
+                    // comm pools, recovery counters) back into the
+                    // supervisor's slot — runs for failed ranks too,
+                    // since the env survives catch_unwind.
+                    env.ckpt_seal();
                     let dats = verdict.is_ok().then_some(env.dats);
                     (dats, env.trace, verdict)
                 })

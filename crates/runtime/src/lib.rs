@@ -37,12 +37,21 @@
 //!   weights and layout-derived halo components into `op2-model`'s §3.2
 //!   equations and picks standard (Alg 1) / CA (Alg 2) / tiled execution
 //!   per chain online, recording each decision in the trace.
+//! * [`checkpoint`] — chain-boundary checkpointing: epoch-tagged,
+//!   incremental (dirty-tracked) in-memory snapshots of each rank's dat
+//!   state, plus the unit journal that makes replay bit-exact.
+//! * [`supervise`] — the self-healing driver: failure classification
+//!   (dead rank vs straggler), coordinated rollback to the last globally
+//!   consistent epoch, world restart with carried plan caches and buffer
+//!   pools, and a bounded recovery budget degrading into
+//!   [`RuntimeError::RecoveryExhausted`].
 
 // Index-based loops over parallel arrays are the dominant idiom in this
 // crate's mesh/partition kernels; iterator-zip rewrites obscure which
 // array drives the bound without changing the generated code.
 #![allow(clippy::needless_range_loop)]
 
+pub mod checkpoint;
 pub mod comm;
 pub mod env;
 pub mod error;
@@ -51,25 +60,29 @@ pub mod fault;
 pub mod harness;
 pub mod lazy;
 pub mod plan;
+pub mod supervise;
 pub mod threads;
 pub mod trace;
 pub mod tuner;
 
+pub use checkpoint::{CheckpointConfig, CheckpointCtx, RankState};
 pub use comm::{CommConfig, CommCounters, CommError, CommWorld, RankComm};
 pub use env::RankEnv;
-pub use error::{RankFailure, RuntimeError};
+pub use error::{ConfigError, RankFailure, RuntimeError};
 pub use exec::{
     run_chain, run_chain_relaxed, run_chain_tiled, run_chain_unplanned,
     run_chain_unplanned_relaxed, run_loop, ExecHooks, NoHooks,
 };
-pub use fault::{Boundary, BoundaryAction, BoundaryKind, FaultPlan, FaultSpec};
+pub use fault::{Boundary, BoundaryAction, BoundaryKind, CrashSite, FaultPlan, FaultSpec};
 pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
 pub use plan::{
     chain_signature, dirty_class, loop_signature, plan_for, ChainPlan, PlanCache, PlanStats,
 };
+pub use supervise::{run_supervised, SuperviseOptions};
 pub use threads::{measure_sync_s, run_schedule_pooled, ThreadCtx, ThreadPool, Threading};
 pub use trace::{
-    ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, SchedKind, ThreadRec, TunerRec,
+    ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RecoveryRec, SchedKind, ThreadRec,
+    TunerRec,
 };
 pub use tuner::{Backend, Tuner, TunerMode};

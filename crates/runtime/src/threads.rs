@@ -21,6 +21,7 @@
 //! from the measured conflict degree); programmatic control goes through
 //! [`crate::harness::RunOptions`].
 
+use crate::error::ConfigError;
 use op2_core::schedule::{run_chunk, BoundLoop, Schedule};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -65,40 +66,61 @@ impl Threading {
         }
     }
 
+    /// Parse the raw `OP2_THREADS` / `OP2_BLOCK_SIZE` values (`None` =
+    /// variable unset). Pure — no environment access — so the harness
+    /// can validate configuration once at startup and tests can cover
+    /// every malformed shape without mutating process state.
+    pub fn parse(threads: Option<&str>, block: Option<&str>) -> Result<Threading, ConfigError> {
+        let n_threads = match threads {
+            None | Some("") | Some("1") => 1,
+            Some("0") | Some("auto") => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Some(other) => match other.parse::<usize>() {
+                Ok(n) if n >= 1 => n,
+                _ => {
+                    return Err(ConfigError::Threads {
+                        value: other.to_string(),
+                    })
+                }
+            },
+        };
+        let (block_size, auto_block) = match block {
+            None => (DEFAULT_BLOCK_SIZE, false),
+            Some("auto") => (DEFAULT_BLOCK_SIZE, true),
+            Some(v) => match v.parse::<usize>() {
+                Ok(n) if n >= 1 => (n, false),
+                _ => {
+                    return Err(ConfigError::BlockSize {
+                        value: v.to_string(),
+                    })
+                }
+            },
+        };
+        Ok(Threading {
+            n_threads,
+            block_size,
+            auto_block,
+        })
+    }
+
     /// Read `OP2_THREADS` (unset/`1` = sequential, `0`/`auto` = hardware
     /// parallelism, `N` = exactly N threads) and `OP2_BLOCK_SIZE`
     /// (unset = [`DEFAULT_BLOCK_SIZE`], `auto` = adaptive per-loop
-    /// sizing). Panics on malformed values — a silent fallback would
-    /// mask a typo'd override.
+    /// sizing). Returns a typed [`ConfigError`] on malformed values —
+    /// the harness reports it once at startup instead of panicking
+    /// inside a rank thread.
+    pub fn try_from_env() -> Result<Threading, ConfigError> {
+        let threads = std::env::var("OP2_THREADS").ok();
+        let block = std::env::var("OP2_BLOCK_SIZE").ok();
+        Threading::parse(threads.as_deref(), block.as_deref())
+    }
+
+    /// [`Threading::try_from_env`], panicking on malformed values — the
+    /// legacy entry point kept for contexts with no error channel (a
+    /// silent fallback would mask a typo'd override).
     pub fn from_env() -> Threading {
-        let n_threads = match std::env::var("OP2_THREADS") {
-            Err(_) => 1,
-            Ok(v) => match v.as_str() {
-                "" | "1" => 1,
-                "0" | "auto" => std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1),
-                other => other.parse::<usize>().unwrap_or_else(|_| {
-                    panic!("OP2_THREADS must be auto|0|N, got `{other}`")
-                }),
-            },
-        };
-        let (block_size, auto_block) = match std::env::var("OP2_BLOCK_SIZE") {
-            Err(_) => (DEFAULT_BLOCK_SIZE, false),
-            Ok(v) if v == "auto" => (DEFAULT_BLOCK_SIZE, true),
-            Ok(v) => {
-                let n: usize = v
-                    .parse()
-                    .unwrap_or_else(|_| panic!("OP2_BLOCK_SIZE must be auto or a positive integer, got `{v}`"));
-                assert!(n >= 1, "OP2_BLOCK_SIZE must be at least 1");
-                (n, false)
-            }
-        };
-        Threading {
-            n_threads: n_threads.max(1),
-            block_size,
-            auto_block,
-        }
+        Threading::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// True when execution actually fans out (more than one thread).
@@ -473,6 +495,36 @@ mod tests {
             assert_eq!(Threading::default().n_threads, 1);
             assert!(!Threading::default().active());
         }
+    }
+
+    #[test]
+    fn parse_accepts_valid_shapes() {
+        assert_eq!(Threading::parse(None, None).unwrap(), Threading::single());
+        assert_eq!(Threading::parse(Some("1"), None).unwrap().n_threads, 1);
+        assert_eq!(Threading::parse(Some("3"), None).unwrap().n_threads, 3);
+        assert!(Threading::parse(Some("auto"), None).unwrap().n_threads >= 1);
+        let t = Threading::parse(None, Some("64")).unwrap();
+        assert_eq!((t.block_size, t.auto_block), (64, false));
+        let t = Threading::parse(None, Some("auto")).unwrap();
+        assert!(t.auto_block);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_values_typed() {
+        assert_eq!(
+            Threading::parse(Some("lots"), None),
+            Err(ConfigError::Threads {
+                value: "lots".into()
+            })
+        );
+        assert_eq!(
+            Threading::parse(None, Some("-4")),
+            Err(ConfigError::BlockSize { value: "-4".into() })
+        );
+        assert_eq!(
+            Threading::parse(None, Some("0")),
+            Err(ConfigError::BlockSize { value: "0".into() })
+        );
     }
 
     #[test]
