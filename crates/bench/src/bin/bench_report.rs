@@ -35,16 +35,25 @@
 //! percentages, the summed `RecoveryRec` counters and the per-rank
 //! records — plus the bitwise-identity verdict between the faulted and
 //! fault-free results.
+//!
+//! `--service` runs the resident-service report: the CA solver as
+//! repeated jobs on one registered mesh world, emitting
+//! `BENCH_service.json` with cold-start vs warm-job latency (the
+//! shared plan registry skips all inspection from job 2 on), the
+//! registry hit rate, steady-state payload allocation counts, batched
+//! vs unbatched throughput of a same-shape burst, and the bitwise
+//! verdict between every job's residual and the standalone `run_ca`.
 
 use mg_cfd::{
-    run_auto, run_ca, run_ca_supervised, run_ca_tiled_threaded, run_op2, MgCfd, MgCfdParams,
-    RunOutcome,
+    register_service_mesh, run_auto, run_ca, run_ca_service, run_ca_supervised,
+    run_ca_tiled_threaded, run_op2, service_job, MgCfd, MgCfdParams, RunOutcome,
 };
 use op2_bench::json::{trace_summary, Json};
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 use op2_runtime::{
-    Boundary, BoundaryKind, FaultPlan, FaultSpec, RunOptions, SuperviseOptions, TunerMode,
+    Boundary, BoundaryKind, FaultPlan, FaultSpec, RunOptions, Service, ServiceConfig,
+    SuperviseOptions, TunerMode,
 };
 
 fn main() {
@@ -56,6 +65,7 @@ fn main() {
     let mut tiles = 8usize;
     let mut exchange = false;
     let mut recovery = false;
+    let mut service = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -97,10 +107,11 @@ fn main() {
             }
             "--exchange" => exchange = true,
             "--recovery" => recovery = true,
+            "--service" => service = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
-                     --tiled-threads N  --tiles N  --exchange  --recovery"
+                     --tiled-threads N  --tiles N  --exchange  --recovery  --service"
                 );
                 std::process::exit(0);
             }
@@ -332,6 +343,114 @@ fn main() {
         println!(
             "wrote {rec_path} ({ranks} ranks, {iters} iters, overhead {overhead_pct:.1}%, \
              replay {replay_ms:.1}ms)"
+        );
+    }
+
+    if service {
+        // Resident-service report. One mesh world, many CA jobs: the
+        // first pays inspection + buffer warm-up (cold start), the
+        // second runs on the shared plan registry, the third on fully
+        // recycled pools — then a same-shape burst measures batched vs
+        // unbatched throughput.
+        let app = MgCfd::new(params);
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let base = rcb_partition(coords, 3, ranks);
+        let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+        let layouts = build_layouts(&app.dom, &own, 2);
+
+        // The standalone run every service job must match bitwise.
+        let mut ref_app = MgCfd::new(params);
+        let reference = run_ca(&mut ref_app, &layouts, iters);
+
+        let svc = Service::new(ServiceConfig::default());
+        let mesh = register_service_mesh(&svc, &app, layouts);
+        let timed_job = |label: &str| {
+            let t0 = std::time::Instant::now();
+            let out = run_ca_service(&svc, mesh, &app, iters)
+                .unwrap_or_else(|e| panic!("{label} service job: {e}"));
+            (out, t0.elapsed().as_secs_f64() * 1e3)
+        };
+        let (cold, cold_ms) = timed_job("cold");
+        let (warm, warm_ms) = timed_job("warm");
+        let (steady, steady_ms) = timed_job("steady");
+
+        // Same-shape burst, once as single submits and once batched.
+        const BURST: usize = 4;
+        let job = service_job(&app, iters);
+        let burst: Vec<_> = (0..BURST).map(|_| job.clone()).collect();
+        let t0 = std::time::Instant::now();
+        for j in &burst {
+            svc.submit(mesh, j).expect("unbatched burst job");
+        }
+        let unbatched_s = t0.elapsed().as_secs_f64();
+        let t0 = std::time::Instant::now();
+        for r in svc.submit_batch(mesh, &burst).expect("burst admitted") {
+            r.expect("batched burst job");
+        }
+        let batched_s = t0.elapsed().as_secs_f64();
+
+        let m = svc.metrics();
+        let lookups = m.plan.registry_hits + m.plan.registry_misses;
+        let hit_rate = if lookups > 0 {
+            m.plan.registry_hits as f64 / lookups as f64
+        } else {
+            0.0
+        };
+        let steady_allocs: u64 = steady.traces.iter().map(|t| t.comm.payload_allocs).sum();
+        let bitwise = [&cold, &warm, &steady]
+            .iter()
+            .all(|o| o.rms.to_bits() == reference.rms.to_bits());
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            ("cold_ms", Json::F64(cold_ms)),
+            ("warm_ms", Json::F64(warm_ms)),
+            ("steady_ms", Json::F64(steady_ms)),
+            ("warm_speedup", Json::F64(cold_ms / warm_ms)),
+            ("steady_payload_allocs", Json::U64(steady_allocs)),
+            ("bitwise_identical", Json::Bool(bitwise)),
+            (
+                "registry",
+                Json::obj(vec![
+                    ("hits", Json::U64(m.plan.registry_hits)),
+                    ("misses", Json::U64(m.plan.registry_misses)),
+                    ("hit_rate", Json::F64(hit_rate)),
+                    ("plans", Json::U64(m.registry_plans)),
+                ]),
+            ),
+            (
+                "throughput",
+                Json::obj(vec![
+                    ("burst_jobs", Json::U64(BURST as u64)),
+                    ("unbatched_jobs_per_s", Json::F64(BURST as f64 / unbatched_s)),
+                    ("batched_jobs_per_s", Json::F64(BURST as f64 / batched_s)),
+                ]),
+            ),
+            (
+                "metrics",
+                Json::obj(vec![
+                    ("submitted", Json::U64(m.submitted)),
+                    ("completed", Json::U64(m.completed)),
+                    ("failed", Json::U64(m.failed)),
+                    ("rejected", Json::U64(m.rejected)),
+                    ("batched", Json::U64(m.batched)),
+                    ("warm_jobs", Json::U64(m.warm_jobs)),
+                    ("recoveries", Json::U64(m.recoveries)),
+                ]),
+            ),
+            (
+                "per_rank",
+                Json::Arr(steady.traces.iter().map(trace_summary).collect()),
+            ),
+        ]);
+        let svc_path = "BENCH_service.json".to_string();
+        std::fs::write(&svc_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {svc_path}: {e}"));
+        println!(
+            "wrote {svc_path} ({ranks} ranks, cold {cold_ms:.1}ms, warm {warm_ms:.1}ms, \
+             registry hit rate {:.0}%)",
+            hit_rate * 100.0
         );
     }
 }

@@ -1,0 +1,123 @@
+//! `op2-serve`: the resident mesh-compute server, end to end.
+//!
+//! Boots a [`Service`] from the `OP2_SERVE_*` environment (admission
+//! limit, batching), registers the MG-CFD mesh world **once**, and
+//! multiplexes `--jobs N` CA simulation jobs over it — the smallest
+//! driver exercising the DESIGN.md §14 path: shared plan registry
+//! (job 2 onward performs zero inspection), recycled transport pools
+//! (steady-state jobs perform zero payload allocations), per-job trace
+//! isolation, and same-shape batching with `--batch`.
+//!
+//! Per job it prints the latency, the warm/batched flags and the
+//! plan/transport counters; at exit, the service's cumulative metrics.
+//!
+//! Flags: `--jobs N` (default 4), `--iters N`, `--size N`, `--ranks N`,
+//! `--batch` (submit all jobs as one same-shape batch).
+
+use mg_cfd::{register_service_mesh, service_job, MgCfd, MgCfdParams};
+use op2_partition::{build_layouts, derive_ownership, rcb_partition};
+use op2_runtime::{JobOutcome, Service};
+
+fn main() {
+    let mut jobs = 4usize;
+    let mut iters = 3usize;
+    let mut size = 7usize;
+    let mut ranks = 4usize;
+    let mut batch = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = args.get(i).expect("--jobs needs a count").parse().unwrap();
+            }
+            "--iters" => {
+                i += 1;
+                iters = args.get(i).expect("--iters needs a count").parse().unwrap();
+            }
+            "--size" => {
+                i += 1;
+                size = args.get(i).expect("--size needs an edge count").parse().unwrap();
+            }
+            "--ranks" => {
+                i += 1;
+                ranks = args.get(i).expect("--ranks needs a count").parse().unwrap();
+            }
+            "--batch" => batch = true,
+            "--help" | "-h" => {
+                eprintln!("flags: --jobs N  --iters N  --size N  --ranks N  --batch");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag `{other}`"),
+        }
+        i += 1;
+    }
+
+    let svc = Service::from_env().unwrap_or_else(|e| panic!("OP2_SERVE_* environment: {e}"));
+    let app = MgCfd::new(MgCfdParams::small(size));
+    let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+    let base = rcb_partition(coords, 3, ranks);
+    let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+    let layouts = build_layouts(&app.dom, &own, 2);
+    let mesh = register_service_mesh(&svc, &app, layouts);
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    println!(
+        "op2-serve: mesh {mesh:#018x} registered ({ranks} ranks); \
+         {jobs} jobs x {iters} iters{}",
+        if batch { ", batched" } else { "" }
+    );
+
+    let job = service_job(&app, iters);
+    println!(
+        "{:>4}  {:>10}  {:>5}  {:>7}  {:>9}  {:>9}  {:>7}  rms",
+        "job", "latency", "warm", "batched", "inspects", "reg hits", "allocs"
+    );
+    let report = |out: &JobOutcome, ms: f64| {
+        let plan = out.trace.plan_total();
+        let rms = (out.gbls[0][0][0] / n_fine).sqrt();
+        println!(
+            "{:>4}  {:>8.1}ms  {:>5}  {:>7}  {:>9}  {:>9}  {:>7}  {rms:.12e}",
+            out.job,
+            ms,
+            out.trace.warm,
+            out.trace.batched,
+            plan.misses,
+            plan.registry_hits,
+            out.trace.payload_allocs(),
+        );
+    };
+
+    if batch {
+        let burst: Vec<_> = (0..jobs).map(|_| job.clone()).collect();
+        let t0 = std::time::Instant::now();
+        let outcomes = svc.submit_batch(mesh, &burst).expect("batch admitted");
+        let ms = t0.elapsed().as_secs_f64() * 1e3 / jobs as f64;
+        for r in &outcomes {
+            report(r.as_ref().expect("batched job"), ms);
+        }
+    } else {
+        for _ in 0..jobs {
+            let t0 = std::time::Instant::now();
+            let out = svc.submit(mesh, &job).expect("job");
+            report(&out, t0.elapsed().as_secs_f64() * 1e3);
+        }
+    }
+
+    let m = svc.metrics();
+    println!(
+        "service: {} submitted, {} completed ({} warm, {} batched), {} failed, \
+         {} rejected, {} recoveries; registry holds {} plans \
+         ({} hits / {} misses)",
+        m.submitted,
+        m.completed,
+        m.warm_jobs,
+        m.batched,
+        m.failed,
+        m.rejected,
+        m.recoveries,
+        m.registry_plans,
+        m.plan.registry_hits,
+        m.plan.registry_misses,
+    );
+}

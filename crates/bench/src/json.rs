@@ -168,6 +168,8 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("color_hits", Json::U64(t.plan.color_hits)),
                 ("color_misses", Json::U64(t.plan.color_misses)),
                 ("overlap_tiles", Json::U64(t.plan.overlap_tiles)),
+                ("registry_hits", Json::U64(t.plan.registry_hits)),
+                ("registry_misses", Json::U64(t.plan.registry_misses)),
             ]),
         ),
         (

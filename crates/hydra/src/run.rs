@@ -7,8 +7,8 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, RankTrace, RunOptions, RuntimeError,
-    SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, Job, JobStep, RankTrace, RunOptions,
+    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 
 /// Result of a driver run.
@@ -191,6 +191,56 @@ pub fn run_ca_supervised(
         Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
     };
     Ok(RunOutcome { norm, traces })
+}
+
+/// Describe `iters` CA iterations of this app as a service [`Job`]:
+/// the setup program as setup steps, one RK iteration as the repeated
+/// step list (strict chains as [`JobStep::Chain`], relaxed chains as
+/// [`JobStep::ChainRelaxed`]), and the pure norm reduction as the
+/// finish step. Mirrors [`run_ca`]'s instruction stream.
+pub fn service_job(app: &Hydra, iters: usize, mode: ExtentMode) -> Job {
+    let map_steps = |steps: Vec<Step>| -> Vec<JobStep> {
+        steps
+            .into_iter()
+            .map(|s| match s {
+                Step::Loop(l) => JobStep::Loop(l),
+                Step::Chain(c, relaxed) => {
+                    if relaxed {
+                        JobStep::ChainRelaxed(c)
+                    } else {
+                        JobStep::Chain(c)
+                    }
+                }
+            })
+            .collect()
+    };
+    Job::new("hydra-ca", map_steps(app.rk_iteration(true, mode, 1)), iters)
+        .setup(map_steps(app.setup(true, mode)))
+        .finish(vec![JobStep::Loop(app.norm_loop())])
+}
+
+/// Register this app's domain as a resident service world.
+pub fn register_service_mesh(svc: &Service, app: &Hydra, layouts: Vec<RankLayout>) -> u64 {
+    svc.register_mesh(app.mesh.dom.clone(), layouts)
+}
+
+/// [`run_ca`] through a resident [`Service`]: one submitted job against
+/// a registered mesh, returning the same residual norm bitwise; repeat
+/// jobs on the mesh run warm (shared plans, recycled buffer pools).
+pub fn run_ca_service(
+    svc: &Service,
+    mesh: u64,
+    app: &Hydra,
+    iters: usize,
+    mode: ExtentMode,
+) -> Result<RunOutcome, ServiceError> {
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let out = svc.submit(mesh, &service_job(app, iters, mode))?;
+    let norm = (out.gbls[0][0][0] / n).sqrt();
+    Ok(RunOutcome {
+        norm,
+        traces: out.trace.ranks,
+    })
 }
 
 /// [`run_ca`] with `threading.n_threads` colored pool threads per rank.
@@ -662,6 +712,44 @@ mod tests {
             assert_eq!(rec.level_ns.len(), rec.n_levels);
             assert_eq!(rec.block_size, 0, "tiled schedules chunk by tile");
         }
+    }
+
+    /// Resident-service execution matches [`run_ca`] bitwise (safe
+    /// mode, relaxed chains included), and the second job runs warm on
+    /// the shared plan registry with recycled payload pools.
+    #[test]
+    fn service_jobs_match_run_ca_and_warm_up() {
+        let params = HydraParams::small(7);
+        let iters = 2;
+
+        let mut ref_app = Hydra::new(params);
+        let l0 = layouts_for(&ref_app, 4, ref_app.required_depth(ExtentMode::Safe));
+        let reference = run_ca(&mut ref_app, &l0, iters, ExtentMode::Safe);
+
+        let app = Hydra::new(params);
+        let layouts = layouts_for(&app, 4, app.required_depth(ExtentMode::Safe));
+        let svc = Service::new(op2_runtime::ServiceConfig::default());
+        let mesh = register_service_mesh(&svc, &app, layouts);
+
+        let cold = run_ca_service(&svc, mesh, &app, iters, ExtentMode::Safe).unwrap();
+        let warm = run_ca_service(&svc, mesh, &app, iters, ExtentMode::Safe).unwrap();
+        let steady = run_ca_service(&svc, mesh, &app, iters, ExtentMode::Safe).unwrap();
+        assert_eq!(cold.norm.to_bits(), reference.norm.to_bits());
+        assert_eq!(warm.norm.to_bits(), reference.norm.to_bits());
+        assert_eq!(steady.norm.to_bits(), reference.norm.to_bits());
+
+        // Second job: zero inspection — every plan from the registry.
+        let mut plan = op2_runtime::PlanStats::default();
+        for t in &warm.traces {
+            plan.add(&t.plan);
+        }
+        assert_eq!(plan.misses, 0, "warm job must skip inspection: {plan:?}");
+        assert!(plan.registry_hits >= 1, "expected registry hits: {plan:?}");
+
+        // Steady state (pair pools rebalanced over the first jobs): zero
+        // payload heap allocations.
+        let payload_allocs: u64 = steady.traces.iter().map(|t| t.comm.payload_allocs).sum();
+        assert_eq!(payload_allocs, 0, "steady-state job must recycle payload pools");
     }
 
     /// Per chain, CA sends fewer messages than the flattened baseline

@@ -7,8 +7,8 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, RankTrace, RunOptions, RuntimeError,
-    SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, Job, JobStep, RankTrace, RunOptions,
+    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 
 /// Outcome of a driver run: final RMS residual plus (for distributed
@@ -145,6 +145,54 @@ pub fn run_ca_supervised(
         Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
     };
     Ok(RunOutcome { rms, traces })
+}
+
+/// Describe `iters` CA iterations of this app as a service [`Job`]:
+/// the per-level init loops as setup, the CA iteration as the repeated
+/// step list, and the (pure, reduction-only) RMS loop as the finish
+/// step whose global lands in the job outcome. The instruction stream
+/// is the one [`run_ca`] executes, so results are bitwise identical.
+pub fn service_job(app: &MgCfd, iters: usize) -> Job {
+    let setup = (0..app.params.levels)
+        .map(|l| JobStep::Loop(app.init_loop(l)))
+        .collect();
+    let steps = app
+        .iteration(true)
+        .into_iter()
+        .map(|s| match s {
+            Step::Loop(l) => JobStep::Loop(l),
+            Step::Chain(c) => JobStep::Chain(c),
+        })
+        .collect();
+    Job::new("mgcfd-ca", steps, iters)
+        .setup(setup)
+        .finish(vec![JobStep::Loop(app.rms_loop())])
+}
+
+/// Register this app's domain as a resident service world; jobs built
+/// by [`service_job`] submit against the returned mesh signature.
+pub fn register_service_mesh(svc: &Service, app: &MgCfd, layouts: Vec<RankLayout>) -> u64 {
+    svc.register_mesh(app.dom.clone(), layouts)
+}
+
+/// [`run_ca`] through a resident [`Service`]: submit one CA job against
+/// a mesh registered with [`register_service_mesh`]. The second call on
+/// the same service re-uses the shared plan registry and warmed buffer
+/// pools — zero inspection, zero payload allocation — while producing
+/// the same RMS residual, bitwise.
+pub fn run_ca_service(
+    svc: &Service,
+    mesh: u64,
+    app: &MgCfd,
+    iters: usize,
+) -> Result<RunOutcome, ServiceError> {
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let out = svc.submit(mesh, &service_job(app, iters))?;
+    let rms = (out.gbls[0][0][0] / n_fine).sqrt();
+    Ok(RunOutcome {
+        rms,
+        traces: out.trace.ranks,
+    })
 }
 
 /// [`run_ca`] with intra-rank colored threading: every rank executes
@@ -649,6 +697,50 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Resident-service execution matches [`run_ca`] bitwise, and the
+    /// second job on the same mesh is fully warm: zero chain
+    /// inspections (plan-registry hits instead) and zero payload-pool
+    /// allocations (carried buffers).
+    #[test]
+    fn service_jobs_match_run_ca_and_warm_up() {
+        let params = MgCfdParams::small(7);
+        let iters = 2;
+
+        let mut ref_app = MgCfd::new(params);
+        let l0 = layouts_for(&ref_app, 4);
+        let reference = run_ca(&mut ref_app, &l0, iters);
+
+        let app = MgCfd::new(params);
+        let layouts = layouts_for(&app, 4);
+        let svc = Service::new(op2_runtime::ServiceConfig::default());
+        let mesh = register_service_mesh(&svc, &app, layouts);
+
+        let cold = run_ca_service(&svc, mesh, &app, iters).unwrap();
+        let warm = run_ca_service(&svc, mesh, &app, iters).unwrap();
+        let steady = run_ca_service(&svc, mesh, &app, iters).unwrap();
+        assert_eq!(cold.rms.to_bits(), reference.rms.to_bits());
+        assert_eq!(warm.rms.to_bits(), reference.rms.to_bits());
+        assert_eq!(steady.rms.to_bits(), reference.rms.to_bits());
+
+        // Second job: zero inspection — every plan from the registry.
+        let mut plan = op2_runtime::PlanStats::default();
+        for t in &warm.traces {
+            plan.add(&t.plan);
+        }
+        assert_eq!(plan.misses, 0, "warm job must skip inspection: {plan:?}");
+        assert!(plan.registry_hits >= 1, "expected registry hits: {plan:?}");
+
+        // Steady state (pair pools rebalanced over the first jobs): zero
+        // payload heap allocations.
+        let payload_allocs: u64 = steady.traces.iter().map(|t| t.comm.payload_allocs).sum();
+        assert_eq!(payload_allocs, 0, "steady-state job must recycle payload pools");
+
+        let m = svc.metrics();
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.warm_jobs, 2);
+        assert!(m.registry_plans >= 1);
     }
 
     /// The solver converges (RMS falls) over a few iterations, i.e. the

@@ -65,16 +65,22 @@ impl CheckpointConfig {
         CheckpointConfig { every }
     }
 
+    /// Parse a raw `OP2_CKPT_EVERY` value (`None` = unset = every
+    /// chain) through the centralized knob path
+    /// ([`crate::env::parse_knob`]). Pure — no environment access.
+    pub fn parse(raw: Option<&str>) -> Result<Self, ConfigError> {
+        Ok(crate::env::parse_knob(
+            raw,
+            |s| s.parse::<u64>().ok().filter(|&n| n >= 1),
+            |value| ConfigError::CkptEvery { value },
+        )?
+        .map_or_else(CheckpointConfig::default, CheckpointConfig::new))
+    }
+
     /// Read `OP2_CKPT_EVERY` (unset = every chain). Malformed values
     /// are a typed [`ConfigError`], reported once at startup.
     pub fn try_from_env() -> Result<Self, ConfigError> {
-        match std::env::var("OP2_CKPT_EVERY") {
-            Err(_) => Ok(CheckpointConfig::default()),
-            Ok(v) => match v.parse::<u64>() {
-                Ok(n) if n >= 1 => Ok(CheckpointConfig::new(n)),
-                _ => Err(ConfigError::CkptEvery { value: v }),
-            },
-        }
+        Self::parse(std::env::var("OP2_CKPT_EVERY").ok().as_deref())
     }
 }
 

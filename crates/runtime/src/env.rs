@@ -46,6 +46,38 @@ enum ExecIters<'a> {
     List(&'a [u32]),
 }
 
+/// Parse one `OP2_*` environment knob's raw value (`None` = variable
+/// unset). The pure half of [`env_knob`]: no environment access, so the
+/// harness validates configuration once at startup and tests cover every
+/// malformed shape without mutating process state. `parse` returning
+/// `None` means the value is malformed and becomes `err(value)` — a
+/// typed [`ConfigError`] instead of a silent fallback or a panic inside
+/// a rank thread.
+pub fn parse_knob<T>(
+    raw: Option<&str>,
+    parse: impl FnOnce(&str) -> Option<T>,
+    err: impl FnOnce(String) -> crate::error::ConfigError,
+) -> Result<Option<T>, crate::error::ConfigError> {
+    match raw {
+        None => Ok(None),
+        Some(v) => parse(v).map(Some).ok_or_else(|| err(v.to_string())),
+    }
+}
+
+/// Read and parse one `OP2_*` environment knob through [`parse_knob`] —
+/// the single environment-access point for runtime configuration
+/// (`OP2_CKPT_EVERY`, `OP2_SERVE_*`; `OP2_THREADS`/`OP2_BLOCK_SIZE` are
+/// a coupled pair parsed by [`Threading::parse`] but follow the same
+/// typed-error discipline). `Ok(None)` = unset, caller applies its
+/// default.
+pub fn env_knob<T>(
+    name: &str,
+    parse: impl FnOnce(&str) -> Option<T>,
+    err: impl FnOnce(String) -> crate::error::ConfigError,
+) -> Result<Option<T>, crate::error::ConfigError> {
+    parse_knob(std::env::var(name).ok().as_deref(), parse, err)
+}
+
 /// Payload size above which planned pack/unpack splits a neighbour's
 /// index lists across the rank's thread pool. Tuned so the fork/join
 /// cost (two pool barriers, ~µs) stays well under the memory traffic it
@@ -137,6 +169,11 @@ pub struct RankEnv<'a> {
     /// fault plans name crash/stall points by. Restored by checkpoint
     /// rollback so those coordinates keep their meaning across restarts.
     pub(crate) boundaries: [u64; 3],
+    /// Service job id this env executes for (0 outside the resident
+    /// service). Stamped into [`crate::trace::TunerRec`] and
+    /// [`crate::trace::RecoveryRec`] so per-job traces stay attributable
+    /// when many jobs share one world.
+    pub job: u64,
 }
 
 impl<'a> RankEnv<'a> {
@@ -168,6 +205,7 @@ impl<'a> RankEnv<'a> {
             exch_bufs: ExchangeBuffers::default(),
             ckpt: crate::checkpoint::CheckpointCtx::inert(),
             boundaries: [0; 3],
+            job: 0,
         }
     }
 

@@ -31,6 +31,16 @@ pub enum ConfigError {
         /// The rejected value.
         value: String,
     },
+    /// `OP2_SERVE_MAX_INFLIGHT` was not a positive integer.
+    ServeMaxInflight {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_SERVE_BATCH` was not a boolean (`0`/`1`/`true`/`false`).
+    ServeBatch {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -44,6 +54,13 @@ impl fmt::Display for ConfigError {
             }
             ConfigError::CkptEvery { value } => {
                 write!(f, "OP2_CKPT_EVERY must be a positive integer, got `{value}`")
+            }
+            ConfigError::ServeMaxInflight { value } => write!(
+                f,
+                "OP2_SERVE_MAX_INFLIGHT must be a positive integer, got `{value}`"
+            ),
+            ConfigError::ServeBatch { value } => {
+                write!(f, "OP2_SERVE_BATCH must be 0|1|true|false, got `{value}`")
             }
         }
     }

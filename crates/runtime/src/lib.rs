@@ -45,6 +45,11 @@
 //!   consistent epoch, world restart with carried plan caches and buffer
 //!   pools, and a bounded recovery budget degrading into
 //!   [`RuntimeError::RecoveryExhausted`].
+//! * [`service`] — the resident mesh-compute server: boot a world once
+//!   (ranks, thread pools, warmed transports), register meshes, and
+//!   multiplex many supervised jobs over them with a shared plan
+//!   registry, bounded admission, same-shape batching, and per-job
+//!   trace/crash isolation.
 
 // Index-based loops over parallel arrays are the dominant idiom in this
 // crate's mesh/partition kernels; iterator-zip rewrites obscure which
@@ -60,6 +65,7 @@ pub mod fault;
 pub mod harness;
 pub mod lazy;
 pub mod plan;
+pub mod service;
 pub mod supervise;
 pub mod threads;
 pub mod trace;
@@ -76,10 +82,16 @@ pub use exec::{
 pub use fault::{Boundary, BoundaryAction, BoundaryKind, CrashSite, FaultPlan, FaultSpec};
 pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
+pub use env::{env_knob, parse_knob};
 pub use plan::{
-    chain_signature, dirty_class, loop_signature, plan_for, ChainPlan, PlanCache, PlanStats,
+    chain_signature, dirty_class, loop_signature, mesh_signature, plan_for, ChainPlan, PlanCache,
+    PlanRegistry, PlanStats,
 };
-pub use supervise::{run_supervised, SuperviseOptions};
+pub use service::{
+    exec_job_program, Job, JobOutcome, JobStep, JobTrace, Service, ServiceConfig, ServiceError,
+    ServiceMetrics,
+};
+pub use supervise::{run_supervised, run_supervised_with_state, SuperviseOptions};
 pub use threads::{measure_sync_s, run_schedule_pooled, ThreadCtx, ThreadPool, Threading};
 pub use trace::{
     ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RecoveryRec, SchedKind, ThreadRec,

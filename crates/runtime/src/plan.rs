@@ -39,17 +39,17 @@ use op2_partition::layout::RankLayout;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
-fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
+pub(crate) fn fnv_bytes(h: &mut u64, bytes: &[u8]) {
     for &b in bytes {
         *h ^= b as u64;
         *h = h.wrapping_mul(FNV_PRIME);
     }
 }
 
-fn fnv_usize(h: &mut u64, v: usize) {
+pub(crate) fn fnv_usize(h: &mut u64, v: usize) {
     fnv_bytes(h, &v.to_le_bytes());
 }
 
@@ -122,6 +122,51 @@ pub fn loop_signature(spec: &LoopSpec) -> u64 {
             Arg::Gbl { idx, mode } => {
                 fnv_bytes(&mut h, &[2u8, mode_code(*mode)]);
                 fnv_usize(&mut h, *idx as usize);
+            }
+        }
+    }
+    h
+}
+
+/// Stable structural signature of a partitioned mesh: rank count, halo
+/// depth, per-rank set sizes and the complete exchange topology (send
+/// element lists, receive ranges, levels). Two identical meshes
+/// partitioned identically hash equal, so the signature keys the
+/// resident service's world table and the cross-job [`PlanRegistry`] —
+/// a [`ChainPlan`] built for rank `r` of one world is valid verbatim
+/// for rank `r` of any world with the same signature.
+pub fn mesh_signature(layouts: &[RankLayout]) -> u64 {
+    let mut h = FNV_OFFSET;
+    fnv_usize(&mut h, layouts.len());
+    for l in layouts {
+        fnv_usize(&mut h, l.rank as usize);
+        fnv_usize(&mut h, l.depth);
+        fnv_usize(&mut h, l.sets.len());
+        for s in &l.sets {
+            fnv_usize(&mut h, s.n_owned);
+            fnv_usize(&mut h, s.locals.len());
+            for &g in &s.locals {
+                fnv_usize(&mut h, g as usize);
+            }
+        }
+        fnv_usize(&mut h, l.neighbors.len());
+        for n in &l.neighbors {
+            fnv_usize(&mut h, n.rank as usize);
+            fnv_usize(&mut h, n.send.len());
+            for seg in &n.send {
+                fnv_usize(&mut h, seg.set.idx());
+                fnv_bytes(&mut h, &[seg.level]);
+                fnv_usize(&mut h, seg.elems.len());
+                for &e in &seg.elems {
+                    fnv_usize(&mut h, e as usize);
+                }
+            }
+            fnv_usize(&mut h, n.recv.len());
+            for seg in &n.recv {
+                fnv_usize(&mut h, seg.set.idx());
+                fnv_bytes(&mut h, &[seg.level]);
+                fnv_usize(&mut h, seg.start as usize);
+                fnv_usize(&mut h, seg.len as usize);
             }
         }
     }
@@ -501,6 +546,93 @@ pub struct PlanStats {
     /// overlap executor (summed over invocations). A pure function of
     /// the plan and tile count, so deterministic across thread counts.
     pub overlap_tiles: u64,
+    /// Local-cache misses served by the cross-job [`PlanRegistry`]
+    /// instead of a fresh inspection (zero re-analysis — the resident
+    /// service's warm path). Not counted in `misses`.
+    pub registry_hits: u64,
+    /// Fresh inspections published to an attached registry (the cold
+    /// path that warms it for every later job on the same mesh).
+    pub registry_misses: u64,
+}
+
+impl PlanStats {
+    /// Accumulate another rank's (or job's) counters — the aggregation
+    /// the service metrics and bench report sum per-rank stats with.
+    pub fn add(&mut self, other: &PlanStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+        self.tile_hits += other.tile_hits;
+        self.tile_misses += other.tile_misses;
+        self.color_hits += other.color_hits;
+        self.color_misses += other.color_misses;
+        self.overlap_tiles += other.overlap_tiles;
+        self.registry_hits += other.registry_hits;
+        self.registry_misses += other.registry_misses;
+    }
+}
+
+/// Cross-job chain-plan registry: the resident service's shared,
+/// immutable inspection artifacts. Keys are `(mesh signature, rank,
+/// chain signature, dirty class)` — a [`ChainPlan`] is built against one
+/// rank's layout, so sharing is across *jobs* on the same mesh, not
+/// across ranks. Values are the same `Arc<ChainPlan>`s the per-rank
+/// [`PlanCache`] holds; a plan's interior tile/coloring caches are
+/// mutex-guarded, so the lazily built tile schedules and lowered
+/// colorings are shared (and warmed) across jobs too.
+///
+/// Epoch invalidation is preserved: [`PlanCache::bump_epoch`] on a
+/// registry-attached cache drops the mesh's registry entries along with
+/// the local ones, so a repartitioned world can never serve stale
+/// exchange layouts to the next job.
+#[derive(Debug, Default)]
+pub struct PlanRegistry {
+    inner: Mutex<HashMap<RegistryKey, Arc<ChainPlan>>>,
+}
+
+/// `(mesh signature, rank, chain signature, dirty class)`.
+type RegistryKey = (u64, u32, u64, u64);
+
+impl PlanRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        PlanRegistry::default()
+    }
+
+    /// Look up a published plan.
+    pub fn get(&self, mesh: u64, rank: u32, sig: u64, dirty: u64) -> Option<Arc<ChainPlan>> {
+        self.inner
+            .lock()
+            .expect("plan registry poisoned")
+            .get(&(mesh, rank, sig, dirty))
+            .cloned()
+    }
+
+    /// Publish a freshly built plan for every later job on this mesh.
+    pub fn publish(&self, mesh: u64, rank: u32, sig: u64, dirty: u64, plan: Arc<ChainPlan>) {
+        self.inner
+            .lock()
+            .expect("plan registry poisoned")
+            .insert((mesh, rank, sig, dirty), plan);
+    }
+
+    /// Drop every plan belonging to `mesh` (layout-epoch invalidation).
+    pub fn invalidate_mesh(&self, mesh: u64) -> usize {
+        let mut inner = self.inner.lock().expect("plan registry poisoned");
+        let before = inner.len();
+        inner.retain(|&(m, _, _, _), _| m != mesh);
+        before - inner.len()
+    }
+
+    /// Resident plan count across all meshes and ranks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("plan registry poisoned").len()
+    }
+
+    /// True when nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Per-rank plan cache: `(signature, dirty class) → Arc<ChainPlan>`,
@@ -509,6 +641,12 @@ pub struct PlanStats {
 pub struct PlanCache {
     epoch: u64,
     map: HashMap<(u64, u64), Arc<ChainPlan>>,
+    /// Cross-job registry this cache resolves misses through (resident
+    /// service only; `None` for standalone runs).
+    registry: Option<Arc<PlanRegistry>>,
+    /// Mesh signature and rank keying this cache's registry slice.
+    mesh: u64,
+    rank: u32,
     /// Activity counters (see [`PlanStats`]).
     pub stats: PlanStats,
 }
@@ -536,17 +674,43 @@ impl PlanCache {
 
     /// Invalidate every cached plan: the partition layout (ownership,
     /// halo structure) changed, so all exchange layouts are stale. Call
-    /// after repartitioning / layout rebuilds.
+    /// after repartitioning / layout rebuilds. With a registry attached,
+    /// the mesh's published plans are dropped too — cross-job sharing
+    /// must never outlive the layout it was built for.
     pub fn bump_epoch(&mut self) {
         self.epoch += 1;
         self.stats.invalidations += self.map.len() as u64;
         self.map.clear();
+        if let Some(reg) = &self.registry {
+            reg.invalidate_mesh(self.mesh);
+        }
+    }
+
+    /// Wire this cache to a cross-job [`PlanRegistry`]: local misses are
+    /// resolved through the registry's `(mesh, rank)` slice before
+    /// falling back to a fresh inspection, and fresh plans are published
+    /// back. Idempotent — a supervised restart re-attaches the carried
+    /// cache with the same registry.
+    pub fn attach_registry(&mut self, registry: Arc<PlanRegistry>, mesh: u64, rank: u32) {
+        self.registry = Some(registry);
+        self.mesh = mesh;
+        self.rank = rank;
+    }
+
+    /// The attached registry, if any (service-side introspection).
+    pub fn registry(&self) -> Option<&Arc<PlanRegistry>> {
+        self.registry.as_ref()
     }
 }
 
 /// Look up (or build and cache) the plan for `chain` given the rank's
 /// current validity state. The cache hit path does zero halo-layer,
-/// import-depth or exchange-layout recomputation.
+/// import-depth or exchange-layout recomputation. A local miss on a
+/// registry-attached cache (resident service) consults the cross-job
+/// [`PlanRegistry`] next — a hit there still skips inspection entirely
+/// (counted as `registry_hits`, not `misses`); only a miss on both runs
+/// [`ChainPlan::build`], and the fresh plan is published back for every
+/// later job on the mesh.
 pub fn plan_for(
     env: &mut crate::env::RankEnv<'_>,
     chain: &ChainSpec,
@@ -558,6 +722,13 @@ pub fn plan_for(
         env.plans.stats.hits += 1;
         return Arc::clone(p);
     }
+    if let Some(reg) = env.plans.registry.clone() {
+        if let Some(p) = reg.get(env.plans.mesh, env.plans.rank, sig, dirty) {
+            env.plans.stats.registry_hits += 1;
+            env.plans.map.insert((sig, dirty), Arc::clone(&p));
+            return p;
+        }
+    }
     env.plans.stats.misses += 1;
     let plan = Arc::new(ChainPlan::build(
         env.layout,
@@ -568,6 +739,10 @@ pub fn plan_for(
         env.plans.epoch,
     ));
     env.plans.map.insert((sig, dirty), Arc::clone(&plan));
+    if let Some(reg) = &env.plans.registry {
+        env.plans.stats.registry_misses += 1;
+        reg.publish(env.plans.mesh, env.plans.rank, sig, dirty, Arc::clone(&plan));
+    }
     plan
 }
 

@@ -1,0 +1,942 @@
+//! The resident mesh-compute service: one booted world, many jobs.
+//!
+//! Everything expensive in this runtime is reusable —
+//! [`crate::plan::ChainPlan`]s key
+//! on structural signatures, [`crate::env::ExchangeBuffers`] pre-size
+//! per-peer pools, thread pools persist, tuner calibrations replay — yet
+//! a standalone [`crate::harness::run_distributed`] throws all of it
+//! away on return. A [`Service`] keeps it resident: meshes are
+//! registered once (domain + layouts, keyed by [`mesh_signature`]), and
+//! **jobs** — data-described programs over a registered mesh — are
+//! submitted against them.
+//!
+//! ## Job lifecycle
+//!
+//! `submit` passes admission control (a bounded in-flight count;
+//! [`ServiceError::Saturated`] beyond `OP2_SERVE_MAX_INFLIGHT`), then
+//! queues on the mesh's world lock — execution is serialized per world
+//! (one set of rank resources), concurrent across worlds. Each job runs
+//! under full PR-6 supervision ([`run_supervised_with_state`]) on a
+//! fresh clone of the registered domain with the job's initial dat
+//! overrides applied, with per-rank state slots **pre-seeded** from the
+//! world's carried resources:
+//!
+//! * thread contexts (worker pools + standalone schedule caches), kept
+//!   only when the job's resolved [`Threading`] matches the one they
+//!   were built for;
+//! * per-peer transport payload pools, so a warm job's planned
+//!   exchanges make **zero payload heap allocations**
+//!   ([`crate::comm::CommCounters::payload_allocs`] — the same carry
+//!   path supervised restarts use);
+//! * a fresh per-job [`PlanCache`] wired to the service-wide
+//!   [`PlanRegistry`], so the second job on a mesh skips inspection
+//!   entirely (a `registry_hits` count, zero `misses`).
+//!
+//! After the job — success, crash-with-recovery, or budget exhaustion —
+//! the sealed slots are harvested back into the world, so even a failed
+//! job returns its buffers for the next one. A crashing job recovers
+//! via checkpoint/rollback *inside its own supervision loop*: the world
+//! survives, concurrent jobs on other worlds are untouched, and jobs
+//! queued behind it see only added latency.
+//!
+//! ## Isolation and determinism
+//!
+//! Jobs get fresh domains, fresh checkpoints/journals, fresh traces
+//! ([`JobTrace`] wraps the per-rank [`RankTrace`]s; the job id is
+//! stamped into [`crate::trace::RecoveryRec`]/[`crate::trace::TunerRec`]).
+//! Shared artifacts are immutable (`Arc<ChainPlan>`) or content-neutral
+//! (buffer pools, thread pools), so a service job's results are bitwise
+//! identical to a standalone [`crate::harness::run_distributed`] of the
+//! same program — including under a mid-job crash with recovery
+//! (`tests/service.rs` asserts both).
+//!
+//! ## Batching
+//!
+//! [`Service::submit_batch`] groups same-shaped jobs (equal
+//! [`Job::shape`]: mesh + setup/steps/finish signatures + iteration
+//! count) and runs each group back-to-back under one world-lock hold on
+//! hot plans and pools — the amortization the paper's inspector-
+//! executor split exists for, applied across whole simulations.
+
+use crate::checkpoint::{CheckpointConfig, RankState};
+use crate::comm::CommCounters;
+use crate::env::RankEnv;
+use crate::error::{ConfigError, RuntimeError};
+use crate::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
+use crate::fault::FaultPlan;
+use crate::harness::RunOptions;
+use crate::plan::{
+    self, chain_signature, loop_signature, mesh_signature, PlanCache, PlanRegistry, PlanStats,
+};
+use crate::supervise::{run_supervised_with_state, SuperviseOptions};
+use crate::threads::{ThreadCtx, Threading};
+use crate::trace::RankTrace;
+use op2_core::{ChainSpec, DatId, Domain, LoopSpec};
+use op2_partition::RankLayout;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Service configuration: admission bound, batching, and the run
+/// options every job inherits.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Admitted-but-unfinished job bound (`OP2_SERVE_MAX_INFLIGHT`,
+    /// default 8). Submissions beyond it are rejected with
+    /// [`ServiceError::Saturated`], never silently queued unbounded.
+    pub max_inflight: usize,
+    /// Group same-shaped jobs in [`Service::submit_batch`]
+    /// (`OP2_SERVE_BATCH`, default on).
+    pub batch: bool,
+    /// Base run options (fault plan, comm policy, threading, checkpoint
+    /// cadence) each job starts from; per-job overrides apply on top.
+    pub run: RunOptions,
+    /// Per-job recovery budget (see
+    /// [`crate::supervise::SuperviseOptions::max_recoveries`]).
+    pub max_recoveries: u32,
+    /// Per-job straggler deadline escalation.
+    pub escalate_deadline: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            max_inflight: 8,
+            batch: true,
+            run: RunOptions::default(),
+            max_recoveries: 3,
+            escalate_deadline: true,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Parse raw `OP2_SERVE_MAX_INFLIGHT` / `OP2_SERVE_BATCH` values
+    /// (`None` = unset) through the centralized knob path
+    /// ([`crate::env::parse_knob`]). Pure — no environment access.
+    pub fn parse(max_inflight: Option<&str>, batch: Option<&str>) -> Result<Self, ConfigError> {
+        let mut cfg = ServiceConfig::default();
+        if let Some(n) = crate::env::parse_knob(
+            max_inflight,
+            |s| s.parse::<usize>().ok().filter(|&n| n >= 1),
+            |value| ConfigError::ServeMaxInflight { value },
+        )? {
+            cfg.max_inflight = n;
+        }
+        if let Some(b) = crate::env::parse_knob(
+            batch,
+            |s| match s {
+                "1" | "true" | "on" => Some(true),
+                "0" | "false" | "off" => Some(false),
+                _ => None,
+            },
+            |value| ConfigError::ServeBatch { value },
+        )? {
+            cfg.batch = b;
+        }
+        Ok(cfg)
+    }
+
+    /// Read the `OP2_SERVE_*` environment knobs, typed errors on
+    /// malformed values — same discipline as `OP2_THREADS` and
+    /// `OP2_CKPT_EVERY`.
+    pub fn try_from_env() -> Result<Self, ConfigError> {
+        Self::parse(
+            std::env::var("OP2_SERVE_MAX_INFLIGHT").ok().as_deref(),
+            std::env::var("OP2_SERVE_BATCH").ok().as_deref(),
+        )
+    }
+
+    /// Override the base run options (builder style).
+    pub fn run(mut self, run: RunOptions) -> Self {
+        self.run = run;
+        self
+    }
+
+    /// Override the admission bound (builder style).
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        assert!(n >= 1, "max_inflight must be at least 1");
+        self.max_inflight = n;
+        self
+    }
+}
+
+/// Why the service rejected or failed a job.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// Admission control: the in-flight bound is reached. Resubmit
+    /// later — nothing was queued.
+    Saturated {
+        /// Jobs admitted and unfinished at rejection time.
+        inflight: usize,
+        /// The configured bound.
+        max: usize,
+    },
+    /// The job names a mesh signature no registered world matches.
+    UnknownMesh {
+        /// The unmatched signature.
+        mesh: u64,
+    },
+    /// A job's initial dat override does not match the dat's payload
+    /// length in the registered domain.
+    BadInit {
+        /// The job.
+        name: String,
+        /// The offending dat.
+        dat: DatId,
+        /// Payload length the domain expects.
+        expect: usize,
+        /// Length the job supplied.
+        got: usize,
+    },
+    /// A service knob failed to parse.
+    Config(ConfigError),
+    /// The job failed beyond its recovery budget (or hit a
+    /// non-recoverable error). The world survives; only this job is
+    /// lost.
+    Job {
+        /// The failed job.
+        name: String,
+        /// The underlying runtime error (boxed:
+        /// [`RuntimeError::RecoveryExhausted`] carries full traces).
+        error: Box<RuntimeError>,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Saturated { inflight, max } => {
+                write!(f, "service saturated: {inflight} job(s) in flight (max {max})")
+            }
+            ServiceError::UnknownMesh { mesh } => {
+                write!(f, "no registered mesh with signature {mesh:#018x}")
+            }
+            ServiceError::BadInit {
+                name,
+                dat,
+                expect,
+                got,
+            } => write!(
+                f,
+                "job `{name}`: initial state for dat {} has {got} value(s), domain expects {expect}",
+                dat.idx()
+            ),
+            ServiceError::Config(e) => write!(f, "invalid service configuration: {e}"),
+            ServiceError::Job { name, error } => write!(f, "job `{name}` failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Config(e) => Some(e),
+            ServiceError::Job { error, .. } => Some(error.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ServiceError {
+    fn from(e: ConfigError) -> Self {
+        ServiceError::Config(e)
+    }
+}
+
+/// One instruction of a job's data-described program. Jobs carry data,
+/// not closures, so the service's supervised execution and a standalone
+/// [`crate::harness::run_distributed`] comparison run byte-for-byte the
+/// same instruction stream.
+#[derive(Debug, Clone)]
+pub enum JobStep {
+    /// A standard Alg 1 loop ([`run_loop`]).
+    Loop(LoopSpec),
+    /// A strict CA chain ([`run_chain`]).
+    Chain(ChainSpec),
+    /// A relaxed (paper-mode) CA chain ([`run_chain_relaxed`]).
+    ChainRelaxed(ChainSpec),
+    /// A sparse-tiled CA chain with the given tile count
+    /// ([`run_chain_tiled`]).
+    ChainTiled(ChainSpec, usize),
+}
+
+impl JobStep {
+    /// Structural signature of this step (loop/chain signature plus the
+    /// execution mode) — the ingredient of [`Job::shape`].
+    fn sig(&self) -> u64 {
+        match self {
+            JobStep::Loop(l) => loop_signature(l),
+            JobStep::Chain(c) => chain_signature(c, false),
+            JobStep::ChainRelaxed(c) => chain_signature(c, true),
+            JobStep::ChainTiled(c, n) => {
+                let mut h = chain_signature(c, false);
+                plan::fnv_usize(&mut h, *n);
+                h
+            }
+        }
+    }
+}
+
+/// A simulation job: a program over a registered mesh, initial dat
+/// state, and an iteration count.
+#[derive(Debug, Clone, Default)]
+pub struct Job {
+    /// Human-readable name (trace/reporting only).
+    pub name: String,
+    /// Run once before the iterations (initialization loops).
+    pub setup: Vec<JobStep>,
+    /// One iteration's steps, repeated `iters` times.
+    pub steps: Vec<JobStep>,
+    /// Run once after the iterations; these steps' loop results (e.g. a
+    /// residual reduction) land in [`JobOutcome::gbls`].
+    pub finish: Vec<JobStep>,
+    /// Iteration count.
+    pub iters: usize,
+    /// Initial dat payloads overriding the registered domain's (global
+    /// numbering; unlisted dats keep the registered values).
+    pub init: Vec<(DatId, Vec<f64>)>,
+    /// Fault plan for this job only (chaos testing a single tenant).
+    pub faults: Option<Arc<FaultPlan>>,
+    /// Checkpoint cadence override for this job.
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Job {
+    /// A job running `steps` for `iters` iterations.
+    pub fn new(name: impl Into<String>, steps: Vec<JobStep>, iters: usize) -> Self {
+        Job {
+            name: name.into(),
+            steps,
+            iters,
+            ..Job::default()
+        }
+    }
+
+    /// Setup steps, run once before the iterations (builder style).
+    pub fn setup(mut self, setup: Vec<JobStep>) -> Self {
+        self.setup = setup;
+        self
+    }
+
+    /// Finish steps, run once after the iterations (builder style).
+    pub fn finish(mut self, finish: Vec<JobStep>) -> Self {
+        self.finish = finish;
+        self
+    }
+
+    /// Initial dat payload override (builder style).
+    pub fn with_init(mut self, dat: DatId, data: Vec<f64>) -> Self {
+        self.init.push((dat, data));
+        self
+    }
+
+    /// Fault plan for this job (builder style).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
+    /// Checkpoint cadence for this job (builder style).
+    pub fn checkpoint_every(mut self, every: u64) -> Self {
+        self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Structural shape of this job: setup/steps/finish signatures and
+    /// the iteration count (initial data excluded — same-shaped jobs
+    /// differ exactly by their inputs). Jobs with equal shapes on one
+    /// mesh batch together: identical plans, schedules and buffer
+    /// demands, so back-to-back execution re-warms nothing.
+    pub fn shape(&self) -> u64 {
+        let mut h = plan::FNV_OFFSET;
+        for part in [&self.setup, &self.steps, &self.finish] {
+            plan::fnv_usize(&mut h, part.len());
+            for s in part {
+                plan::fnv_bytes(&mut h, &s.sig().to_le_bytes());
+            }
+        }
+        plan::fnv_usize(&mut h, self.iters);
+        h
+    }
+}
+
+/// Per-job trace: the job's per-rank [`RankTrace`]s plus job-level
+/// context, isolated from every other job on the world.
+#[derive(Debug, Clone)]
+pub struct JobTrace {
+    /// Service-assigned job id (also stamped into the rank traces'
+    /// recovery/tuner records).
+    pub job: u64,
+    /// The job's name.
+    pub name: String,
+    /// True when the job ran entirely on shared/cached plans — zero
+    /// chain inspections ([`PlanStats::misses`] summed over ranks is 0).
+    pub warm: bool,
+    /// True when this job ran inside a same-shape batch group.
+    pub batched: bool,
+    /// Per-rank traces, indexed by rank.
+    pub ranks: Vec<RankTrace>,
+}
+
+impl JobTrace {
+    /// Plan-cache/registry counters summed over ranks.
+    pub fn plan_total(&self) -> PlanStats {
+        let mut total = PlanStats::default();
+        for t in &self.ranks {
+            total.add(&t.plan);
+        }
+        total
+    }
+
+    /// Transport counters summed over ranks.
+    pub fn comm_total(&self) -> CommCounters {
+        let mut total = CommCounters::default();
+        for t in &self.ranks {
+            total.add(&t.comm);
+        }
+        total
+    }
+
+    /// Payload-pool misses across the job — 0 on a warm world is the
+    /// zero-allocation steady-state assertion.
+    pub fn payload_allocs(&self) -> u64 {
+        self.comm_total().payload_allocs
+    }
+}
+
+/// What a completed job returns.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// Service-assigned job id.
+    pub job: u64,
+    /// Final global dat payloads, indexed by [`DatId`] — the service
+    /// analogue of the domain state after a standalone run.
+    pub dats: Vec<Vec<f64>>,
+    /// Per finish-step loop results (global-argument buffers; empty for
+    /// chain steps) from rank 0 — reductions are identical on every
+    /// rank by construction.
+    pub gbls: Vec<Vec<Vec<f64>>>,
+    /// The job's isolated trace.
+    pub trace: JobTrace,
+}
+
+/// Execute one job's program on a rank env — **the** instruction
+/// stream, used verbatim by the service's supervised closure and by
+/// standalone `run_distributed` comparisons, so the bitwise-identity
+/// contract is between two executions of the same function.
+pub fn exec_job_program(
+    env: &mut RankEnv<'_>,
+    job: &Job,
+) -> Result<Vec<Vec<Vec<f64>>>, RuntimeError> {
+    for s in &job.setup {
+        exec_step(env, s)?;
+    }
+    for _ in 0..job.iters {
+        for s in &job.steps {
+            exec_step(env, s)?;
+        }
+    }
+    let mut gbls = Vec::with_capacity(job.finish.len());
+    for s in &job.finish {
+        gbls.push(exec_step(env, s)?.unwrap_or_default());
+    }
+    Ok(gbls)
+}
+
+/// Run one step; `Some(gbls)` for loops, `None` for chains.
+fn exec_step(env: &mut RankEnv<'_>, step: &JobStep) -> Result<Option<Vec<Vec<f64>>>, RuntimeError> {
+    Ok(match step {
+        JobStep::Loop(l) => Some(run_loop(env, l)?.gbls),
+        JobStep::Chain(c) => {
+            run_chain(env, c)?;
+            None
+        }
+        JobStep::ChainRelaxed(c) => {
+            run_chain_relaxed(env, c)?;
+            None
+        }
+        JobStep::ChainTiled(c, n) => {
+            run_chain_tiled(env, c, *n)?;
+            None
+        }
+    })
+}
+
+/// Carried per-rank resources of a world, between jobs.
+#[derive(Default)]
+struct CarrySlot {
+    /// Thread context (worker pool + standalone schedule cache) from
+    /// the last job on this world.
+    threads: Option<ThreadCtx>,
+    /// The threading the carried context was built for — a mismatching
+    /// next job drops it (a pool of the wrong width would mislabel
+    /// traces; results are thread-count-invariant either way).
+    threads_for: Option<Threading>,
+    /// Per-peer transport payload pools, recycled into the next job's
+    /// fresh transport ([`crate::comm::RankComm::install_pool`]).
+    pools: Option<Vec<Vec<Vec<f64>>>>,
+}
+
+/// One registered mesh's resident world.
+struct World {
+    mesh: u64,
+    /// Pristine registered domain; every job runs on a clone.
+    base: Domain,
+    layouts: Vec<RankLayout>,
+    carry: Vec<CarrySlot>,
+    jobs_run: u64,
+}
+
+/// Cumulative service counters ([`Service::metrics`] snapshot).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceMetrics {
+    /// Jobs admitted.
+    pub submitted: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs lost (recovery budget exhausted or non-recoverable error).
+    pub failed: u64,
+    /// Submissions rejected by admission control.
+    pub rejected: u64,
+    /// Jobs that ran inside a same-shape batch group.
+    pub batched: u64,
+    /// Completed jobs that performed zero chain inspections.
+    pub warm_jobs: u64,
+    /// Coordinated rollbacks across all jobs (crash recoveries).
+    pub recoveries: u64,
+    /// Plan-cache/registry counters summed over completed jobs' ranks.
+    pub plan: PlanStats,
+    /// Payload-pool misses summed over completed jobs' ranks.
+    pub payload_allocs: u64,
+    /// Plans currently resident in the shared registry (gauge, filled
+    /// at snapshot time).
+    pub registry_plans: u64,
+}
+
+/// RAII admission permit: holds `n` in-flight slots until the job(s)
+/// finish (drop runs on panic paths too, so a crashed submission can
+/// never leak capacity).
+struct Permit<'a> {
+    svc: &'a Service,
+    n: usize,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.svc.inflight.fetch_sub(self.n, Ordering::SeqCst);
+    }
+}
+
+/// The resident mesh-compute server. All methods take `&self`: a
+/// `Service` is shared across submitter threads (`Arc` or scoped
+/// borrows), jobs on distinct meshes run concurrently, jobs on one mesh
+/// serialize on its world lock.
+pub struct Service {
+    cfg: ServiceConfig,
+    registry: Arc<PlanRegistry>,
+    worlds: Mutex<HashMap<u64, Arc<Mutex<World>>>>,
+    inflight: AtomicUsize,
+    next_job: AtomicU64,
+    metrics: Mutex<ServiceMetrics>,
+}
+
+impl Service {
+    /// Boot a service with explicit configuration.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        Service {
+            cfg,
+            registry: Arc::new(PlanRegistry::new()),
+            worlds: Mutex::new(HashMap::new()),
+            inflight: AtomicUsize::new(0),
+            next_job: AtomicU64::new(0),
+            metrics: Mutex::new(ServiceMetrics::default()),
+        }
+    }
+
+    /// Boot from the `OP2_SERVE_*` environment knobs.
+    pub fn from_env() -> Result<Self, ConfigError> {
+        Ok(Service::new(ServiceConfig::try_from_env()?))
+    }
+
+    /// Register a mesh world: the pristine domain and its partition
+    /// layouts. Returns the [`mesh_signature`] jobs submit against.
+    /// Re-registering an identical mesh is a no-op returning the same
+    /// signature (the resident world and its warm state are kept).
+    pub fn register_mesh(&self, dom: Domain, layouts: Vec<RankLayout>) -> u64 {
+        let mesh = mesh_signature(&layouts);
+        let mut worlds = self.worlds.lock().unwrap_or_else(|p| p.into_inner());
+        worlds.entry(mesh).or_insert_with(|| {
+            let carry = (0..layouts.len()).map(|_| CarrySlot::default()).collect();
+            Arc::new(Mutex::new(World {
+                mesh,
+                base: dom,
+                layouts,
+                carry,
+                jobs_run: 0,
+            }))
+        });
+        mesh
+    }
+
+    /// Jobs admitted and not yet finished (gauge).
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::SeqCst)
+    }
+
+    /// The cross-job plan registry (introspection).
+    pub fn registry(&self) -> &Arc<PlanRegistry> {
+        &self.registry
+    }
+
+    /// Snapshot of the cumulative counters.
+    pub fn metrics(&self) -> ServiceMetrics {
+        let mut m = *self.metrics.lock().unwrap_or_else(|p| p.into_inner());
+        m.registry_plans = self.registry.len() as u64;
+        m
+    }
+
+    fn with_metrics(&self, f: impl FnOnce(&mut ServiceMetrics)) {
+        f(&mut self.metrics.lock().unwrap_or_else(|p| p.into_inner()));
+    }
+
+    /// Take `n` admission slots or reject with
+    /// [`ServiceError::Saturated`].
+    fn admit(&self, n: usize) -> Result<Permit<'_>, ServiceError> {
+        let mut cur = self.inflight.load(Ordering::SeqCst);
+        loop {
+            if cur + n > self.cfg.max_inflight {
+                self.with_metrics(|m| m.rejected += n as u64);
+                return Err(ServiceError::Saturated {
+                    inflight: cur,
+                    max: self.cfg.max_inflight,
+                });
+            }
+            match self.inflight.compare_exchange(
+                cur,
+                cur + n,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return Ok(Permit { svc: self, n }),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn world(&self, mesh: u64) -> Result<Arc<Mutex<World>>, ServiceError> {
+        self.worlds
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .get(&mesh)
+            .cloned()
+            .ok_or(ServiceError::UnknownMesh { mesh })
+    }
+
+    /// Submit one job against a registered mesh and wait for its
+    /// outcome. Queues on the mesh's world lock behind earlier jobs;
+    /// rejected immediately when the service is saturated.
+    pub fn submit(&self, mesh: u64, job: &Job) -> Result<JobOutcome, ServiceError> {
+        let _permit = self.admit(1)?;
+        self.with_metrics(|m| m.submitted += 1);
+        let world = self.world(mesh)?;
+        let mut w = world.lock().unwrap_or_else(|p| p.into_inner());
+        self.run_world_job(&mut w, job, false)
+    }
+
+    /// Submit a batch and wait for all outcomes (input order). With
+    /// batching enabled, same-[`Job::shape`] jobs run back-to-back on
+    /// hot plans and pools; the whole batch needs admission capacity at
+    /// once. The outer `Err` is admission/lookup; per-job failures land
+    /// in the inner results — one crashing job never takes down its
+    /// batch mates.
+    #[allow(clippy::type_complexity)]
+    pub fn submit_batch(
+        &self,
+        mesh: u64,
+        jobs: &[Job],
+    ) -> Result<Vec<Result<JobOutcome, ServiceError>>, ServiceError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _permit = self.admit(jobs.len())?;
+        self.with_metrics(|m| m.submitted += jobs.len() as u64);
+        let world = self.world(mesh)?;
+        // Group by shape, preserving submission order within and across
+        // groups (first-appearance order keeps batch results reproducible).
+        let shapes: Vec<u64> = jobs.iter().map(Job::shape).collect();
+        let mut group_order: Vec<u64> = Vec::new();
+        for &s in &shapes {
+            if !group_order.contains(&s) {
+                group_order.push(s);
+            }
+        }
+        let mut outcomes: Vec<Option<Result<JobOutcome, ServiceError>>> =
+            (0..jobs.len()).map(|_| None).collect();
+        let mut w = world.lock().unwrap_or_else(|p| p.into_inner());
+        for shape in group_order {
+            let idxs: Vec<usize> = (0..jobs.len()).filter(|&i| shapes[i] == shape).collect();
+            let batched = self.cfg.batch && idxs.len() > 1;
+            for i in idxs {
+                outcomes[i] = Some(self.run_world_job(&mut w, &jobs[i], batched));
+            }
+        }
+        Ok(outcomes.into_iter().map(|o| o.expect("every job ran")).collect())
+    }
+
+    /// Run one job on a locked world: seed per-rank state from the
+    /// world's carried resources, execute under supervision, harvest
+    /// the resources back (crash or not), and account the outcome.
+    fn run_world_job(
+        &self,
+        world: &mut World,
+        job: &Job,
+        batched: bool,
+    ) -> Result<JobOutcome, ServiceError> {
+        let job_id = self.next_job.fetch_add(1, Ordering::SeqCst) + 1;
+        let nparts = world.layouts.len();
+        // Resolve threading exactly as the harness will, so the carried
+        // thread-context validity check agrees with what the job runs.
+        let threading = match self.cfg.run.threading {
+            Some(t) => t,
+            None => Threading::try_from_env()?.split_across(nparts),
+        };
+
+        // Fresh per-job state slots, pre-seeded with the world's carry.
+        let slots: Vec<Arc<Mutex<RankState>>> = (0..nparts)
+            .map(|r| {
+                let mut st = RankState::new();
+                st.rec.job = job_id;
+                let carry = &mut world.carry[r];
+                if carry.threads_for == Some(threading) {
+                    st.threads = carry.threads.take();
+                } else {
+                    carry.threads = None;
+                }
+                st.pools = carry.pools.take();
+                let mut plans = PlanCache::new();
+                plans.attach_registry(Arc::clone(&self.registry), world.mesh, r as u32);
+                st.plans = Some(plans);
+                Arc::new(Mutex::new(st))
+            })
+            .collect();
+
+        // Per-job domain: pristine base plus the job's initial state.
+        let mut dom = world.base.clone();
+        for (dat, data) in &job.init {
+            let buf = &mut dom.dat_mut(*dat).data;
+            if buf.len() != data.len() {
+                return Err(ServiceError::BadInit {
+                    name: job.name.clone(),
+                    dat: *dat,
+                    expect: buf.len(),
+                    got: data.len(),
+                });
+            }
+            buf.clone_from(data);
+        }
+
+        let mut run = self.cfg.run.clone();
+        run.threading = Some(threading);
+        run.faults = job.faults.clone();
+        if let Some(every) = job.checkpoint_every {
+            run.checkpoint = Some(CheckpointConfig::new(every));
+        }
+        let sopts = SuperviseOptions {
+            run,
+            max_recoveries: self.cfg.max_recoveries,
+            escalate_deadline: self.cfg.escalate_deadline,
+        };
+
+        let result = run_supervised_with_state(&mut dom, &world.layouts, &sopts, &slots, |env| {
+            env.job = job_id;
+            exec_job_program(env, job)
+        });
+
+        // Harvest carried resources — sealed by `ckpt_seal` even for
+        // failed ranks, so a lost job still returns its buffers.
+        for (r, slot) in slots.iter().enumerate() {
+            let mut st = lock(slot);
+            if let Some(t) = st.threads.take() {
+                world.carry[r].threads = Some(t);
+                world.carry[r].threads_for = Some(threading);
+            }
+            if let Some(p) = st.pools.take() {
+                world.carry[r].pools = Some(p);
+            }
+            // The per-job plan cache is dropped: the registry holds the
+            // shared artifacts; local caches stay job-scoped.
+        }
+        rebalance_pools(&mut world.carry);
+        world.jobs_run += 1;
+
+        let out = match result {
+            Ok(out) => out,
+            Err(RuntimeError::Config(e)) => {
+                self.with_metrics(|m| m.failed += 1);
+                return Err(ServiceError::Config(e));
+            }
+            Err(e) => {
+                self.with_metrics(|m| m.failed += 1);
+                return Err(ServiceError::Job {
+                    name: job.name.clone(),
+                    error: Box::new(e),
+                });
+            }
+        };
+        let mut results = out.results;
+        let gbls = match results.remove(0) {
+            Ok(g) => g,
+            Err(f) => unreachable!("supervised success with failed rank 0: {f}"),
+        };
+        let dats: Vec<Vec<f64>> = (0..dom.n_dats())
+            .map(|d| dom.dat(DatId(d as u32)).data.clone())
+            .collect();
+        let trace = JobTrace {
+            job: job_id,
+            name: job.name.clone(),
+            warm: false,
+            batched,
+            ranks: out.traces,
+        };
+        let plan_total = trace.plan_total();
+        let warm = plan_total.misses == 0;
+        let trace = JobTrace { warm, ..trace };
+        self.with_metrics(|m| {
+            m.completed += 1;
+            if batched {
+                m.batched += 1;
+            }
+            if warm {
+                m.warm_jobs += 1;
+            }
+            // Rollbacks are coordinated — identical on every rank.
+            m.recoveries += trace.ranks[0].recovery.rollbacks;
+            m.plan.add(&plan_total);
+            m.payload_allocs += trace.payload_allocs();
+        });
+        Ok(JobOutcome {
+            job: job_id,
+            dats,
+            gbls,
+            trace,
+        })
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Even out the pair-circulating payload buffers between jobs.
+///
+/// Chain exchanges swap buffers symmetrically (each side's send buffer
+/// lands in the other side's pool slot for it), so a pair's buffer
+/// total is conserved. One-way traffic is not: an asymmetric halo
+/// segment (a imports from b, b imports nothing back) or a reduction
+/// broadcast leg permanently migrates the sender's buffer to the
+/// receiver, which never sends it back — left alone, the sending side
+/// would re-allocate the same buffers every job while the receiving
+/// side hoards them. The world owns all pools between jobs, so restock
+/// the depleted side of each skewed pair.
+fn rebalance_pools(carry: &mut [CarrySlot]) {
+    for a in 0..carry.len() {
+        let (lo, hi) = carry.split_at_mut(a + 1);
+        let ca = &mut lo[a];
+        for (off, cb) in hi.iter_mut().enumerate() {
+            let b = a + 1 + off;
+            if let (Some(pa), Some(pb)) = (ca.pools.as_mut(), cb.pools.as_mut()) {
+                balance_slot_pair(&mut pa[b], &mut pb[a]);
+            }
+        }
+    }
+}
+
+/// Resolve one pair's skew. A near-even pair (symmetric swap traffic)
+/// is left alone. A skewed pair means one-way traffic: the sender's
+/// buffers stranded on the receiving side, which itself sends little or
+/// nothing — so the stranded side keeps one buffer and everything else
+/// goes back to the depleted (sending) side, smallest first.
+fn balance_slot_pair(x: &mut Vec<Vec<f64>>, y: &mut Vec<Vec<f64>>) {
+    let (from, to) = if x.len() > y.len() + 1 {
+        (x, y)
+    } else if y.len() > x.len() + 1 {
+        (y, x)
+    } else {
+        return;
+    };
+    while from.len() > 1 {
+        let min = (0..from.len())
+            .min_by_key(|&i| from[i].capacity())
+            .expect("richer side is non-empty");
+        to.push(from.swap_remove(min));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Knob parsing: defaults, overrides, typed errors.
+    #[test]
+    fn config_parsing() {
+        let d = ServiceConfig::parse(None, None).unwrap();
+        assert_eq!(d.max_inflight, 8);
+        assert!(d.batch);
+        let c = ServiceConfig::parse(Some("3"), Some("0")).unwrap();
+        assert_eq!(c.max_inflight, 3);
+        assert!(!c.batch);
+        assert!(matches!(
+            ServiceConfig::parse(Some("0"), None),
+            Err(ConfigError::ServeMaxInflight { .. })
+        ));
+        assert!(matches!(
+            ServiceConfig::parse(None, Some("maybe")),
+            Err(ConfigError::ServeBatch { .. })
+        ));
+    }
+
+    /// The checkpoint knob flows through the same centralized path.
+    #[test]
+    fn ckpt_knob_centralized() {
+        assert_eq!(CheckpointConfig::parse(None).unwrap().every, 1);
+        assert_eq!(CheckpointConfig::parse(Some("5")).unwrap().every, 5);
+        assert!(matches!(
+            CheckpointConfig::parse(Some("zero")),
+            Err(ConfigError::CkptEvery { .. })
+        ));
+        assert!(matches!(
+            CheckpointConfig::parse(Some("0")),
+            Err(ConfigError::CkptEvery { .. })
+        ));
+    }
+
+    /// Unknown meshes are a typed rejection, not a panic.
+    #[test]
+    fn unknown_mesh_rejected() {
+        let svc = Service::new(ServiceConfig::default());
+        let job = Job::new("j", vec![], 0);
+        assert!(matches!(
+            svc.submit(42, &job),
+            Err(ServiceError::UnknownMesh { mesh: 42 })
+        ));
+    }
+
+    /// A batch larger than the admission bound is rejected whole —
+    /// deterministic saturation without relying on timing.
+    #[test]
+    fn oversized_batch_saturates() {
+        let svc = Service::new(ServiceConfig::default().max_inflight(2));
+        let jobs = vec![Job::default(), Job::default(), Job::default()];
+        match svc.submit_batch(1, &jobs) {
+            Err(ServiceError::Saturated { inflight, max }) => {
+                assert_eq!(inflight, 0);
+                assert_eq!(max, 2);
+            }
+            other => panic!("expected saturation, got {other:?}"),
+        }
+        assert_eq!(svc.metrics().rejected, 3);
+        assert_eq!(svc.inflight(), 0, "rejected batches leak no capacity");
+    }
+}

@@ -150,15 +150,43 @@ where
     F: Fn(&mut RankEnv<'_>) -> Result<R, RuntimeError> + Sync,
     R: Send,
 {
-    let cfg = match opts.run.checkpoint {
-        Some(c) => c,
-        None => CheckpointConfig::try_from_env()?,
-    };
     let slots: Vec<Arc<Mutex<RankState>>> = layouts
         .iter()
         .map(|_| Arc::new(Mutex::new(RankState::new())))
         .collect();
-    let slots_ref = &slots;
+    run_supervised_with_state(dom, layouts, opts, &slots, program)
+}
+
+/// [`run_supervised`] over caller-provided per-rank state slots — the
+/// resident service's entry point. The slots may arrive pre-seeded with
+/// carried resources (thread contexts, transport buffer pools, a
+/// registry-wired plan cache) from a previous job on the same world;
+/// the first attempt's [`RankEnv::ckpt_attach`] installs them exactly
+/// as a restart installs carried state. After the call — success or
+/// failure — the slots hold the sealed end-of-attempt state
+/// ([`RankEnv`]'s `ckpt_seal` runs for failed ranks too), so the caller
+/// can harvest pools and thread contexts for the next job.
+pub fn run_supervised_with_state<F, R>(
+    dom: &mut Domain,
+    layouts: &[RankLayout],
+    opts: &SuperviseOptions,
+    slots: &[Arc<Mutex<RankState>>],
+    program: F,
+) -> Result<DistOutcome<R>, RuntimeError>
+where
+    F: Fn(&mut RankEnv<'_>) -> Result<R, RuntimeError> + Sync,
+    R: Send,
+{
+    assert_eq!(
+        slots.len(),
+        layouts.len(),
+        "one state slot per rank is required"
+    );
+    let cfg = match opts.run.checkpoint {
+        Some(c) => c,
+        None => CheckpointConfig::try_from_env()?,
+    };
+    let slots_ref = slots;
     let mut run_opts = opts.run.clone();
     let mut attempts = 0u32;
     loop {

@@ -356,6 +356,7 @@ impl Tuner {
         let t_op2 = t_op2_chain(&self.mach, &comp.op2_loops);
         let t_ca = t_ca_chain(&self.mach, &comp.ca);
         env.trace.tuner.push(TunerRec {
+            job: env.job,
             chain: chain.name.clone(),
             backend,
             class: prof.class.into(),
