@@ -43,17 +43,31 @@
 //! registry hit rate, steady-state payload allocation counts, batched
 //! vs unbatched throughput of a same-shape burst, and the bitwise
 //! verdict between every job's residual and the standalone `run_ca`.
+//!
+//! `--rebalance` runs the online-rebalancing report: the CA solver once
+//! statically and once through `run_ca_rebalanced` with a cost-skewed,
+//! trace-triggered migration at the first segment boundary, emitting
+//! `BENCH_rebalance.json` with the measured load imbalance before and
+//! after the re-shard, the migration traffic (elements, bytes), the
+//! replanning cost, and the bitwise verdict between the migrated and
+//! the static run's residual.
+//!
+//! Every report additionally carries a `load` object — each rank's
+//! measured loop + chain wall time and the `max/mean` imbalance ratio
+//! the rebalance detector triggers on.
 
 use mg_cfd::{
-    register_service_mesh, run_auto, run_ca, run_ca_service, run_ca_supervised,
-    run_ca_tiled_threaded, run_op2, service_job, MgCfd, MgCfdParams, RunOutcome,
+    register_service_mesh, run_auto, run_ca, run_ca_rebalanced, run_ca_service,
+    run_ca_supervised, run_ca_tiled_threaded, run_op2, service_job, MgCfd, MgCfdParams,
+    RunOutcome,
 };
-use op2_bench::json::{trace_summary, Json};
+use op2_bench::json::{load_summary, trace_summary, Json};
+use op2_mesh::skewed_costs;
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 use op2_runtime::{
-    Boundary, BoundaryKind, FaultPlan, FaultSpec, RunOptions, Service, ServiceConfig,
-    SuperviseOptions, TunerMode,
+    Boundary, BoundaryKind, FaultPlan, FaultSpec, RebalanceConfig, RebalancePolicy, RunOptions,
+    Service, ServiceConfig, SuperviseOptions, TunerMode,
 };
 
 fn main() {
@@ -66,6 +80,7 @@ fn main() {
     let mut exchange = false;
     let mut recovery = false;
     let mut service = false;
+    let mut rebalance = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -108,10 +123,12 @@ fn main() {
             "--exchange" => exchange = true,
             "--recovery" => recovery = true,
             "--service" => service = true,
+            "--rebalance" => rebalance = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
-                     --tiled-threads N  --tiles N  --exchange  --recovery  --service"
+                     --tiled-threads N  --tiles N  --exchange  --recovery  --service  \
+                     --rebalance"
                 );
                 std::process::exit(0);
             }
@@ -153,6 +170,7 @@ fn main() {
             Json::U64(op2_runtime::Threading::from_env().block_size as u64),
         ),
         ("rms", Json::F64(out.rms)),
+        ("load", load_summary(&out.traces)),
         (
             "per_rank",
             Json::Arr(out.traces.iter().map(trace_summary).collect()),
@@ -185,6 +203,7 @@ fn main() {
             ("threads", Json::U64(tiled_threads as u64)),
             ("tiles", Json::U64(tiles as u64)),
             ("rms", Json::F64(out.rms)),
+            ("load", load_summary(&out.traces)),
             (
                 "per_rank",
                 Json::Arr(out.traces.iter().map(trace_summary).collect()),
@@ -220,6 +239,7 @@ fn main() {
         let mode_json = |out: &RunOutcome| {
             Json::obj(vec![
                 ("rms", Json::F64(out.rms)),
+                ("load", load_summary(&out.traces)),
                 (
                     "per_rank",
                     Json::Arr(out.traces.iter().map(trace_summary).collect()),
@@ -332,6 +352,7 @@ fn main() {
                     ),
                 ]),
             ),
+            ("load", load_summary(&faulted.traces)),
             (
                 "per_rank",
                 Json::Arr(faulted.traces.iter().map(trace_summary).collect()),
@@ -439,6 +460,7 @@ fn main() {
                     ("recoveries", Json::U64(m.recoveries)),
                 ]),
             ),
+            ("load", load_summary(&steady.traces)),
             (
                 "per_rank",
                 Json::Arr(steady.traces.iter().map(trace_summary).collect()),
@@ -451,6 +473,81 @@ fn main() {
             "wrote {svc_path} ({ranks} ranks, cold {cold_ms:.1}ms, warm {warm_ms:.1}ms, \
              registry hit rate {:.0}%)",
             hit_rate * 100.0
+        );
+    }
+
+    if rebalance {
+        // Online-rebalancing report. Two passes on fresh flow fields:
+        // static CA (the reference) and the rebalanced driver with a
+        // trace-triggered (threshold 0), cost-skewed migration at the
+        // first segment boundary — the same forced-migration setup the
+        // acceptance tests use, so the verdict is deterministic. The
+        // mesh size is forced odd: on a perfect even cube the x-skewed
+        // weighted re-shard can land on weight-symmetric cut planes and
+        // degenerate to a no-op, which would make the report vacuous.
+        let reb_params = MgCfdParams::small(size | 1);
+        let fresh = || {
+            let app = MgCfd::new(reb_params);
+            let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+            let base = rcb_partition(coords, 3, ranks);
+            let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+            let layouts = build_layouts(&app.dom, &own, 2);
+            (app, layouts)
+        };
+
+        let (mut app, layouts) = fresh();
+        let t0 = std::time::Instant::now();
+        let baseline = run_ca(&mut app, &layouts, iters);
+        let static_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let (mut app, layouts) = fresh();
+        let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+        let seg = iters.div_ceil(2).max(1);
+        let policy = RebalancePolicy::every(seg, RebalanceConfig::new(0.0, 8))
+            .with_costs(skewed_costs(coords, 3, 0, 8.0));
+        let opts = SuperviseOptions::new(RunOptions::default().checkpoint_every(1));
+        let t0 = std::time::Instant::now();
+        let (out, rec, _) = run_ca_rebalanced(&mut app, &layouts, iters, &opts, &policy)
+            .expect("rebalanced run");
+        let rebalanced_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            ("static_ms", Json::F64(static_ms)),
+            ("rebalanced_ms", Json::F64(rebalanced_ms)),
+            ("migrations", Json::U64(rec.migrations)),
+            ("migrated_elements", Json::U64(rec.elements_out)),
+            ("migrated_bytes", Json::U64(rec.bytes_out)),
+            ("replans", Json::U64(rec.replans)),
+            (
+                "imbalance_before_milli",
+                Json::U64(rec.imbalance_before_milli),
+            ),
+            (
+                "imbalance_after_milli",
+                Json::U64(rec.imbalance_after_milli),
+            ),
+            ("replan_ms", Json::F64(rec.replan_ns as f64 / 1e6)),
+            (
+                "bitwise_identical",
+                Json::Bool(baseline.rms.to_bits() == out.rms.to_bits()),
+            ),
+            ("load", load_summary(&out.traces)),
+            (
+                "per_rank",
+                Json::Arr(out.traces.iter().map(trace_summary).collect()),
+            ),
+        ]);
+        let reb_path = "BENCH_rebalance.json".to_string();
+        std::fs::write(&reb_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {reb_path}: {e}"));
+        println!(
+            "wrote {reb_path} ({ranks} ranks, {} migration(s), {} bytes, replan {:.1}ms)",
+            rec.migrations,
+            rec.bytes_out,
+            rec.replan_ns as f64 / 1e6
         );
     }
 }

@@ -4,7 +4,10 @@
 //! handful of flat counter objects, so a tiny value tree + escaping
 //! writer covers it. [`trace_summary`] converts one [`RankTrace`] into
 //! the `BENCH_*.json` per-rank record: transport recovery counters
-//! (PR 1), plan-cache hit/miss counters, and the tuner's decisions.
+//! (PR 1), plan-cache hit/miss counters, rebalance counters and the
+//! tuner's decisions. [`load_summary`] condenses a whole run's traces
+//! into the max/mean per-rank load ratio the rebalance detector
+//! triggers on — every `BENCH_*.json` carries it under `load`.
 
 use op2_runtime::{RankTrace, TunerRec};
 use std::fmt::Write as _;
@@ -187,8 +190,49 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("escalations", Json::U64(t.recovery.escalations)),
             ]),
         ),
+        (
+            "rebalance",
+            Json::obj(vec![
+                ("migrations", Json::U64(t.rebalance.migrations)),
+                ("elements_out", Json::U64(t.rebalance.elements_out)),
+                ("bytes_out", Json::U64(t.rebalance.bytes_out)),
+                ("replans", Json::U64(t.rebalance.replans)),
+                (
+                    "imbalance_before_milli",
+                    Json::U64(t.rebalance.imbalance_before_milli),
+                ),
+                (
+                    "imbalance_after_milli",
+                    Json::U64(t.rebalance.imbalance_after_milli),
+                ),
+                ("replan_ns", Json::U64(t.rebalance.replan_ns)),
+            ]),
+        ),
         ("threads", threads_json(t)),
         ("tuner", Json::Arr(t.tuner.iter().map(tuner_json).collect())),
+    ])
+}
+
+/// Per-run load-imbalance summary: each rank's measured loop + chain
+/// wall time, and the `max/mean` ratio the rebalance detector triggers
+/// on (1.0 = perfectly balanced; unmeasured runs report 1.0).
+pub fn load_summary(traces: &[RankTrace]) -> Json {
+    let walls: Vec<u64> = traces.iter().map(|t| t.wall_ns()).collect();
+    let max = walls.iter().copied().max().unwrap_or(0);
+    let mean = if walls.is_empty() {
+        0.0
+    } else {
+        walls.iter().sum::<u64>() as f64 / walls.len() as f64
+    };
+    let ratio = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    Json::obj(vec![
+        (
+            "per_rank_wall_ns",
+            Json::Arr(walls.iter().map(|&w| Json::U64(w)).collect()),
+        ),
+        ("max_wall_ns", Json::U64(max)),
+        ("mean_wall_ns", Json::F64(mean)),
+        ("imbalance_ratio", Json::F64(ratio)),
     ])
 }
 
@@ -280,6 +324,10 @@ mod tests {
         t.recovery.checkpoints = 8;
         t.recovery.rollbacks = 1;
         t.recovery.replayed_chains = 3;
+        t.rebalance.migrations = 1;
+        t.rebalance.elements_out = 12;
+        t.rebalance.bytes_out = 576;
+        t.rebalance.imbalance_before_milli = 1800;
         let s = trace_summary(&t).pretty();
         assert!(s.contains("\"rank\": 3"));
         assert!(s.contains("\"retries\": 2"));
@@ -299,5 +347,29 @@ mod tests {
         assert!(s.contains("\"checkpoints\": 8"));
         assert!(s.contains("\"rollbacks\": 1"));
         assert!(s.contains("\"replayed_chains\": 3"));
+        assert!(s.contains("\"migrations\": 1"));
+        assert!(s.contains("\"elements_out\": 12"));
+        assert!(s.contains("\"imbalance_before_milli\": 1800"));
+    }
+
+    #[test]
+    fn load_summary_reports_max_over_mean() {
+        let mk = |wall: u64| {
+            let mut t = RankTrace::default();
+            t.loops.push(op2_runtime::LoopRec {
+                wall_ns: wall,
+                ..Default::default()
+            });
+            t
+        };
+        let traces = vec![mk(100), mk(300)];
+        let s = load_summary(&traces).pretty();
+        assert!(s.contains("\"max_wall_ns\": 300"));
+        assert!(s.contains("\"mean_wall_ns\": 200"));
+        assert!(s.contains("\"imbalance_ratio\": 1.5"));
+
+        // Unmeasured traces read as balanced, not as a divide-by-zero.
+        let idle = load_summary(&[RankTrace::default(), RankTrace::default()]);
+        assert!(idle.pretty().contains("\"imbalance_ratio\": 1"));
     }
 }

@@ -87,6 +87,7 @@ mod tests {
                 packed_elems: 6000,
                 ..Default::default()
             },
+            wall_ns: 0,
         };
         let t_op2: f64 = (0..8).map(|_| loop_time_gpu(&mach, &loop_rec, g)).sum();
         let chain_rec = ChainRec {
@@ -103,6 +104,7 @@ mod tests {
                 ..Default::default()
             },
             stale_reads: 0,
+            wall_ns: 0,
         };
         let t_ca = chain_time_gpu(&mach, &chain_rec, &[g; 8]);
         assert!(t_ca < t_op2, "{t_ca} vs {t_op2}");
@@ -119,6 +121,7 @@ mod tests {
             halo_iters: 10,
             d_exchanged: 0, // no exchange: pure compute
             exch: ExchangeRec::default(),
+            wall_ns: 0,
         };
         let t_cpu = loop_time(&cpu, &rec, cpu.g_default);
         // Pure compute: exactly g * (core + halo).

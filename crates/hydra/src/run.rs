@@ -7,9 +7,11 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, Job, JobStep, RankTrace, RunOptions,
-    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, Job, JobStep,
+    RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError, Service,
+    ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
+use std::sync::{Arc, Mutex};
 
 /// Result of a driver run.
 #[derive(Debug)]
@@ -191,6 +193,129 @@ pub fn run_ca_supervised(
         Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
     };
     Ok(RunOutcome { norm, traces })
+}
+
+/// [`run_ca_supervised`] with **online rebalancing** (the Hydra twin of
+/// `mg-cfd`'s `run_ca_rebalanced`): segmented supervised execution over
+/// shared state slots, windowed imbalance detection at segment
+/// boundaries, cost-weighted re-shard + element migration over the
+/// transport, and an epoch fence on the carried state before the next
+/// segment runs on the new layouts. The residual norm matches a
+/// never-migrated [`run_ca`] of the same `mode` bitwise (strict chains;
+/// relaxed extent trades exactness by design), while partition-boundary
+/// dat entries may drift by ~1 ULP of Inc reassociation — exactly as
+/// any two *static* partitions do (see `mg-cfd`'s driver doc and
+/// DESIGN.md §15).
+pub fn run_ca_rebalanced(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    opts: &SuperviseOptions,
+    policy: &RebalancePolicy,
+) -> Result<(RunOutcome, RebalanceRec, Vec<RankLayout>), RuntimeError> {
+    let nparts = layouts.len();
+    let setup = app.setup(true, mode);
+    let iteration = app.rk_iteration(true, mode, 1);
+    let norm_spec = app.norm_loop();
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let base_set = app.mesh.nodes;
+    let coords = app.mesh.coords;
+    let exec_steps =
+        |env: &mut op2_runtime::RankEnv<'_>, steps: &[Step]| -> Result<(), RuntimeError> {
+            for step in steps {
+                match step {
+                    Step::Loop(l) => {
+                        run_loop(env, l)?;
+                    }
+                    Step::Chain(c, relaxed) => {
+                        if *relaxed {
+                            run_chain_relaxed(env, c)?;
+                        } else {
+                            run_chain(env, c)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+
+    let slots: Vec<Arc<Mutex<RankState>>> = (0..nparts)
+        .map(|_| Arc::new(Mutex::new(RankState::new())))
+        .collect();
+    let mut cur = layouts.to_vec();
+    let seg_len = if policy.segment_iters == 0 {
+        iters.max(1)
+    } else {
+        policy.segment_iters
+    };
+    let mut done = 0usize;
+    let mut migrations = 0usize;
+    let mut post_migration = false;
+    let mut rec = RebalanceRec::default();
+    let mut norm = 0.0;
+    let mut traces = Vec::new();
+    while done < iters || done == 0 {
+        let seg = seg_len.min(iters - done);
+        let first = done == 0;
+        let mut sopts = opts.clone();
+        if post_migration {
+            sopts.run.faults = policy.post_migration_faults.clone();
+            post_migration = false;
+        }
+        let out = run_supervised_with_state(&mut app.mesh.dom, &cur, &sopts, &slots, |env| {
+            if first {
+                exec_steps(env, &setup)?;
+            }
+            let mut norm = 0.0;
+            for _ in 0..seg {
+                exec_steps(env, &iteration)?;
+                let r = run_loop(env, &norm_spec)?;
+                norm = (r.gbls[0][0] / n).sqrt();
+            }
+            Ok(norm)
+        })?;
+        let op2_runtime::DistOutcome { traces: t, results } = out;
+        if seg > 0 {
+            norm = match &results[0] {
+                Ok(r) => *r,
+                Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
+            };
+        }
+        traces = t;
+        done += seg;
+        if done >= iters {
+            break;
+        }
+        if policy.max_migrations != 0 && migrations >= policy.max_migrations {
+            continue;
+        }
+        if let Some(est) = op2_runtime::detect(&traces, &policy.cfg) {
+            let costs = match &policy.costs {
+                Some(c) => c.clone(),
+                None => op2_runtime::element_costs(&app.mesh.dom, base_set, &cur, &est),
+            };
+            let mut ship_opts = opts.run.clone();
+            ship_opts.faults = None;
+            if let Some(outcome) = op2_runtime::rebalance(
+                &mut app.mesh.dom,
+                base_set,
+                coords,
+                3,
+                &cur,
+                &costs,
+                est.imbalance_milli(),
+                &ship_opts,
+            )? {
+                op2_runtime::fence_slots(&slots);
+                cur = outcome.layouts;
+                rec.add(&outcome.rec);
+                migrations += 1;
+                post_migration = true;
+            }
+        }
+    }
+    Ok((RunOutcome { norm, traces }, rec, cur))
 }
 
 /// Describe `iters` CA iterations of this app as a service [`Job`]:

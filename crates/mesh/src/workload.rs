@@ -1,0 +1,84 @@
+//! Cost-skewed workload generators for the online-rebalancing tests.
+//!
+//! A uniform-cost mesh never triggers the rebalance detector: every
+//! rank's window sums the same work, the max/mean ratio stays at 1, and
+//! the weighted re-shard reproduces the unweighted partition. These
+//! helpers manufacture the *interesting* case — a spatially localized
+//! hot region, like the refinement zones or shock-adapted cells real
+//! CFD runs develop — as an explicit per-element cost vector the
+//! weighted partitioners and the migration planner consume directly.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Per-element costs with a hot axis-aligned half: elements whose
+/// coordinate along `axis` falls below the midpoint of the observed
+/// range cost `hot_mult`, the rest cost 1. `coords` is the flat
+/// interleaved coordinate dat (`dims` values per element).
+///
+/// With `hot_mult` well above 1 a cost-weighted re-shard must shrink
+/// the hot side's partitions — guaranteeing a non-empty migration from
+/// any coordinate-based initial partition.
+pub fn skewed_costs(coords: &[f64], dims: usize, axis: usize, hot_mult: f64) -> Vec<f64> {
+    assert!(dims >= 1 && axis < dims);
+    assert!(hot_mult.is_finite() && hot_mult > 0.0);
+    let n = coords.len() / dims;
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for e in 0..n {
+        let x = coords[e * dims + axis];
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let mid = 0.5 * (lo + hi);
+    (0..n)
+        .map(|e| {
+            if coords[e * dims + axis] < mid {
+                hot_mult
+            } else {
+                1.0
+            }
+        })
+        .collect()
+}
+
+/// Per-element costs drifting with a seeded random walk around 1:
+/// every element's cost is `1 + amp * u` with `u` uniform in `[0, 1)`.
+/// Deterministic for a given seed — two calls agree bitwise, so tests
+/// can re-derive the same partition on both sides of a comparison.
+pub fn drifting_costs(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+    assert!(amp.is_finite() && amp >= 0.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| 1.0 + amp * rng.gen_f64()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quad2d::Quad2D;
+
+    #[test]
+    fn skew_splits_at_the_midpoint() {
+        let m = Quad2D::generate(4, 4);
+        let coords = &m.dom.dat(m.coords).data;
+        let costs = skewed_costs(coords, 2, 0, 8.0);
+        assert_eq!(costs.len(), coords.len() / 2);
+        assert!(costs.contains(&8.0));
+        assert!(costs.contains(&1.0));
+        // The hot side is exactly the low-x half.
+        for (e, &c) in costs.iter().enumerate() {
+            let hot = coords[e * 2] < 2.0;
+            assert_eq!(c == 8.0, hot, "element {e}");
+        }
+    }
+
+    #[test]
+    fn drift_is_seed_deterministic() {
+        let a = drifting_costs(100, 7, 0.5);
+        let b = drifting_costs(100, 7, 0.5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&c| (1.0..1.5).contains(&c)));
+        let c = drifting_costs(100, 8, 0.5);
+        assert_ne!(a, c);
+    }
+}

@@ -7,9 +7,11 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, Job, JobStep, RankTrace, RunOptions,
-    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, Job, JobStep,
+    RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError, Service,
+    ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
+use std::sync::{Arc, Mutex};
 
 /// Outcome of a driver run: final RMS residual plus (for distributed
 /// runs) the per-rank traces.
@@ -145,6 +147,137 @@ pub fn run_ca_supervised(
         Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
     };
     Ok(RunOutcome { rms, traces })
+}
+
+/// [`run_ca_supervised`] with **online rebalancing**: the iteration
+/// sequence is split into segments of `policy.segment_iters`; each
+/// segment runs under supervision over shared per-rank state slots, and
+/// at every segment boundary the windowed imbalance detector inspects
+/// the segment's measured per-rank wall times. When it trips, the base
+/// set is re-sharded from per-element costs (measured, or
+/// `policy.costs`), the moved elements' dat slices and renumbering
+/// tables ship over the transport, the carried state is epoch-fenced
+/// ([`op2_runtime::fence_slots`] — old-layout checkpoints dropped, plan
+/// caches bumped, thread contexts discarded), and the remaining
+/// segments run on the new layouts.
+///
+/// The instruction stream each env executes is [`run_ca`]'s (init loops
+/// first, then per iteration the CA steps plus the RMS loop), and the
+/// migration machinery is value-preserving: for exact (integer-valued)
+/// arithmetic a migrated run is **bitwise identical** to a
+/// never-migrated [`run_ca`] — at any thread count, and with a crash +
+/// rollback straddling the migration (`policy.post_migration_faults`).
+/// For rounding kernels like MG-CFD's the RMS stays bit-identical,
+/// while a handful of partition-boundary dat entries may differ by
+/// ~1 ULP: indirect `Inc` contributions accumulate core-first /
+/// halo-after, an order the (now different) owner assignment decides —
+/// the same low-bit drift any two *static* partitions exhibit (see
+/// `tests/rebalance.rs` and DESIGN.md §15).
+///
+/// Returns the outcome (final segment's traces), the aggregate
+/// [`RebalanceRec`], and the layouts the run finished on.
+pub fn run_ca_rebalanced(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    opts: &SuperviseOptions,
+    policy: &RebalancePolicy,
+) -> Result<(RunOutcome, RebalanceRec, Vec<RankLayout>), RuntimeError> {
+    let nparts = layouts.len();
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let base_set = app.levels[0].ids.nodes;
+    let coords = app.levels[0].ids.coords;
+
+    let slots: Vec<Arc<Mutex<RankState>>> = (0..nparts)
+        .map(|_| Arc::new(Mutex::new(RankState::new())))
+        .collect();
+    let mut cur = layouts.to_vec();
+    let seg_len = if policy.segment_iters == 0 {
+        iters.max(1)
+    } else {
+        policy.segment_iters
+    };
+    let mut done = 0usize;
+    let mut migrations = 0usize;
+    let mut post_migration = false;
+    let mut rec = RebalanceRec::default();
+    let mut rms = 0.0;
+    let mut traces = Vec::new();
+    while done < iters || done == 0 {
+        let seg = seg_len.min(iters - done);
+        let first = done == 0;
+        let program: Vec<Vec<Step>> = (0..seg).map(|_| app.iteration(true)).collect();
+        let mut sopts = opts.clone();
+        if post_migration {
+            // The chaos hook: faults aimed at the first segment that
+            // runs on the migrated layout.
+            sopts.run.faults = policy.post_migration_faults.clone();
+            post_migration = false;
+        }
+        let out = run_supervised_with_state(&mut app.dom, &cur, &sopts, &slots, |env| {
+            if first {
+                for l in &init {
+                    run_loop(env, l)?;
+                }
+            }
+            let mut rms = 0.0;
+            for iteration in &program {
+                for step in iteration {
+                    match step {
+                        Step::Loop(l) => {
+                            run_loop(env, l)?;
+                        }
+                        Step::Chain(c) => run_chain(env, c)?,
+                    }
+                }
+                let r = run_loop(env, &rms_spec)?;
+                rms = (r.gbls[0][0] / n_fine).sqrt();
+            }
+            Ok(rms)
+        })?;
+        let op2_runtime::DistOutcome { traces: t, results } = out;
+        if seg > 0 {
+            rms = match &results[0] {
+                Ok(r) => *r,
+                Err(f) => panic!("supervised run reported success with a failed rank: {f}"),
+            };
+        }
+        traces = t;
+        done += seg;
+        if done >= iters {
+            break;
+        }
+        if policy.max_migrations != 0 && migrations >= policy.max_migrations {
+            continue;
+        }
+        if let Some(est) = op2_runtime::detect(&traces, &policy.cfg) {
+            let costs = match &policy.costs {
+                Some(c) => c.clone(),
+                None => op2_runtime::element_costs(&app.dom, base_set, &cur, &est),
+            };
+            let mut ship_opts = opts.run.clone();
+            ship_opts.faults = None; // migration traffic is not a fault target
+            if let Some(outcome) = op2_runtime::rebalance(
+                &mut app.dom,
+                base_set,
+                coords,
+                3,
+                &cur,
+                &costs,
+                est.imbalance_milli(),
+                &ship_opts,
+            )? {
+                op2_runtime::fence_slots(&slots);
+                cur = outcome.layouts;
+                rec.add(&outcome.rec);
+                migrations += 1;
+                post_migration = true;
+            }
+        }
+    }
+    Ok((RunOutcome { rms, traces }, rec, cur))
 }
 
 /// Describe `iters` CA iterations of this app as a service [`Job`]:

@@ -53,17 +53,63 @@ impl Partitioner {
             ),
         }
     }
+
+    /// [`Partitioner::partition`] with per-element cost weights: parts
+    /// balance total *weight* instead of element count. The online
+    /// rebalancer feeds measured per-element costs through this entry
+    /// point to re-shard a loaded mesh.
+    pub fn partition_weighted(
+        self,
+        coords: &[f64],
+        dims: usize,
+        graph: Option<&Csr>,
+        weights: &[f64],
+        nparts: usize,
+    ) -> Vec<u32> {
+        match self {
+            Partitioner::Rcb => rcb_partition_weighted(coords, dims, weights, nparts),
+            Partitioner::Rib => rib_partition_weighted(coords, dims, weights, nparts),
+            Partitioner::KWay => kway_partition_weighted(
+                graph.expect("k-way partitioning needs the node graph"),
+                weights,
+                nparts,
+                3,
+            ),
+        }
+    }
 }
 
 /// Partition by recursive coordinate bisection. `coords` holds `dims`
 /// components per element. Returns the owning rank of every element.
 pub fn rcb_partition(coords: &[f64], dims: usize, nparts: usize) -> Vec<u32> {
-    bisect_partition(coords, dims, nparts, SplitAxis::Longest)
+    bisect_partition(coords, dims, None, nparts, SplitAxis::Longest)
 }
 
 /// Partition by recursive inertial bisection.
 pub fn rib_partition(coords: &[f64], dims: usize, nparts: usize) -> Vec<u32> {
-    bisect_partition(coords, dims, nparts, SplitAxis::Inertial)
+    bisect_partition(coords, dims, None, nparts, SplitAxis::Inertial)
+}
+
+/// [`rcb_partition`] with per-element cost weights: each bisection
+/// splits at the point where the cumulative *weight* (not the element
+/// count) is proportional to the part counts on either side.
+pub fn rcb_partition_weighted(
+    coords: &[f64],
+    dims: usize,
+    weights: &[f64],
+    nparts: usize,
+) -> Vec<u32> {
+    bisect_partition(coords, dims, Some(weights), nparts, SplitAxis::Longest)
+}
+
+/// [`rib_partition`] with per-element cost weights.
+pub fn rib_partition_weighted(
+    coords: &[f64],
+    dims: usize,
+    weights: &[f64],
+    nparts: usize,
+) -> Vec<u32> {
+    bisect_partition(coords, dims, Some(weights), nparts, SplitAxis::Inertial)
 }
 
 #[derive(Clone, Copy)]
@@ -72,22 +118,90 @@ enum SplitAxis {
     Inertial,
 }
 
-fn bisect_partition(coords: &[f64], dims: usize, nparts: usize, axis: SplitAxis) -> Vec<u32> {
+fn bisect_partition(
+    coords: &[f64],
+    dims: usize,
+    weights: Option<&[f64]>,
+    nparts: usize,
+    axis: SplitAxis,
+) -> Vec<u32> {
     assert!((1..=3).contains(&dims), "1-3 coordinate dims supported");
     assert!(nparts >= 1, "need at least one part");
     let n = coords.len() / dims;
     assert_eq!(coords.len(), n * dims);
+    if let Some(w) = weights {
+        assert_eq!(w.len(), n, "one weight per element");
+        assert!(
+            w.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "weights must be finite and non-negative"
+        );
+    }
     let mut owner = vec![0u32; n];
     let mut ids: Vec<u32> = (0..n as u32).collect();
-    recurse(coords, dims, &mut ids, 0, nparts as u32, &mut owner, axis);
+    recurse(
+        coords,
+        dims,
+        weights,
+        &mut ids,
+        0,
+        nparts as u32,
+        &mut owner,
+        axis,
+    );
     owner
 }
 
+/// Split index of the sorted `ids` slice: element-count proportional for
+/// uniform weights, cumulative-weight proportional otherwise. Clamped so
+/// both sides keep at least one element per part whenever possible.
+fn split_point(ids: &[u32], weights: Option<&[f64]>, left_parts: u32, count: u32) -> usize {
+    let n = ids.len();
+    let proportional = (n as u64 * left_parts as u64 / count as u64) as usize;
+    let raw = match weights {
+        None => proportional,
+        Some(w) => {
+            let total: f64 = ids.iter().map(|&e| w[e as usize]).sum();
+            if total.is_nan() || total <= 0.0 {
+                proportional
+            } else {
+                let want = total * left_parts as f64 / count as f64;
+                let mut acc = 0.0;
+                let mut cut = n;
+                for (i, &e) in ids.iter().enumerate() {
+                    acc += w[e as usize];
+                    if acc >= want {
+                        // Take the side of the boundary element closer to
+                        // the target weight.
+                        cut = if acc - want > want - (acc - w[e as usize]) {
+                            i
+                        } else {
+                            i + 1
+                        };
+                        break;
+                    }
+                }
+                cut
+            }
+        }
+    };
+    // Keep every part non-empty when there are enough elements: the left
+    // side needs `left_parts` elements, the right `count - left_parts`.
+    let right_parts = (count - left_parts) as usize;
+    if n >= count as usize {
+        raw.clamp(left_parts as usize, n - right_parts)
+    } else {
+        raw.min(n)
+    }
+}
+
 /// Assign `ids` to ranks `[first, first + count)`, splitting proportionally
-/// so uneven part counts stay balanced.
+/// (by count, or by cumulative weight when `weights` is given) so uneven
+/// part counts stay balanced.
+#[allow(clippy::too_many_arguments)]
 fn recurse(
     coords: &[f64],
     dims: usize,
+    weights: Option<&[f64]>,
     ids: &mut [u32],
     first: u32,
     count: u32,
@@ -102,8 +216,6 @@ fn recurse(
     }
     let left_parts = count / 2;
     let right_parts = count - left_parts;
-    // Elements proportional to part counts.
-    let split = (ids.len() as u64 * left_parts as u64 / count as u64) as usize;
 
     let key: Vec<f64> = match axis {
         SplitAxis::Longest => {
@@ -134,11 +246,15 @@ fn recurse(
     let reordered: Vec<u32> = order.iter().map(|&i| ids[i as usize]).collect();
     ids.copy_from_slice(&reordered);
 
+    // Split only after sorting: the weighted cut position depends on the
+    // key order of the elements.
+    let split = split_point(ids, weights, left_parts, count);
     let (left, right) = ids.split_at_mut(split);
-    recurse(coords, dims, left, first, left_parts, owner, axis);
+    recurse(coords, dims, weights, left, first, left_parts, owner, axis);
     recurse(
         coords,
         dims,
+        weights,
         right,
         first + left_parts,
         right_parts,
@@ -289,6 +405,148 @@ pub fn kway_partition(graph: &Csr, nparts: usize, refine_sweeps: usize) -> Vec<u
     owner
 }
 
+/// [`kway_partition`] with per-element cost weights: parts grow until
+/// they reach their share of the total *weight* rather than an element
+/// count, and the refinement sweeps respect the weighted cap. Degenerate
+/// weights (all zero) fall back to the unweighted growth.
+pub fn kway_partition_weighted(
+    graph: &Csr,
+    weights: &[f64],
+    nparts: usize,
+    refine_sweeps: usize,
+) -> Vec<u32> {
+    let n = graph.len();
+    assert_eq!(weights.len(), n, "one weight per element");
+    assert!(
+        weights.iter().all(|x| x.is_finite() && *x >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    assert!(nparts >= 1);
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // All-zero weights: fall back to the unweighted split.
+        return kway_partition(graph, nparts, refine_sweeps);
+    }
+    let mut owner = vec![u32::MAX; n];
+    if nparts == 1 {
+        owner.fill(0);
+        return owner;
+    }
+    let max_w = weights.iter().cloned().fold(0.0f64, f64::max);
+    let target_w = total / nparts as f64;
+    // One boundary element of slack on top of the 3% balance allowance,
+    // mirroring the unweighted `cap`.
+    let cap_w = target_w * 1.03 + max_w;
+
+    let mut loads = vec![0.0f64; nparts];
+    let mut counts = vec![0usize; nparts];
+    let mut frontier: Vec<std::collections::VecDeque<u32>> =
+        (0..nparts).map(|_| std::collections::VecDeque::new()).collect();
+    for (p, f) in frontier.iter_mut().enumerate() {
+        f.push_back((p * n / nparts) as u32);
+    }
+
+    let mut unassigned = n;
+    let mut scan = 0usize;
+    while unassigned > 0 {
+        let mut progressed = false;
+        for p in 0..nparts {
+            if loads[p] >= cap_w && counts[p] > 0 {
+                continue;
+            }
+            while let Some(v) = frontier[p].pop_front() {
+                if owner[v as usize] != u32::MAX {
+                    continue;
+                }
+                owner[v as usize] = p as u32;
+                loads[p] += weights[v as usize];
+                counts[p] += 1;
+                unassigned -= 1;
+                for &w in graph.row(v as usize) {
+                    if owner[w as usize] == u32::MAX {
+                        frontier[p].push_back(w);
+                    }
+                }
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            while scan < n && owner[scan] != u32::MAX {
+                scan += 1;
+            }
+            if scan >= n {
+                break;
+            }
+            // Seed the lightest part with the next unassigned vertex.
+            let p = (0..nparts)
+                .min_by(|&a, &b| loads[a].total_cmp(&loads[b]))
+                .unwrap();
+            frontier[p].push_back(scan as u32);
+        }
+    }
+
+    refine_weighted(graph, weights, &mut owner, nparts, cap_w, refine_sweeps);
+    owner
+}
+
+/// Weighted companion of [`refine`]: boundary moves must keep the
+/// destination part under the weighted cap and the source part
+/// non-empty.
+fn refine_weighted(
+    graph: &Csr,
+    weights: &[f64],
+    owner: &mut [u32],
+    nparts: usize,
+    cap_w: f64,
+    sweeps: usize,
+) {
+    let n = graph.len();
+    let mut loads = vec![0.0f64; nparts];
+    let mut counts = vec![0usize; nparts];
+    for (v, &o) in owner.iter().enumerate() {
+        loads[o as usize] += weights[v];
+        counts[o as usize] += 1;
+    }
+    for _ in 0..sweeps {
+        let mut moved = 0usize;
+        for v in 0..n {
+            let cur = owner[v] as usize;
+            let row = graph.row(v);
+            if row.iter().all(|&w| owner[w as usize] as usize == cur) {
+                continue;
+            }
+            let mut best_part = cur;
+            let mut best_count = row
+                .iter()
+                .filter(|&&w| owner[w as usize] as usize == cur)
+                .count();
+            for &w in row {
+                let p = owner[w as usize] as usize;
+                if p == cur || p == best_part {
+                    continue;
+                }
+                let c = row.iter().filter(|&&x| owner[x as usize] as usize == p).count();
+                if c > best_count {
+                    best_count = c;
+                    best_part = p;
+                }
+            }
+            if best_part != cur && loads[best_part] + weights[v] <= cap_w && counts[cur] > 1 {
+                owner[v] = best_part as u32;
+                loads[cur] -= weights[v];
+                loads[best_part] += weights[v];
+                counts[cur] -= 1;
+                counts[best_part] += 1;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
 /// Boundary refinement: move each boundary vertex to the adjacent part
 /// with the most of its neighbours if that strictly reduces cut edges and
 /// keeps both parts within the cap.
@@ -427,6 +685,81 @@ mod tests {
         assert!(owner.iter().all(|&o| o == 0));
         let graph = Csr::node_graph(m.dom.map(m.e2n), 27);
         assert!(kway_partition(&graph, 1, 0).iter().all(|&o| o == 0));
+    }
+
+    fn check_weighted_balance(owner: &[u32], weights: &[f64], nparts: usize, slack: f64) {
+        let mut loads = vec![0.0f64; nparts];
+        for (e, &o) in owner.iter().enumerate() {
+            loads[o as usize] += weights[e];
+        }
+        let max_w = weights.iter().cloned().fold(0.0f64, f64::max);
+        let target = weights.iter().sum::<f64>() / nparts as f64;
+        for (p, &l) in loads.iter().enumerate() {
+            assert!(
+                l <= target * (1.0 + slack) + max_w,
+                "part {p} overloaded: {l} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_rcb_balances_load_not_count() {
+        let m = Hex3D::generate(Hex3DParams::cube(8));
+        let coords = m.node_coords();
+        let n = coords.len() / 3;
+        // One octant is 8x hotter than the rest.
+        let weights: Vec<f64> = (0..n)
+            .map(|e| {
+                let hot = coords[e * 3] < 3.5 && coords[e * 3 + 1] < 3.5 && coords[e * 3 + 2] < 3.5;
+                if hot {
+                    8.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        for nparts in [2, 3, 4, 7] {
+            let owner = rcb_partition_weighted(coords, 3, &weights, nparts);
+            check_weighted_balance(&owner, &weights, nparts, 0.10);
+            let mut sizes = vec![0usize; nparts];
+            for &o in &owner {
+                sizes[o as usize] += 1;
+            }
+            assert!(sizes.iter().all(|&s| s > 0), "{nparts} parts: {sizes:?}");
+        }
+        // Uniform weights reproduce the unweighted split exactly.
+        let uniform = vec![1.0; n];
+        assert_eq!(
+            rcb_partition_weighted(coords, 3, &uniform, 4),
+            rcb_partition(coords, 3, 4)
+        );
+        assert_eq!(
+            rib_partition_weighted(coords, 3, &uniform, 4),
+            rib_partition(coords, 3, 4)
+        );
+    }
+
+    #[test]
+    fn weighted_kway_balances_load() {
+        let m = Hex3D::generate(Hex3DParams::cube(8));
+        let n = m.dom.set(m.nodes).size;
+        let graph = Csr::node_graph(m.dom.map(m.e2n), n);
+        let weights: Vec<f64> = (0..n).map(|e| if e < n / 4 { 6.0 } else { 1.0 }).collect();
+        let owner = kway_partition_weighted(&graph, &weights, 4, 4);
+        assert_eq!(owner.len(), n);
+        assert!(owner.iter().all(|&o| (o as usize) < 4));
+        check_weighted_balance(&owner, &weights, 4, 0.25);
+        let mut sizes = vec![0usize; 4];
+        for &o in &owner {
+            sizes[o as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s > 0), "{sizes:?}");
+        // Degenerate all-zero weights fall back to the unweighted grower.
+        let zeros = vec![0.0; n];
+        assert_eq!(
+            kway_partition_weighted(&graph, &zeros, 4, 2),
+            kway_partition(&graph, 4, 2)
+        );
     }
 
     #[test]

@@ -116,6 +116,11 @@ pub(crate) struct Checkpoint {
     boundaries: [u64; 3],
     /// Per-dat version counters at the cut.
     dat_vers: Vec<u64>,
+    /// Layout epoch this checkpoint's dat payloads belong to. A
+    /// migration ([`crate::rebalance`]) bumps the rank's layout epoch
+    /// and discards foreign-layout checkpoints — restoring one would
+    /// resurrect an index space that no longer exists.
+    pub(crate) layout_epoch: u64,
 }
 
 /// The persistent per-rank recovery state, owned by the supervisor and
@@ -144,6 +149,12 @@ pub struct RankState {
     /// Set by the supervisor after a rollback: the next attach must
     /// restore from the newest checkpoint instead of taking a baseline.
     pub(crate) restore: bool,
+    /// The rank's current layout epoch, bumped by every migration
+    /// ([`crate::rebalance::fence_slots`]). Checkpoints record the epoch
+    /// they were taken under; restore asserts the epochs match, so a
+    /// crash-recovery rollback that straddles a migration can only ever
+    /// land on post-migration state.
+    pub(crate) layout_epoch: u64,
 }
 
 impl std::fmt::Debug for RankState {
@@ -168,6 +179,16 @@ impl RankState {
     /// the rollback epoch agreement).
     pub(crate) fn last_epoch(&self) -> Option<u64> {
         self.checkpoints.last().map(|c| c.epoch)
+    }
+
+    /// Discard checkpoints that belong to a different layout epoch than
+    /// the rank's current one. Called by the rebalance fence after a
+    /// migration and defensively by the supervisor before agreeing on a
+    /// rollback epoch — pre-migration snapshots describe index spaces
+    /// that no longer exist and must never be restored.
+    pub(crate) fn drop_foreign_layouts(&mut self) {
+        let cur = self.layout_epoch;
+        self.checkpoints.retain(|c| c.layout_epoch == cur);
     }
 }
 
@@ -253,6 +274,11 @@ impl RankEnv<'_> {
                     .checkpoints
                     .last()
                     .expect("rollback targeted a rank with no checkpoint");
+                assert_eq!(
+                    ck.layout_epoch, st.layout_epoch,
+                    "rank {}: restoring a checkpoint from a different layout epoch",
+                    self.rank
+                );
                 let mut restored = 0u64;
                 for (d, buf) in self.dats.iter_mut().enumerate() {
                     buf.clone_from(&ck.dats[d]);
@@ -303,6 +329,7 @@ impl RankEnv<'_> {
             }
         }
         let epoch = st.last_epoch().map_or(0, |e| e + 1);
+        let layout_epoch = st.layout_epoch;
         st.checkpoints.push(Checkpoint {
             epoch,
             units_done: self.ckpt.units_done,
@@ -311,6 +338,7 @@ impl RankEnv<'_> {
             tag_seq: self.tag_seq,
             boundaries: self.boundaries,
             dat_vers: self.ckpt.dat_vers.clone(),
+            layout_epoch,
         });
         st.rec.checkpoints += 1;
         st.rec.ckpt_bytes += bytes as u64;

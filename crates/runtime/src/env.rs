@@ -116,6 +116,14 @@ impl ExchangeBuffers {
     pub fn warmed_plans(&self) -> usize {
         self.warmed.len()
     }
+
+    /// Forget every warmed plan. Required after a layout epoch bump:
+    /// the (signature, dirty-class) keys may collide with plans built
+    /// for the old layout, whose per-peer payload sizes no longer
+    /// describe the new layout's grouped messages.
+    pub fn reset(&mut self) {
+        self.warmed.clear();
+    }
 }
 
 /// Raw-pointer wrapper so pack/unpack closures can fan copies out over

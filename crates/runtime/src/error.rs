@@ -41,6 +41,21 @@ pub enum ConfigError {
         /// The rejected value.
         value: String,
     },
+    /// `OP2_TUNER` was not `auto`, `op2`, `ca`, or `tiled`.
+    Tuner {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_REBALANCE_THRESHOLD` was not a finite number ≥ 1.
+    RebalanceThreshold {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_REBALANCE_WINDOW` was not a positive integer.
+    RebalanceWindow {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -62,6 +77,17 @@ impl fmt::Display for ConfigError {
             ConfigError::ServeBatch { value } => {
                 write!(f, "OP2_SERVE_BATCH must be 0|1|true|false, got `{value}`")
             }
+            ConfigError::Tuner { value } => {
+                write!(f, "OP2_TUNER must be auto|op2|ca|tiled, got `{value}`")
+            }
+            ConfigError::RebalanceThreshold { value } => write!(
+                f,
+                "OP2_REBALANCE_THRESHOLD must be a finite number >= 1, got `{value}`"
+            ),
+            ConfigError::RebalanceWindow { value } => write!(
+                f,
+                "OP2_REBALANCE_WINDOW must be a positive integer, got `{value}`"
+            ),
         }
     }
 }

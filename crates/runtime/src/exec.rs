@@ -95,6 +95,7 @@ pub fn run_loop_hooked(
     if let Some(gbls) = env.ckpt_skip_loop() {
         return Ok(LoopResult { gbls });
     }
+    let t0 = std::time::Instant::now();
     let ext = standalone_extent(spec);
     let exch = exchange_list(env, spec, ext);
     debug_assert!(
@@ -175,6 +176,7 @@ pub fn run_loop_hooked(
         halo_iters: exec_end - core_end,
         d_exchanged: exch.len(),
         exch: rec,
+        wall_ns: t0.elapsed().as_nanos() as u64,
     });
 
     env.boundary(BoundaryKind::Loop);
@@ -250,6 +252,7 @@ fn run_chain_mode(
     if env.ckpt_skip_chain() {
         return Ok(());
     }
+    let t0 = std::time::Instant::now();
     // Inspector: cached plan lookup — analysis runs only on a miss.
     let plan = crate::plan::plan_for(env, chain, relaxed);
     assert!(
@@ -331,6 +334,7 @@ fn run_chain_mode(
         depth: plan.depth,
         exch: rec,
         stale_reads,
+        wall_ns: t0.elapsed().as_nanos() as u64,
     });
     env.boundary(BoundaryKind::Chain);
     env.ckpt_chain_done();
@@ -362,6 +366,7 @@ fn run_chain_unplanned_mode(
     if env.ckpt_skip_chain() {
         return Ok(());
     }
+    let t0 = std::time::Instant::now();
     let depth = chain.max_halo_layers();
     assert!(
         depth <= env.layout.depth,
@@ -447,6 +452,7 @@ fn run_chain_unplanned_mode(
         depth,
         exch: rec,
         stale_reads,
+        wall_ns: t0.elapsed().as_nanos() as u64,
     });
     env.boundary(BoundaryKind::Chain);
     env.ckpt_chain_done();
@@ -477,6 +483,7 @@ pub fn run_chain_tiled(
     if env.ckpt_skip_chain() {
         return Ok(());
     }
+    let t0 = std::time::Instant::now();
     // Inspector: cached chain plan, plus its lazily-built tile schedule
     // for this tile count (the expensive growth inspection runs once).
     let plan = crate::plan::plan_for(env, chain, false);
@@ -557,6 +564,7 @@ pub fn run_chain_tiled(
         depth: plan.depth,
         exch: rec,
         stale_reads: 0,
+        wall_ns: t0.elapsed().as_nanos() as u64,
     });
     env.boundary(BoundaryKind::Chain);
     env.ckpt_chain_done();

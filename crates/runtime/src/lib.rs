@@ -50,6 +50,13 @@
 //!   multiplex many supervised jobs over them with a shared plan
 //!   registry, bounded admission, same-shape batching, and per-job
 //!   trace/crash isolation.
+//! * [`rebalance`] — online rebalancing: a windowed imbalance detector
+//!   over the measured per-unit wall times, cost-weighted re-sharding
+//!   through `op2-partition`'s migration planner, a migration executor
+//!   shipping dat slices and renumbering tables over the fault-tolerant
+//!   transport, and the layout-epoch fence that keeps plan caches,
+//!   registries and checkpoints coherent across the switch
+//!   (`OP2_REBALANCE_THRESHOLD`, `OP2_REBALANCE_WINDOW`).
 
 // Index-based loops over parallel arrays are the dominant idiom in this
 // crate's mesh/partition kernels; iterator-zip rewrites obscure which
@@ -65,6 +72,7 @@ pub mod fault;
 pub mod harness;
 pub mod lazy;
 pub mod plan;
+pub mod rebalance;
 pub mod service;
 pub mod supervise;
 pub mod threads;
@@ -91,10 +99,14 @@ pub use service::{
     exec_job_program, Job, JobOutcome, JobStep, JobTrace, Service, ServiceConfig, ServiceError,
     ServiceMetrics,
 };
+pub use rebalance::{
+    detect, element_costs, fence_slots, rebalance, ship_migration, LoadEstimate, RebalanceConfig,
+    RebalanceOutcome, RebalancePolicy,
+};
 pub use supervise::{run_supervised, run_supervised_with_state, SuperviseOptions};
 pub use threads::{measure_sync_s, run_schedule_pooled, ThreadCtx, ThreadPool, Threading};
 pub use trace::{
-    ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RecoveryRec, SchedKind, ThreadRec,
-    TunerRec,
+    ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RebalanceRec, RecoveryRec, SchedKind,
+    ThreadRec, TunerRec,
 };
 pub use tuner::{Backend, Tuner, TunerMode};

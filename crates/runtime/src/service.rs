@@ -71,7 +71,7 @@ use crate::plan::{
 use crate::supervise::{run_supervised_with_state, SuperviseOptions};
 use crate::threads::{ThreadCtx, Threading};
 use crate::trace::RankTrace;
-use op2_core::{ChainSpec, DatId, Domain, LoopSpec};
+use op2_core::{ChainSpec, DatId, Domain, LoopSpec, SetId};
 use op2_partition::RankLayout;
 use std::collections::HashMap;
 use std::fmt;
@@ -513,6 +513,16 @@ pub struct ServiceMetrics {
     /// Plans currently resident in the shared registry (gauge, filled
     /// at snapshot time).
     pub registry_plans: u64,
+    /// Online mesh rebalances executed ([`Service::rebalance_mesh`]).
+    pub rebalances: u64,
+    /// Registry plans dropped by rebalance invalidations (each
+    /// rebalance invalidates its old mesh signature exactly once).
+    pub invalidated_plans: u64,
+    /// Elements that changed owner across all rebalances.
+    pub migrated_elements: u64,
+    /// Payload bytes shipped by migrations (dat slices + renumbering
+    /// tables).
+    pub migrated_bytes: u64,
 }
 
 /// RAII admission permit: holds `n` in-flight slots until the job(s)
@@ -578,6 +588,106 @@ impl Service {
             }))
         });
         mesh
+    }
+
+    /// Rebalance a registered mesh from measured per-rank load: derive
+    /// element costs from the traces' windowed wall times (the same
+    /// estimate [`crate::rebalance::detect`] triggers on) and delegate
+    /// to [`Service::rebalance_mesh_with_costs`]. `base`/`coords`/`dims`
+    /// name the partitioning base set and its coordinate dat.
+    pub fn rebalance_mesh(
+        &self,
+        mesh: u64,
+        base: SetId,
+        coords: DatId,
+        dims: usize,
+        traces: &[RankTrace],
+        cfg: &crate::rebalance::RebalanceConfig,
+    ) -> Result<Option<u64>, ServiceError> {
+        let Some(est) = crate::rebalance::detect(traces, cfg) else {
+            return Ok(None);
+        };
+        let world = self.world(mesh)?;
+        let costs = {
+            let w = lock(&world);
+            crate::rebalance::element_costs(&w.base, base, &w.layouts, &est)
+        };
+        self.rebalance_mesh_with_costs(mesh, base, coords, dims, &costs, est.imbalance_milli())
+    }
+
+    /// Live re-shard of a registered mesh from explicit per-element
+    /// costs: plan the migration, ship the moved elements over the
+    /// world's transport, invalidate the old mesh's registry plans
+    /// (exactly one [`PlanRegistry::invalidate_mesh`] call), install the
+    /// new layouts, and re-key the world under its new
+    /// [`mesh_signature`]. Jobs already holding the old signature get
+    /// [`ServiceError::UnknownMesh`]; the first job on the returned
+    /// signature re-inspects and republishes, everything after runs
+    /// warm. Returns `Ok(None)` when the re-shard moves nothing.
+    pub fn rebalance_mesh_with_costs(
+        &self,
+        mesh: u64,
+        base: SetId,
+        coords: DatId,
+        dims: usize,
+        costs: &[f64],
+        imbalance_before_milli: u64,
+    ) -> Result<Option<u64>, ServiceError> {
+        let world = self.world(mesh)?;
+        let mut w = lock(&world);
+        let mut opts = self.cfg.run.clone();
+        opts.faults = None; // migration traffic is not a fault target
+        let outcome = {
+            let World {
+                base: dom, layouts, ..
+            } = &mut *w;
+            crate::rebalance::rebalance(
+                dom,
+                base,
+                coords,
+                dims,
+                layouts,
+                costs,
+                imbalance_before_milli,
+                &opts,
+            )
+        };
+        let outcome = match outcome {
+            Ok(None) => return Ok(None),
+            Ok(Some(o)) => o,
+            Err(RuntimeError::Config(e)) => return Err(ServiceError::Config(e)),
+            Err(e) => {
+                return Err(ServiceError::Job {
+                    name: "rebalance".into(),
+                    error: Box::new(e),
+                })
+            }
+        };
+        // Epoch fence, service flavour: the old mesh's registry plans
+        // drop in exactly one invalidation; carried thread contexts die
+        // with the layout (their schedule caches key on ranges of the
+        // old index spaces); content-neutral payload pools survive.
+        let dropped = self.registry.invalidate_mesh(w.mesh) as u64;
+        let new_mesh = mesh_signature(&outcome.layouts);
+        let old_mesh = w.mesh;
+        w.layouts = outcome.layouts;
+        w.mesh = new_mesh;
+        for c in &mut w.carry {
+            c.threads = None;
+            c.threads_for = None;
+        }
+        {
+            let mut worlds = self.worlds.lock().unwrap_or_else(|p| p.into_inner());
+            worlds.remove(&old_mesh);
+            worlds.insert(new_mesh, Arc::clone(&world));
+        }
+        self.with_metrics(|m| {
+            m.rebalances += 1;
+            m.invalidated_plans += dropped;
+            m.migrated_elements += outcome.rec.elements_out;
+            m.migrated_bytes += outcome.rec.bytes_out;
+        });
+        Ok(Some(new_mesh))
     }
 
     /// Jobs admitted and not yet finished (gauge).

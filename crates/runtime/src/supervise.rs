@@ -109,9 +109,11 @@ fn rollback(slots: &[Arc<Mutex<RankState>>]) {
     let agreed = slots
         .iter()
         .map(|s| {
-            s.lock()
-                .unwrap_or_else(|p| p.into_inner())
-                .last_epoch()
+            let mut st = s.lock().unwrap_or_else(|p| p.into_inner());
+            // A migration may have fenced some slots already; snapshots
+            // of an older layout must not enter the epoch agreement.
+            st.drop_foreign_layouts();
+            st.last_epoch()
                 .expect("supervised rank lost its baseline checkpoint")
         })
         .min()

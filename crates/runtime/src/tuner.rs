@@ -68,22 +68,36 @@ pub enum TunerMode {
 }
 
 impl TunerMode {
-    /// Read the `OP2_TUNER` environment variable:
-    /// `auto` (or unset) / `op2` / `ca` / `tiled`. Panics on anything
-    /// else — a silent fallback would mask a typo'd override.
-    pub fn from_env() -> TunerMode {
-        match std::env::var("OP2_TUNER") {
-            Err(_) => TunerMode::Auto,
-            Ok(v) => match v.as_str() {
-                "" | "auto" => TunerMode::Auto,
-                "op2" => TunerMode::ForceOp2,
-                "ca" => TunerMode::ForceCa,
-                "tiled" => TunerMode::ForceTiled,
-                other => panic!(
-                    "OP2_TUNER must be auto|op2|ca|tiled, got `{other}`"
-                ),
+    /// Parse an `OP2_TUNER`-style override: `auto` (or empty/absent) /
+    /// `op2` / `ca` / `tiled`. Anything else is a typed
+    /// [`ConfigError::Tuner`] — a silent fallback would mask a typo'd
+    /// override.
+    pub fn parse(raw: Option<&str>) -> Result<TunerMode, crate::error::ConfigError> {
+        crate::env::parse_knob(
+            raw,
+            |v| match v {
+                "" | "auto" => Some(TunerMode::Auto),
+                "op2" => Some(TunerMode::ForceOp2),
+                "ca" => Some(TunerMode::ForceCa),
+                "tiled" => Some(TunerMode::ForceTiled),
+                _ => None,
             },
-        }
+            |value| crate::error::ConfigError::Tuner { value },
+        )
+        .map(|m| m.unwrap_or_default())
+    }
+
+    /// [`TunerMode::parse`] on the `OP2_TUNER` environment variable.
+    pub fn try_from_env() -> Result<TunerMode, crate::error::ConfigError> {
+        let raw = std::env::var("OP2_TUNER").ok();
+        TunerMode::parse(raw.as_deref())
+    }
+
+    /// [`TunerMode::try_from_env`], panicking with the typed error's
+    /// message on a malformed value (the non-`Result` entry point the
+    /// drivers use, mirroring [`crate::threads::Threading::from_env`]).
+    pub fn from_env() -> TunerMode {
+        TunerMode::try_from_env().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
