@@ -1,0 +1,87 @@
+//! Cross-loop fusion: split vs fused execution of the MG-CFD chain.
+//!
+//! The fused executor runs every kernel of a fusion group back-to-back
+//! per element, keeping the elided `adt` intermediate in a per-worker
+//! scratch slot instead of round-tripping it through memory (DESIGN.md
+//! §16). This bench measures what that buys per invocation on the
+//! MG-CFD flux → step_factor → time_step chain:
+//!
+//! * `split` — the default split executor: one pass per loop,
+//!   exchange/compute overlap preserved, `adt` materialized;
+//! * `fused` — whole-chain fused schedule: step_factor and time_step
+//!   interleave per node, `adt` never touches memory;
+//!
+//! each at 1 pool thread (direct lowering) and 4 pool threads (colored
+//! lowering). The fused schedule is cached after the first invocation,
+//! so steady-state repetitions isolate the execution-shape difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mg_cfd::{MgCfd, MgCfdParams};
+use op2_core::ChainSpec;
+use op2_partition::{build_layouts, derive_ownership, rcb_partition, RankLayout};
+use op2_runtime::exec::{run_chain, run_loop};
+use op2_runtime::{run_distributed_with, FuseMode, RunOptions, Threading};
+use std::hint::black_box;
+
+struct Fixture {
+    app: MgCfd,
+    layouts: Vec<RankLayout>,
+    chain: ChainSpec,
+}
+
+fn fixture() -> Fixture {
+    let mut params = MgCfdParams::small(10);
+    params.levels = 1;
+    let app = MgCfd::new(params);
+    let chain = app.fused_chain(0).expect("fused chain valid");
+    let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+    let base = rcb_partition(coords, 3, 4);
+    let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, 4);
+    let layouts = build_layouts(&app.dom, &own, 2);
+    Fixture {
+        app,
+        layouts,
+        chain,
+    }
+}
+
+/// Run `reps` chain invocations per rank under `fuse`/`threads`, after
+/// an init loop that fills the flow field.
+fn run_reps(fix: &mut Fixture, reps: usize, fuse: FuseMode, threads: usize) {
+    let init = fix.app.init_loop(0);
+    let chain = fix.chain.clone();
+    let opts = RunOptions::default()
+        .fuse(fuse)
+        .threading(Threading::with_threads(threads));
+    let out = run_distributed_with(&mut fix.app.dom, &fix.layouts, &opts, |env| {
+        run_loop(env, &init)?;
+        for _ in 0..reps {
+            run_chain(env, black_box(&chain))?;
+        }
+        Ok(())
+    });
+    assert!(out.all_ok());
+}
+
+fn bench_kernel_fusion(c: &mut Criterion) {
+    const REPS: usize = 8;
+    let mut g = c.benchmark_group("kernel_fusion");
+    g.throughput(criterion::Throughput::Elements(REPS as u64));
+
+    for threads in [1usize, 4] {
+        for (label, fuse) in [("split", FuseMode::Off), ("fused", FuseMode::On)] {
+            g.bench_function(format!("{label}_t{threads}"), |b| {
+                let mut fix = fixture();
+                b.iter(|| run_reps(&mut fix, REPS, fuse, threads));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernel_fusion
+}
+criterion_main!(benches);

@@ -52,12 +52,20 @@
 //! replanning cost, and the bitwise verdict between the migrated and
 //! the static run's residual.
 //!
+//! `--fusion` runs the cross-loop fusion report: the MG-CFD fused
+//! chain (flux → step_factor → time_step, `adt` elided into the
+//! scratch pool) once through the split executor and once fused,
+//! emitting `BENCH_fusion.json` with both wall times, the fused-piece
+//! and elided-byte totals, the fused-schedule cache hit rate, the
+//! steady-state scratch-pool allocation count (zero once warm) and
+//! the bitwise verdict between the fused and unfused residuals.
+//!
 //! Every report additionally carries a `load` object — each rank's
 //! measured loop + chain wall time and the `max/mean` imbalance ratio
 //! the rebalance detector triggers on.
 
 use mg_cfd::{
-    register_service_mesh, run_auto, run_ca, run_ca_rebalanced, run_ca_service,
+    register_service_mesh, run_auto, run_ca, run_ca_fused, run_ca_rebalanced, run_ca_service,
     run_ca_supervised, run_ca_tiled_threaded, run_op2, service_job, MgCfd, MgCfdParams,
     RunOutcome,
 };
@@ -66,8 +74,9 @@ use op2_mesh::skewed_costs;
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 use op2_runtime::{
-    Boundary, BoundaryKind, FaultPlan, FaultSpec, RebalanceConfig, RebalancePolicy, RunOptions,
-    Service, ServiceConfig, SuperviseOptions, TunerMode,
+    run_distributed_with, Boundary, BoundaryKind, FaultPlan, FaultSpec, FuseMode,
+    RebalanceConfig, RebalancePolicy, RunOptions, Service, ServiceConfig, SuperviseOptions,
+    TunerMode,
 };
 
 fn main() {
@@ -81,6 +90,7 @@ fn main() {
     let mut recovery = false;
     let mut service = false;
     let mut rebalance = false;
+    let mut fusion = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -124,11 +134,12 @@ fn main() {
             "--recovery" => recovery = true,
             "--service" => service = true,
             "--rebalance" => rebalance = true,
+            "--fusion" => fusion = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
                      --tiled-threads N  --tiles N  --exchange  --recovery  --service  \
-                     --rebalance"
+                     --rebalance  --fusion"
                 );
                 std::process::exit(0);
             }
@@ -548,6 +559,105 @@ fn main() {
             rec.migrations,
             rec.bytes_out,
             rec.replan_ns as f64 / 1e6
+        );
+    }
+
+    if fusion {
+        // Cross-loop fusion report. Two passes on fresh flow fields —
+        // the fused chain split (`OP2_FUSE=off`) and fused (`on`) —
+        // plus a third instrumented pass that probes the per-thread
+        // scratch pool for steady-state allocations.
+        let fresh = || {
+            let app = MgCfd::new(params);
+            let coords = &app.dom.dat(app.levels[0].ids.coords).data;
+            let base = rcb_partition(coords, 3, ranks);
+            let own = derive_ownership(&app.dom, app.levels[0].ids.nodes, base, ranks);
+            let layouts = build_layouts(&app.dom, &own, 2);
+            (app, layouts)
+        };
+
+        let (mut app, layouts) = fresh();
+        let t0 = std::time::Instant::now();
+        let unfused = run_ca_fused(&mut app, &layouts, iters, FuseMode::Off, None);
+        let unfused_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let (mut app, layouts) = fresh();
+        let t0 = std::time::Instant::now();
+        let fused = run_ca_fused(&mut app, &layouts, iters, FuseMode::On, None);
+        let fused_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let fused_pieces: u64 = fused.traces.iter().map(|t| t.plan.fused_pieces).sum();
+        let elided_bytes: u64 = fused.traces.iter().map(|t| t.plan.elided_bytes).sum();
+        let (hits, misses) = fused
+            .traces
+            .iter()
+            .fold((0u64, 0u64), |(h, m), t| (h + t.plan.hits, m + t.plan.misses));
+        let hit_rate = if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        };
+
+        // Scratch-pool steady state: warm two invocations (schedule
+        // build + dirty-class settle), then count further pool growth
+        // across `iters` more — zero once warm.
+        let (mut app, layouts) = fresh();
+        let chain = app.fused_chain(0).expect("fused chain valid");
+        let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+        let allocs = std::sync::Mutex::new(Vec::new());
+        let opts = RunOptions::default().fuse(FuseMode::On);
+        let out = run_distributed_with(&mut app.dom, &layouts, &opts, |env| {
+            for l in &init {
+                op2_runtime::exec::run_loop(env, l)?;
+            }
+            for _ in 0..2 {
+                op2_runtime::exec::run_chain(env, &chain)?;
+            }
+            let warm = env.sched_allocs();
+            for _ in 0..iters {
+                op2_runtime::exec::run_chain(env, &chain)?;
+            }
+            allocs.lock().unwrap().push(env.sched_allocs() - warm);
+            Ok(())
+        });
+        assert!(out.all_ok(), "scratch probe failed: {:?}", out.failures());
+        let steady_allocs: u64 = allocs.lock().unwrap().iter().sum();
+
+        let report = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("chain", Json::Str("flux_sf_ts_l0".into())),
+            ("iters", Json::U64(iters as u64)),
+            ("ranks", Json::U64(ranks as u64)),
+            ("unfused_ms", Json::F64(unfused_ms)),
+            ("fused_ms", Json::F64(fused_ms)),
+            ("fused_speedup", Json::F64(unfused_ms / fused_ms)),
+            ("fused_pieces", Json::U64(fused_pieces)),
+            ("elided_bytes", Json::U64(elided_bytes)),
+            ("steady_scratch_allocs", Json::U64(steady_allocs)),
+            (
+                "plan_cache",
+                Json::obj(vec![
+                    ("hits", Json::U64(hits)),
+                    ("misses", Json::U64(misses)),
+                    ("hit_rate", Json::F64(hit_rate)),
+                ]),
+            ),
+            (
+                "bitwise_identical",
+                Json::Bool(unfused.rms.to_bits() == fused.rms.to_bits()),
+            ),
+            ("load", load_summary(&fused.traces)),
+            (
+                "per_rank",
+                Json::Arr(fused.traces.iter().map(trace_summary).collect()),
+            ),
+        ]);
+        let fus_path = "BENCH_fusion.json".to_string();
+        std::fs::write(&fus_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {fus_path}: {e}"));
+        println!(
+            "wrote {fus_path} ({ranks} ranks, {fused_pieces} fused pieces, \
+             {elided_bytes} bytes elided, {steady_allocs} steady-state scratch allocs)"
         );
     }
 }

@@ -173,6 +173,8 @@ pub fn trace_summary(t: &RankTrace) -> Json {
                 ("overlap_tiles", Json::U64(t.plan.overlap_tiles)),
                 ("registry_hits", Json::U64(t.plan.registry_hits)),
                 ("registry_misses", Json::U64(t.plan.registry_misses)),
+                ("fused_pieces", Json::U64(t.plan.fused_pieces)),
+                ("elided_bytes", Json::U64(t.plan.elided_bytes)),
             ]),
         ),
         (

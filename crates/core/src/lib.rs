@@ -88,7 +88,7 @@ pub mod tiling;
 
 pub use access::{AccessMode, Arg, GblDecl, GblOp};
 pub use coloring::{color_loop, is_valid_coloring, Coloring};
-pub use chain::{calc_halo_extents, calc_halo_layers, halo_exch_dats, import_depths, import_depths_relaxed, ChainSpec, HaloLayers};
+pub use chain::{calc_halo_extents, calc_halo_layers, fusion_groups, halo_exch_dats, import_depths, import_depths_relaxed, ChainSpec, FuseBlock, FusionGroupInfo, FusionPlan, HaloLayers};
 pub use config::{parse_chain_config, ChainConfig};
 pub use domain::{DatData, DatId, Domain, MapData, MapId, Set, SetId};
 pub use error::{CoreError, Result};
@@ -99,8 +99,9 @@ pub use par::{
     is_valid_block_coloring, is_valid_block_coloring_raw, BlockColoring, ConflictAccess,
 };
 pub use schedule::{
-    bind_chain, run_chunk, run_schedule, run_schedule_threads, BoundArg, BoundLoop, Chunk, Level,
-    Piece, Schedule, ScheduleKind,
+    bind_chain, elision_valid, run_chunk, run_elem, run_schedule, run_schedule_ctx,
+    run_schedule_threads, slots_for, BoundArg, BoundLoop, Chunk, FusedGroup, Level, Piece,
+    SchedCtx, Schedule, ScheduleKind, ScratchBind,
 };
 pub use tiling::{
     build_tile_plan, is_valid_tile_levels, run_chain_tiled, run_chain_tiled_threads, seed_blocks,

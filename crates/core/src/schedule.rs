@@ -45,7 +45,8 @@ use crate::loops::LoopSpec;
 use crate::par::BlockColoring;
 use crate::tiling::TilePlan;
 
-/// One contiguous or listed slice of one loop's iteration space.
+/// One contiguous or listed slice of one loop's iteration space, or a
+/// fused slice interleaving every loop of one fusion group per element.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Piece {
     /// Iterations `[start, end)` of chain loop `loop_idx`.
@@ -56,14 +57,24 @@ pub enum Piece {
     },
     /// An explicit ascending iteration list of chain loop `loop_idx`.
     List { loop_idx: u32, iters: Vec<u32> },
+    /// Iterations `[start, end)` running *every* loop of fusion group
+    /// `group` (see [`Schedule::fused`]) back to back per element:
+    /// `L_a(e); L_b(e); …` — intermediates stay register/scratch-resident
+    /// instead of round-tripping through the dat between loops.
+    Fused { group: u32, start: u32, end: u32 },
+    /// The list form of [`Piece::Fused`].
+    FusedList { group: u32, iters: Vec<u32> },
 }
 
 impl Piece {
-    /// Number of iterations the piece covers.
+    /// Number of elements the piece covers (fused pieces count each
+    /// element once even though every group loop runs on it).
     pub fn len(&self) -> usize {
         match self {
-            Piece::Range { start, end, .. } => (*end as usize).saturating_sub(*start as usize),
-            Piece::List { iters, .. } => iters.len(),
+            Piece::Range { start, end, .. } | Piece::Fused { start, end, .. } => {
+                (*end as usize).saturating_sub(*start as usize)
+            }
+            Piece::List { iters, .. } | Piece::FusedList { iters, .. } => iters.len(),
         }
     }
 
@@ -72,10 +83,23 @@ impl Piece {
         self.len() == 0
     }
 
-    /// Which chain loop the piece belongs to.
-    pub fn loop_idx(&self) -> usize {
+    /// Which single chain loop the piece belongs to (`None` for fused
+    /// pieces, which belong to every loop of their group).
+    pub fn loop_idx(&self) -> Option<usize> {
         match self {
-            Piece::Range { loop_idx, .. } | Piece::List { loop_idx, .. } => *loop_idx as usize,
+            Piece::Range { loop_idx, .. } | Piece::List { loop_idx, .. } => {
+                Some(*loop_idx as usize)
+            }
+            Piece::Fused { .. } | Piece::FusedList { .. } => None,
+        }
+    }
+
+    /// Which fusion group a fused piece executes (`None` for plain
+    /// single-loop pieces).
+    pub fn group_idx(&self) -> Option<usize> {
+        match self {
+            Piece::Fused { group, .. } | Piece::FusedList { group, .. } => Some(*group as usize),
+            Piece::Range { .. } | Piece::List { .. } => None,
         }
     }
 }
@@ -112,6 +136,47 @@ pub enum ScheduleKind {
     Tiled { n_tiles: usize },
 }
 
+/// One elided (scratch-resident) intermediate of a fusion group: inside
+/// fused pieces the bound arguments listed in `binds` are repointed at a
+/// fixed per-worker scratch slot instead of the dat's memory, so the
+/// produce→consume round-trip through the dat never happens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScratchBind {
+    /// Components per element of the elided dat.
+    pub dim: u32,
+    /// `f64` offset of this dat's slot in the worker scratch pool.
+    pub offset: u32,
+    /// Group-member position of the producing (direct-Write) loop.
+    pub producer: u32,
+    /// `(group-member position, arg index)` pairs to repoint at the
+    /// scratch slot — the producer's write args and every consumer's
+    /// read args.
+    pub binds: Vec<(u32, u32)>,
+}
+
+impl ScratchBind {
+    /// Group-member positions that consume (read) the scratch slot.
+    pub fn consumers(&self) -> impl Iterator<Item = u32> + '_ {
+        let p = self.producer;
+        self.binds
+            .iter()
+            .map(|&(m, _)| m)
+            .filter(move |&m| m != p)
+    }
+}
+
+/// Metadata for one fused group of a schedule: which chain loops a
+/// [`Piece::Fused`] interleaves, and which intermediates it elides into
+/// the per-worker scratch pool.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FusedGroup {
+    /// Chain-loop indices executed per element, in program order.
+    pub loops: Vec<u32>,
+    /// Elided intermediates (empty = fuse without elision: every dat is
+    /// still written through to memory).
+    pub scratch: Vec<ScratchBind>,
+}
+
 /// An executable schedule over an `n_loops`-long chain (1 for a single
 /// loop). See the module docs for the level/chunk semantics.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,6 +187,9 @@ pub struct Schedule {
     pub kind: ScheduleKind,
     /// Barrier-ordered levels.
     pub levels: Vec<Level>,
+    /// Fusion groups referenced by [`Piece::Fused`] / [`Piece::FusedList`]
+    /// (empty for unfused schedules).
+    pub fused: Vec<FusedGroup>,
 }
 
 impl Schedule {
@@ -139,6 +207,7 @@ impl Schedule {
                     }],
                 }],
             }],
+            fused: Vec::new(),
         }
     }
 
@@ -156,6 +225,7 @@ impl Schedule {
                     }],
                 }],
             }],
+            fused: Vec::new(),
         }
     }
 
@@ -186,6 +256,7 @@ impl Schedule {
             n_loops: 1,
             kind: ScheduleKind::Colored { block_size: 1 },
             levels,
+            fused: Vec::new(),
         }
     }
 
@@ -218,6 +289,7 @@ impl Schedule {
                 block_size: bc.block_size,
             },
             levels,
+            fused: Vec::new(),
         }
     }
 
@@ -243,6 +315,7 @@ impl Schedule {
                 n_tiles: plan.n_tiles,
             },
             levels,
+            fused: Vec::new(),
         }
     }
 
@@ -274,6 +347,7 @@ impl Schedule {
                 n_tiles: plan.n_tiles,
             },
             levels,
+            fused: Vec::new(),
         }
     }
 
@@ -306,13 +380,19 @@ impl Schedule {
         self.levels.iter().map(|l| l.chunks.len()).max().unwrap_or(0)
     }
 
-    /// Total iterations scheduled for chain loop `loop_idx`.
+    /// Total iterations scheduled for chain loop `loop_idx` (fused
+    /// pieces count for every member loop they interleave).
     pub fn loop_iters(&self, loop_idx: usize) -> usize {
         self.levels
             .iter()
             .flat_map(|l| &l.chunks)
             .flat_map(|c| &c.pieces)
-            .filter(|p| p.loop_idx() == loop_idx)
+            .filter(|p| match p.loop_idx() {
+                Some(j) => j == loop_idx,
+                None => self.fused[p.group_idx().expect("fused piece")]
+                    .loops
+                    .contains(&(loop_idx as u32)),
+            })
             .map(Piece::len)
             .sum()
     }
@@ -322,6 +402,203 @@ impl Schedule {
     pub fn has_parallelism(&self) -> bool {
         self.max_level_chunks() > 1
     }
+
+    /// Total fused pieces across all levels.
+    pub fn n_fused_pieces(&self) -> usize {
+        self.levels
+            .iter()
+            .flat_map(|l| &l.chunks)
+            .flat_map(|c| &c.pieces)
+            .filter(|p| p.group_idx().is_some())
+            .count()
+    }
+
+    /// Length (in `f64`s) of the per-worker scratch pool the fused
+    /// groups' elided intermediates require.
+    pub fn scratch_pool_len(&self) -> usize {
+        self.fused
+            .iter()
+            .flat_map(|g| &g.scratch)
+            .map(|s| (s.offset + s.dim) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Fusion post-pass: within every chunk, replace each window of
+    /// adjacent pieces that covers *all* loops of one fusion group — in
+    /// member order, with identical element coverage — by a single
+    /// [`Piece::Fused`] / [`Piece::FusedList`]. Applies unchanged to any
+    /// lowering (range, coloring, tiling); windows that don't line up
+    /// (e.g. a tile whose per-loop slices differ) are left unfused, which
+    /// stays correct because fused pieces preserve the per-location
+    /// update order of the unfused walk.
+    ///
+    /// `group_of[j]` names loop `j`'s fusion group, if any.
+    pub fn fuse(mut self, groups: Vec<FusedGroup>, group_of: &[Option<usize>]) -> Schedule {
+        debug_assert_eq!(group_of.len(), self.n_loops);
+        for level in &mut self.levels {
+            for chunk in &mut level.chunks {
+                chunk.pieces = fuse_pieces(std::mem::take(&mut chunk.pieces), &groups, group_of);
+            }
+        }
+        self.fused = groups;
+        self
+    }
+
+    /// Direct (single-chunk) lowering of a whole chain with fusion: for
+    /// each fusion group one fused range over the members' common prefix
+    /// `[0, min end)` followed by per-member tail ranges (members whose
+    /// extent-driven end exceeds the common prefix), in member order;
+    /// unfused loops as plain ranges. One level, one chunk — the
+    /// sequential reference shape of a fused chain.
+    pub fn chain_ranges_fused(
+        ends: &[usize],
+        groups: Vec<FusedGroup>,
+        group_of: &[Option<usize>],
+    ) -> Schedule {
+        let mut pieces = Vec::new();
+        let mut j = 0usize;
+        while j < ends.len() {
+            match group_of[j] {
+                Some(g) if groups[g].loops.first() == Some(&(j as u32)) => {
+                    let members = &groups[g].loops;
+                    let common = members
+                        .iter()
+                        .map(|&m| ends[m as usize])
+                        .min()
+                        .unwrap_or(0);
+                    pieces.push(Piece::Fused {
+                        group: g as u32,
+                        start: 0,
+                        end: common as u32,
+                    });
+                    for &m in members {
+                        if ends[m as usize] > common {
+                            pieces.push(Piece::Range {
+                                loop_idx: m,
+                                start: common as u32,
+                                end: ends[m as usize] as u32,
+                            });
+                        }
+                    }
+                    j += members.len();
+                }
+                _ => {
+                    pieces.push(Piece::Range {
+                        loop_idx: j as u32,
+                        start: 0,
+                        end: ends[j] as u32,
+                    });
+                    j += 1;
+                }
+            }
+        }
+        Schedule {
+            n_loops: ends.len(),
+            kind: ScheduleKind::Direct,
+            levels: vec![Level {
+                chunks: vec![Chunk { pieces }],
+            }],
+            fused: groups,
+        }
+    }
+}
+
+/// The chunk-local fusion window matcher behind [`Schedule::fuse`].
+fn fuse_pieces(
+    pieces: Vec<Piece>,
+    groups: &[FusedGroup],
+    group_of: &[Option<usize>],
+) -> Vec<Piece> {
+    let mut out = Vec::with_capacity(pieces.len());
+    let mut i = 0usize;
+    'outer: while i < pieces.len() {
+        if let Some(j) = pieces[i].loop_idx() {
+            if let Some(g) = group_of.get(j).copied().flatten() {
+                let members = &groups[g].loops;
+                // The window must start at the group's first member and
+                // cover every member with identical coverage.
+                if members.first() == Some(&(j as u32)) && i + members.len() <= pieces.len() {
+                    let window = &pieces[i..i + members.len()];
+                    let aligned = window.iter().zip(members.iter()).all(|(p, &m)| {
+                        p.loop_idx() == Some(m as usize) && same_coverage(&window[0], p)
+                    });
+                    if aligned {
+                        out.push(match &window[0] {
+                            Piece::Range { start, end, .. } => Piece::Fused {
+                                group: g as u32,
+                                start: *start,
+                                end: *end,
+                            },
+                            Piece::List { iters, .. } => Piece::FusedList {
+                                group: g as u32,
+                                iters: iters.clone(),
+                            },
+                            _ => unreachable!("window starts at a plain piece"),
+                        });
+                        i += members.len();
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        out.push(pieces[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Identical element coverage between two plain pieces.
+fn same_coverage(a: &Piece, b: &Piece) -> bool {
+    match (a, b) {
+        (
+            Piece::Range { start: s1, end: e1, .. },
+            Piece::Range { start: s2, end: e2, .. },
+        ) => s1 == s2 && e1 == e2,
+        (Piece::List { iters: i1, .. }, Piece::List { iters: i2, .. }) => i1 == i2,
+        _ => false,
+    }
+}
+
+/// Whether the schedules keep every *consumer* access of each elided
+/// intermediate inside a fused piece of its group — the structural
+/// precondition for scratch elision. A standalone (unfused) piece of a
+/// consumer loop would read the scratch slot without its producer having
+/// filled it for that element, so elision must be dropped (write-through)
+/// whenever any lowering leaves one behind. Standalone *producer* pieces
+/// (extent tails) are harmless: their scratch writes are dead by the
+/// chain-local-intermediate contract.
+pub fn elision_valid(scheds: &[&Schedule], groups: &[FusedGroup], group_of: &[Option<usize>]) -> bool {
+    // Loops that consume some scratch slot of their group.
+    let mut consumer_loops: Vec<usize> = Vec::new();
+    for g in groups {
+        for s in &g.scratch {
+            for m in s.consumers() {
+                let j = g.loops[m as usize] as usize;
+                if !consumer_loops.contains(&j) {
+                    consumer_loops.push(j);
+                }
+            }
+        }
+    }
+    if consumer_loops.is_empty() {
+        return true;
+    }
+    for sched in scheds {
+        for piece in sched
+            .levels
+            .iter()
+            .flat_map(|l| &l.chunks)
+            .flat_map(|c| &c.pieces)
+        {
+            if let Some(j) = piece.loop_idx() {
+                if !piece.is_empty() && consumer_loops.contains(&j) && group_of[j].is_some() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
 }
 
 /// One resolved kernel argument: base pointer, element stride, access
@@ -408,45 +685,21 @@ impl BoundLoop {
 
     /// Fresh slot buffer for one worker.
     pub fn slots(&self) -> Vec<ArgSlot> {
-        self.args
-            .iter()
-            .map(|r| ArgSlot {
-                ptr: r.base,
-                dim: r.dim,
-                mode: r.mode,
-            })
-            .collect()
+        slots_for(&self.args)
     }
 
     /// Run one iteration: point every slot at its element, call the
     /// kernel.
     #[inline]
     pub fn run_iter(&self, slots: &mut [ArgSlot], e: usize) {
-        for (slot, r) in slots.iter_mut().zip(self.args.iter()) {
-            let elem = match (&r.map, r.direct) {
-                (Some((mbase, arity, idx)), _) => {
-                    // SAFETY: map values validated at declaration; the
-                    // schedule only covers iterations whose entries are
-                    // within the built halo depth.
-                    let v = unsafe { *mbase.add(e * arity + idx) };
-                    debug_assert_ne!(v, u32::MAX, "map entry beyond built halo depth dereferenced");
-                    v as usize
-                }
-                (None, true) => e,
-                (None, false) => 0, // gbl
-            };
-            // SAFETY: in-bounds per dat declaration; concurrent writers
-            // are excluded by the schedule's conflict-freedom.
-            slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
-        }
-        (self.kernel)(&Args::new(slots));
+        run_elem(self.kernel, &self.args, slots, e);
     }
 
     /// Run iterations `[start, end)` on the calling thread.
     pub fn run_range(&self, start: usize, end: usize) {
         let mut slots = self.slots();
         for e in start..end {
-            self.run_iter(&mut slots, e);
+            run_elem(self.kernel, &self.args, &mut slots, e);
         }
     }
 
@@ -454,22 +707,214 @@ impl BoundLoop {
     pub fn run_list(&self, iters: &[u32]) {
         let mut slots = self.slots();
         for &e in iters {
-            self.run_iter(&mut slots, e as usize);
+            run_elem(self.kernel, &self.args, &mut slots, e as usize);
+        }
+    }
+}
+
+/// Materialize a fresh slot buffer from resolved args — the single
+/// slot-materialization point every execution path shares (plain range,
+/// list, fused pieces, and the reusable [`SchedCtx`] buffers).
+pub fn slots_for(args: &[BoundArg]) -> Vec<ArgSlot> {
+    args.iter()
+        .map(|r| ArgSlot {
+            ptr: r.base,
+            dim: r.dim,
+            mode: r.mode,
+        })
+        .collect()
+}
+
+/// One kernel invocation at element `e`: point every slot at its
+/// element per the bound args, call the kernel. The only place iteration
+/// indices are resolved to data pointers.
+#[inline]
+pub fn run_elem(kernel: KernelFn, args: &[BoundArg], slots: &mut [ArgSlot], e: usize) {
+    for (slot, r) in slots.iter_mut().zip(args.iter()) {
+        let elem = match (&r.map, r.direct) {
+            (Some((mbase, arity, idx)), _) => {
+                // SAFETY: map values validated at declaration; the
+                // schedule only covers iterations whose entries are
+                // within the built halo depth.
+                let v = unsafe { *mbase.add(e * arity + idx) };
+                debug_assert_ne!(v, u32::MAX, "map entry beyond built halo depth dereferenced");
+                v as usize
+            }
+            (None, true) => e,
+            (None, false) => 0, // gbl / scratch slot
+        };
+        // SAFETY: in-bounds per dat declaration; concurrent writers
+        // are excluded by the schedule's conflict-freedom.
+        slot.ptr = unsafe { r.base.add(elem * r.dim as usize) };
+    }
+    (kernel)(&Args::new(slots));
+}
+
+/// Reusable per-worker execution state: one slot buffer per chain loop,
+/// the scratch pool backing elided intermediates, and per-loop bound-arg
+/// overrides that point scratch-bound arguments into that pool. Prepared
+/// once per schedule execution and reused across invocations — at steady
+/// state (same chain, same shapes) [`SchedCtx::prepare`] performs **zero
+/// heap allocations** (the `*_into` reuse pattern); [`SchedCtx::allocs`]
+/// counts the growths that did happen.
+#[derive(Default)]
+pub struct SchedCtx {
+    /// Per chain loop: reusable slot buffer.
+    slots: Vec<Vec<ArgSlot>>,
+    /// Scratch pool backing elided per-element intermediates.
+    pool: Vec<f64>,
+    /// Per chain loop: bound args with scratch rebinds applied (empty =
+    /// the loop has no elided args; use the `BoundLoop`'s own).
+    overrides: Vec<Vec<BoundArg>>,
+    /// Heap (re)allocations performed by `prepare` so far.
+    allocs: u64,
+}
+
+// SAFETY: the raw pointers inside `overrides` reference either the
+// caller's bound buffers (same contract as `BoundLoop`) or this ctx's
+// own `pool`; a ctx is only ever used by one worker at a time.
+unsafe impl Send for SchedCtx {}
+
+impl SchedCtx {
+    /// An empty context; buffers grow on first `prepare`.
+    pub fn new() -> SchedCtx {
+        SchedCtx::default()
+    }
+
+    /// Heap allocations `prepare` has performed over this ctx's lifetime
+    /// — constant once warm.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Size the context for `sched` over `bound`, rebuilding the scratch
+    /// pool and the per-loop arg overrides. Buffer capacities are kept
+    /// across calls, so repeat preparations for same-shaped schedules
+    /// allocate nothing.
+    pub fn prepare(&mut self, bound: &[BoundLoop], sched: &Schedule) {
+        let track = |allocs: &mut u64, grew: bool| {
+            if grew {
+                *allocs += 1;
+            }
+        };
+
+        // Per-loop slot buffers.
+        let cap0 = self.slots.capacity();
+        self.slots.resize_with(bound.len(), Vec::new);
+        self.slots.truncate(bound.len());
+        track(&mut self.allocs, self.slots.capacity() != cap0);
+        for (buf, bl) in self.slots.iter_mut().zip(bound.iter()) {
+            let cap = buf.capacity();
+            buf.clear();
+            buf.extend(slots_for(&bl.args));
+            track(&mut self.allocs, buf.capacity() != cap);
+        }
+
+        // Scratch pool.
+        let cap0 = self.pool.capacity();
+        self.pool.clear();
+        self.pool.resize(sched.scratch_pool_len(), 0.0);
+        track(&mut self.allocs, self.pool.capacity() != cap0);
+
+        // Arg overrides: loops whose args are rebound into the pool.
+        let cap0 = self.overrides.capacity();
+        self.overrides.resize_with(bound.len(), Vec::new);
+        self.overrides.truncate(bound.len());
+        track(&mut self.allocs, self.overrides.capacity() != cap0);
+        for o in &mut self.overrides {
+            o.clear();
+        }
+        let pool_base = self.pool.as_mut_ptr();
+        for group in &sched.fused {
+            for s in &group.scratch {
+                // SAFETY: offset + dim ≤ pool len by `scratch_pool_len`.
+                let slot_ptr = unsafe { pool_base.add(s.offset as usize) };
+                for &(member, arg) in &s.binds {
+                    let j = group.loops[member as usize] as usize;
+                    let ov = &mut self.overrides[j];
+                    if ov.is_empty() {
+                        let cap = ov.capacity();
+                        ov.extend(bound[j].args.iter().copied());
+                        track(&mut self.allocs, ov.capacity() != cap);
+                    }
+                    let mode = ov[arg as usize].mode;
+                    ov[arg as usize] = BoundArg {
+                        base: slot_ptr,
+                        dim: s.dim,
+                        mode,
+                        map: None,
+                        direct: false,
+                    };
+                }
+            }
+        }
+        // Slot buffers of overridden loops must reflect the override
+        // (dim of the scratch slot).
+        for (j, ov) in self.overrides.iter().enumerate() {
+            if !ov.is_empty() {
+                let buf = &mut self.slots[j];
+                buf.clear();
+                buf.extend(slots_for(ov));
+            }
         }
     }
 }
 
 /// Execute one chunk: its pieces in order, on the calling thread.
-/// `bound[j]` must be the resolution of chain loop `j`.
-pub fn run_chunk(bound: &[BoundLoop], chunk: &Chunk) {
+/// `bound[j]` must be the resolution of chain loop `j`; `ctx` carries
+/// this worker's slot buffers, scratch pool and arg overrides (prepared
+/// for `sched`).
+pub fn run_chunk(bound: &[BoundLoop], sched: &Schedule, chunk: &Chunk, ctx: &mut SchedCtx) {
+    let SchedCtx {
+        slots, overrides, ..
+    } = ctx;
+    let args_of = |j: usize| -> &[BoundArg] {
+        if overrides[j].is_empty() {
+            &bound[j].args
+        } else {
+            &overrides[j]
+        }
+    };
     for piece in &chunk.pieces {
         match piece {
             Piece::Range {
                 loop_idx,
                 start,
                 end,
-            } => bound[*loop_idx as usize].run_range(*start as usize, *end as usize),
-            Piece::List { loop_idx, iters } => bound[*loop_idx as usize].run_list(iters),
+            } => {
+                let j = *loop_idx as usize;
+                let args = args_of(j);
+                let slots = &mut slots[j];
+                for e in *start as usize..*end as usize {
+                    run_elem(bound[j].kernel, args, slots, e);
+                }
+            }
+            Piece::List { loop_idx, iters } => {
+                let j = *loop_idx as usize;
+                let args = args_of(j);
+                let slots = &mut slots[j];
+                for &e in iters {
+                    run_elem(bound[j].kernel, args, slots, e as usize);
+                }
+            }
+            Piece::Fused { group, start, end } => {
+                let members = &sched.fused[*group as usize].loops;
+                for e in *start as usize..*end as usize {
+                    for &m in members {
+                        let j = m as usize;
+                        run_elem(bound[j].kernel, args_of(j), &mut slots[j], e);
+                    }
+                }
+            }
+            Piece::FusedList { group, iters } => {
+                let members = &sched.fused[*group as usize].loops;
+                for &e in iters {
+                    for &m in members {
+                        let j = m as usize;
+                        run_elem(bound[j].kernel, args_of(j), &mut slots[j], e as usize);
+                    }
+                }
+            }
         }
     }
 }
@@ -477,10 +922,18 @@ pub fn run_chunk(bound: &[BoundLoop], chunk: &Chunk) {
 /// Execute a schedule sequentially: levels in order, chunks in order.
 /// This is the reference semantics every threaded execution must match.
 pub fn run_schedule(bound: &[BoundLoop], sched: &Schedule) {
+    let mut ctx = SchedCtx::new();
+    run_schedule_ctx(bound, sched, &mut ctx);
+}
+
+/// [`run_schedule`] with a caller-provided (reusable) worker context —
+/// the zero-allocation steady-state entry point.
+pub fn run_schedule_ctx(bound: &[BoundLoop], sched: &Schedule, ctx: &mut SchedCtx) {
     debug_assert_eq!(bound.len(), sched.n_loops);
+    ctx.prepare(bound, sched);
     for level in &sched.levels {
         for chunk in &level.chunks {
-            run_chunk(bound, chunk);
+            run_chunk(bound, sched, chunk, ctx);
         }
     }
 }
@@ -500,8 +953,10 @@ pub fn run_schedule_threads(bound: &[BoundLoop], sched: &Schedule, n_threads: us
         std::thread::scope(|scope| {
             for group in level.chunks.chunks(per) {
                 scope.spawn(move || {
+                    let mut ctx = SchedCtx::new();
+                    ctx.prepare(bound, sched);
                     for chunk in group {
-                        run_chunk(bound, chunk);
+                        run_chunk(bound, sched, chunk, &mut ctx);
                     }
                 });
             }
@@ -617,11 +1072,114 @@ mod tests {
                     },
                 ],
             }],
+            fused: Vec::new(),
         };
         let (mut a, spec, x) = fixture(100);
         let (mut b, _, _) = fixture(100);
         run_loop_schedule(&mut a, &spec, &sched);
         run_loop_schedule_threads(&mut b, &spec, &sched, 4);
         assert_eq!(a.dat(x).data, b.dat(x).data);
+    }
+
+    fn pair_group(scratch: Vec<ScratchBind>) -> (Vec<FusedGroup>, Vec<Option<usize>>) {
+        (
+            vec![FusedGroup {
+                loops: vec![1, 2],
+                scratch,
+            }],
+            vec![None, Some(0), Some(0)],
+        )
+    }
+
+    /// The direct fused lowering: solo loops as plain ranges, one fused
+    /// range over the group's common prefix, extent tails per member.
+    #[test]
+    fn chain_ranges_fused_shape_and_iters() {
+        let (groups, group_of) = pair_group(Vec::new());
+        let s = Schedule::chain_ranges_fused(&[7, 5, 9], groups, &group_of);
+        let pieces = &s.levels[0].chunks[0].pieces;
+        assert_eq!(pieces.len(), 3);
+        assert!(matches!(
+            pieces[0],
+            Piece::Range { loop_idx: 0, start: 0, end: 7 }
+        ));
+        assert!(matches!(
+            pieces[1],
+            Piece::Fused { group: 0, start: 0, end: 5 }
+        ));
+        assert!(matches!(
+            pieces[2],
+            Piece::Range { loop_idx: 2, start: 5, end: 9 }
+        ));
+        assert_eq!(s.n_fused_pieces(), 1);
+        // Fused pieces count for every member loop they interleave.
+        assert_eq!(s.loop_iters(1), 5);
+        assert_eq!(s.loop_iters(2), 9);
+    }
+
+    /// The post-pass window matcher fuses only aligned windows: chunks
+    /// whose member pieces differ in coverage are left unfused (and stay
+    /// correct via the per-location order argument).
+    #[test]
+    fn fuse_post_pass_requires_aligned_windows() {
+        let raw = |l: u32, s: u32, e: u32| Piece::Range {
+            loop_idx: l,
+            start: s,
+            end: e,
+        };
+        let sched = Schedule {
+            n_loops: 2,
+            kind: ScheduleKind::Direct,
+            levels: vec![Level {
+                chunks: vec![
+                    Chunk {
+                        pieces: vec![raw(0, 0, 4), raw(1, 0, 4)],
+                    },
+                    Chunk {
+                        pieces: vec![raw(0, 4, 8), raw(1, 4, 6)],
+                    },
+                ],
+            }],
+            fused: Vec::new(),
+        };
+        let groups = vec![FusedGroup {
+            loops: vec![0, 1],
+            scratch: Vec::new(),
+        }];
+        let s = sched.fuse(groups, &[Some(0), Some(0)]);
+        assert_eq!(s.n_fused_pieces(), 1);
+        assert!(matches!(
+            s.levels[0].chunks[0].pieces[0],
+            Piece::Fused { group: 0, start: 0, end: 4 }
+        ));
+        // Misaligned window untouched.
+        assert_eq!(s.levels[0].chunks[1].pieces.len(), 2);
+    }
+
+    /// Elision survives standalone *producer* tails (dead scratch
+    /// writes) but not standalone *consumer* pieces, which would read a
+    /// slot their element's producer never filled.
+    #[test]
+    fn elision_validity_rejects_standalone_consumers() {
+        let bind = ScratchBind {
+            dim: 2,
+            offset: 0,
+            producer: 0,
+            binds: vec![(0, 1), (1, 0)],
+        };
+        assert_eq!(bind.consumers().collect::<Vec<_>>(), vec![1]);
+
+        let (groups, group_of) = pair_group(vec![bind]);
+        let aligned = Schedule::chain_ranges_fused(&[4, 4, 4], groups.clone(), &group_of);
+        assert!(elision_valid(&[&aligned], &aligned.fused, &group_of));
+        assert_eq!(aligned.scratch_pool_len(), 2);
+
+        // Consumer extent tail: loop 2 runs [4, 6) standalone.
+        let ctail = Schedule::chain_ranges_fused(&[4, 4, 6], groups.clone(), &group_of);
+        assert!(!elision_valid(&[&ctail], &ctail.fused, &group_of));
+
+        // Producer extent tail: loop 1 runs [4, 6) standalone — harmless.
+        let ptail = Schedule::chain_ranges_fused(&[4, 6, 4], groups, &group_of);
+        assert!(elision_valid(&[&ptail], &ptail.fused, &group_of));
     }
 }

@@ -7,9 +7,9 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, Job, JobStep,
-    RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError, Service,
-    ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, FuseMode,
+    Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError,
+    Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 use std::sync::{Arc, Mutex};
 
@@ -140,6 +140,44 @@ pub fn run_ca(
         1,
         &RunOptions::default(),
     )
+}
+
+/// Run the fusable `state_jac` glue pair ([`Hydra::fused_chain`]) for
+/// `iters` iterations under the given [`FuseMode`]: `Off` executes it
+/// loop-by-loop, `On` through the fused whole-chain schedule — both
+/// node-direct kernels interleaved per element — and `Auto` defers to
+/// the profit arm. Bitwise identical across modes and thread counts.
+pub fn run_ca_fused(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    fuse: FuseMode,
+    threading: Option<Threading>,
+) -> RunOutcome {
+    let init = app.init_loop();
+    let chain = app.fused_chain().expect("fused chain is valid");
+    let norm_spec = app.norm_loop();
+    let n = app.mesh.dom.set(app.mesh.nodes).size as f64;
+    let mut opts = RunOptions::default().fuse(fuse);
+    if let Some(t) = threading {
+        opts = opts.threading(t);
+    }
+    let out = run_distributed_with(&mut app.mesh.dom, layouts, &opts, |env| {
+        run_loop(env, &init)?;
+        let mut norm = 0.0;
+        for _ in 0..iters {
+            run_chain(env, &chain)?;
+            let r = run_loop(env, &norm_spec)?;
+            norm = (r.gbls[0][0] / n).sqrt();
+        }
+        Ok(norm)
+    });
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let norm = match &results[0] {
+        Ok(n) => *n,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { norm, traces }
 }
 
 /// [`run_ca`] under the self-healing supervisor: chain-boundary

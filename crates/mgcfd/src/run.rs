@@ -7,9 +7,9 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, Job, JobStep,
-    RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError, Service,
-    ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, FuseMode,
+    Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError,
+    Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 use std::sync::{Arc, Mutex};
 
@@ -346,6 +346,49 @@ pub fn run_ca_threaded(
         true,
         &RunOptions::default().threading(threading),
     )
+}
+
+/// Run the fusable flux→step-factor→time-step chain
+/// ([`MgCfd::fused_chain`]) for `iters` iterations under the given
+/// [`FuseMode`]: `Off` executes the chain loop-by-loop (Alg 2), `On`
+/// through the fused whole-chain schedule — the two node-direct loops
+/// interleaved per element with `adt` elided into per-worker scratch —
+/// and `Auto` lets the calibrated profit arm pick. Bitwise identical
+/// across modes and thread counts by the fusion legality rules; the
+/// traces' plan stats carry the fused-piece and elided-byte counters.
+pub fn run_ca_fused(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    fuse: FuseMode,
+    threading: Option<Threading>,
+) -> RunOutcome {
+    let init: Vec<_> = (0..app.params.levels).map(|l| app.init_loop(l)).collect();
+    let chain = app.fused_chain(0).expect("fused chain is valid");
+    let rms_spec = app.rms_loop();
+    let n_fine = app.dom.set(app.levels[0].ids.nodes).size as f64;
+    let mut opts = RunOptions::default().fuse(fuse);
+    if let Some(t) = threading {
+        opts = opts.threading(t);
+    }
+    let out = run_distributed_with(&mut app.dom, layouts, &opts, |env| {
+        for l in &init {
+            run_loop(env, l)?;
+        }
+        let mut rms = 0.0;
+        for _ in 0..iters {
+            run_chain(env, &chain)?;
+            let r = run_loop(env, &rms_spec)?;
+            rms = (r.gbls[0][0] / n_fine).sqrt();
+        }
+        Ok(rms)
+    });
+    let op2_runtime::DistOutcome { traces, results } = out;
+    let rms = match &results[0] {
+        Ok(r) => *r,
+        Err(f) => panic!("{f}"),
+    };
+    RunOutcome { rms, traces }
 }
 
 /// Run distributed with the CA back-end *plus* intra-rank sparse tiling

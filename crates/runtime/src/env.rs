@@ -31,10 +31,12 @@
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
 use crate::plan::{ChainPlan, NeighborPack, PlanCache};
-use crate::threads::{run_schedule_pooled, ThreadCtx, Threading};
+use crate::threads::{run_schedule_pooled, run_schedule_pooled_ctx, ThreadCtx, Threading};
 use crate::trace::{ExchangeRec, RankTrace, SchedKind, ThreadRec};
 use op2_core::par::{adaptive_block_size, color_blocks_raw, conflict_accesses, BlockColoring};
-use op2_core::schedule::{run_schedule, BoundArg, BoundLoop, Schedule, ScheduleKind};
+use op2_core::schedule::{
+    run_schedule_ctx, BoundArg, BoundLoop, SchedCtx, Schedule, ScheduleKind,
+};
 use op2_core::{Arg, ChainSpec, DatId, Domain, LoopSpec};
 use op2_partition::layout::{NeighborPlan, RankLayout};
 use std::collections::HashSet;
@@ -76,6 +78,49 @@ pub fn env_knob<T>(
     err: impl FnOnce(String) -> crate::error::ConfigError,
 ) -> Result<Option<T>, crate::error::ConfigError> {
     parse_knob(std::env::var(name).ok().as_deref(), parse, err)
+}
+
+/// Cross-loop fusion policy (`OP2_FUSE`): whether chain executors may
+/// replace the per-loop walk with a fused whole-chain schedule that runs
+/// every fusable kernel back-to-back per element, keeping elidable
+/// intermediates in per-worker scratch instead of memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FuseMode {
+    /// Always run fused when the chain has at least one fusable group.
+    On,
+    /// Never fuse — the per-loop executors run unchanged (the default:
+    /// fusion trades away exchange/compute overlap, so it must be asked
+    /// for or predicted profitable).
+    #[default]
+    Off,
+    /// Let the calibrated cost model decide per chain
+    /// ([`op2_model::classify_fused`]): fuse only when the elided
+    /// memory traffic is predicted to outweigh the lost overlap.
+    Auto,
+}
+
+impl FuseMode {
+    /// Parse an `OP2_FUSE`-style value: `on` / `off` / `auto`
+    /// (case-insensitive; `None` = unset → `Off`).
+    pub fn parse(raw: Option<&str>) -> Result<FuseMode, crate::error::ConfigError> {
+        let parsed = parse_knob(
+            raw,
+            |v| match v.to_ascii_lowercase().as_str() {
+                "on" | "1" | "true" => Some(FuseMode::On),
+                "off" | "0" | "false" => Some(FuseMode::Off),
+                "auto" => Some(FuseMode::Auto),
+                _ => None,
+            },
+            |value| crate::error::ConfigError::Fuse { value },
+        )?;
+        Ok(parsed.unwrap_or_default())
+    }
+
+    /// [`FuseMode::parse`] on the `OP2_FUSE` environment variable.
+    pub fn try_from_env() -> Result<FuseMode, crate::error::ConfigError> {
+        let raw = std::env::var("OP2_FUSE").ok();
+        FuseMode::parse(raw.as_deref())
+    }
 }
 
 /// Payload size above which planned pack/unpack splits a neighbour's
@@ -168,6 +213,8 @@ pub struct RankEnv<'a> {
     /// block-coloring cache (chain loops cache theirs in the
     /// [`ChainPlan`]).
     pub threads: ThreadCtx,
+    /// Cross-loop fusion policy for chain executors (see [`FuseMode`]).
+    pub fuse: FuseMode,
     /// Persistent-exchange warm-up state (see [`ExchangeBuffers`]).
     pub exch_bufs: ExchangeBuffers,
     /// Checkpoint/replay state (see [`crate::checkpoint`]); inert — all
@@ -210,11 +257,20 @@ impl<'a> RankEnv<'a> {
             // `threads.opts` before the program runs, so env creation
             // itself can never panic on a malformed variable.
             threads: ThreadCtx::new(Threading::single()),
+            fuse: FuseMode::default(),
             exch_bufs: ExchangeBuffers::default(),
             ckpt: crate::checkpoint::CheckpointCtx::inert(),
             boundaries: [0; 3],
             job: 0,
         }
+    }
+
+    /// Heap allocations the persistent schedule contexts (scratch pools,
+    /// slot tables) have performed so far — flat across repeat fused
+    /// executions of the same chains, which tests and the bench assert
+    /// (zero steady-state scratch allocations).
+    pub fn sched_allocs(&self) -> u64 {
+        self.threads.sched_ctxs.iter().map(|c| c.allocs()).sum()
     }
 
     /// Fresh tag for the next collective/exchange round.
@@ -482,7 +538,12 @@ impl<'a> RankEnv<'a> {
         }
         if self.threads.opts.active() && sched.has_parallelism() {
             let pool = self.threads.pool();
-            let level_ns = run_schedule_pooled(&pool, &bound, sched);
+            // Per-worker contexts persist in ThreadCtx across chain
+            // invocations, so steady-state fused execution performs zero
+            // scratch-pool or slot-table heap allocations (asserted via
+            // `SchedCtx::allocs`).
+            let level_ns =
+                run_schedule_pooled_ctx(&pool, &bound, sched, &mut self.threads.sched_ctxs);
             let iters: usize = (0..sched.n_loops).map(|j| sched.loop_iters(j)).sum();
             self.trace.threads.push(ThreadRec {
                 name: chain.name.clone(),
@@ -495,7 +556,10 @@ impl<'a> RankEnv<'a> {
                 level_ns,
             });
         } else {
-            run_schedule(&bound, sched);
+            if self.threads.sched_ctxs.is_empty() {
+                self.threads.sched_ctxs.push(SchedCtx::new());
+            }
+            run_schedule_ctx(&bound, sched, &mut self.threads.sched_ctxs[0]);
         }
     }
 
@@ -1094,5 +1158,29 @@ mod tests {
         );
         env.exec_range(&spec, 5, 5, &mut []);
         env.exec_indexed(&spec, &[], &mut []);
+    }
+
+    /// `OP2_FUSE` knob grammar: on/off/auto (case-insensitive, with the
+    /// usual boolean spellings), unset defaults to Off, anything else is
+    /// a typed [`ConfigError::Fuse`].
+    #[test]
+    fn fuse_mode_knob_grammar() {
+        use crate::error::ConfigError;
+
+        assert_eq!(FuseMode::parse(None).unwrap(), FuseMode::Off);
+        for v in ["on", "1", "true", "ON", "True"] {
+            assert_eq!(FuseMode::parse(Some(v)).unwrap(), FuseMode::On, "{v}");
+        }
+        for v in ["off", "0", "false", "OFF"] {
+            assert_eq!(FuseMode::parse(Some(v)).unwrap(), FuseMode::Off, "{v}");
+        }
+        for v in ["auto", "AUTO", "Auto"] {
+            assert_eq!(FuseMode::parse(Some(v)).unwrap(), FuseMode::Auto, "{v}");
+        }
+
+        let err = FuseMode::parse(Some("maybe")).unwrap_err();
+        assert!(matches!(&err, ConfigError::Fuse { value } if value == "maybe"));
+        let msg = err.to_string();
+        assert!(msg.contains("OP2_FUSE") && msg.contains("maybe"), "{msg}");
     }
 }

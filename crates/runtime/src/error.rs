@@ -56,6 +56,11 @@ pub enum ConfigError {
         /// The rejected value.
         value: String,
     },
+    /// `OP2_FUSE` was not `on`, `off`, or `auto`.
+    Fuse {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -88,6 +93,9 @@ impl fmt::Display for ConfigError {
                 f,
                 "OP2_REBALANCE_WINDOW must be a positive integer, got `{value}`"
             ),
+            ConfigError::Fuse { value } => {
+                write!(f, "OP2_FUSE must be on|off|auto, got `{value}`")
+            }
         }
     }
 }

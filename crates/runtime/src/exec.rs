@@ -211,7 +211,18 @@ pub fn chain_import_depths_relaxed(env: &RankEnv<'_>, chain: &ChainSpec) -> Vec<
 /// back-end. Panics if the chain requires deeper halos than the layout
 /// was built with (a program error); transport failures surface as
 /// [`RuntimeError`]s.
+///
+/// When the env's [`FuseMode`](crate::env::FuseMode) is `On` (or `Auto`
+/// and the profit arm predicts a win) and the chain has at least one
+/// fusable group, execution goes through [`run_chain_fused`] instead of
+/// the per-loop walk — bitwise identical by the fusion legality rules,
+/// with elidable intermediates kept in per-worker scratch. Relaxed-mode
+/// and hooked entries never fuse (staleness is counted per loop, which a
+/// whole-chain schedule cannot attribute).
 pub fn run_chain(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), RuntimeError> {
+    if env.fuse != crate::env::FuseMode::Off && fuse_wanted(env, chain) {
+        return run_chain_fused(env, chain);
+    }
     run_chain_mode(env, chain, &mut NoHooks, false)
 }
 
@@ -334,6 +345,145 @@ fn run_chain_mode(
         depth: plan.depth,
         exch: rec,
         stale_reads,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    });
+    env.boundary(BoundaryKind::Chain);
+    env.ckpt_chain_done();
+    Ok(())
+}
+
+/// The fused-schedule cache key for this env: the colored lowering when
+/// the rank's pool is active (block size = the most conservative of the
+/// chain loops' adaptive picks — every fused block must satisfy every
+/// member's conflict structure), the direct range interleaving otherwise.
+fn fused_key(env: &RankEnv<'_>, chain: &ChainSpec, plan: &crate::plan::ChainPlan) -> crate::plan::FusedKey {
+    if env.threads.opts.active() {
+        let block = chain
+            .loops
+            .iter()
+            .enumerate()
+            .map(|(pos, spec)| env.chosen_block_size(spec, 0, plan.exec_end[pos]))
+            .min()
+            .unwrap_or(0)
+            .max(1);
+        (1, block)
+    } else {
+        (0, 0)
+    }
+}
+
+/// Should this env run `chain` fused? `On` fuses whenever the chain has
+/// a fusable group; `Auto` additionally asks the profit arm
+/// ([`op2_model::classify_fused`]): elided intermediate traffic priced
+/// against the exchanged payload whose overlap the fused executor
+/// forgoes. Builds (and caches) the fused schedule as a side effect —
+/// the subsequent [`run_chain_fused`] lookup is a hash hit.
+fn fuse_wanted(env: &mut RankEnv<'_>, chain: &ChainSpec) -> bool {
+    let plan = crate::plan::plan_for(env, chain, false);
+    let key = fused_key(env, chain, &plan);
+    let (fc, _) = plan.fused_chain(env.layout, env.dom, chain, key);
+    if fc.fused_pieces == 0 {
+        return false;
+    }
+    match env.fuse {
+        crate::env::FuseMode::Off => false,
+        crate::env::FuseMode::On => true,
+        crate::env::FuseMode::Auto => {
+            let overlap_loss_s = plan.recv_bytes as f64 * op2_model::MEM_S_PER_BYTE;
+            op2_model::classify_fused(fc.elided_bytes, overlap_loss_s, op2_model::MEM_S_PER_BYTE)
+                .fuse
+        }
+    }
+}
+
+/// Algorithm 2 with **cross-loop kernel fusion**: the grouped multi-level
+/// exchange of [`run_chain`], then the chain executed through its fused
+/// whole-chain [`op2_core::Schedule`] — adjacent fusable loops run every
+/// member kernel back-to-back per element, and intermediates whose every
+/// access lies inside one group live in per-worker scratch instead of
+/// their dats (their memory is never touched; see
+/// [`op2_core::ChainSpec::with_scratch`]).
+///
+/// Latency trade, documented: the fused executor waits out the grouped
+/// exchange **before** running the schedule — per-element interleaving
+/// has no per-loop core phase to overlap with the messages. `Auto` mode
+/// prices exactly this loss against the elided traffic.
+///
+/// Elided dats keep their pre-chain memory contents and are marked
+/// validity-0 (contents unspecified — the `with_scratch` contract), and
+/// are *not* dirty-marked for checkpointing: rollback restores the same
+/// untouched bytes, and replay re-fuses deterministically.
+pub fn run_chain_fused(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), RuntimeError> {
+    if env.ckpt_skip_chain() {
+        return Ok(());
+    }
+    let t0 = std::time::Instant::now();
+    let plan = crate::plan::plan_for(env, chain, false);
+    assert!(
+        plan.depth <= env.layout.depth,
+        "chain `{}` needs {} halo layers but the layout was built with {}",
+        chain.name,
+        plan.depth,
+        env.layout.depth
+    );
+    let key = fused_key(env, chain, &plan);
+    let (fc, _) = plan.fused_chain(env.layout, env.dom, chain, key);
+    env.plans.stats.fused_pieces += fc.fused_pieces;
+    env.plans.stats.elided_bytes += fc.elided_bytes;
+
+    // Validity pre-simulation, as in the tiled executor: requirements
+    // checked in loop order against the post-wait validity, produces
+    // applied as the simulation advances. The fused interleaving
+    // preserves exactly the per-location cross-loop order the legality
+    // analysis admitted, so loop-order simulation is faithful.
+    let mut valid = env.valid.clone();
+    for &(d, depth) in &plan.import {
+        valid[d.idx()] = valid[d.idx()].max(depth);
+    }
+    for (pos, spec) in chain.loops.iter().enumerate() {
+        for &(d, req) in &plan.reqs[pos] {
+            assert!(
+                valid[d.idx()] >= req,
+                "rank {}: fused chain `{}` loop `{}` needs dat `{}` valid to {req}, have {}",
+                env.rank,
+                chain.name,
+                spec.name,
+                env.dom.dat(d).name,
+                valid[d.idx()],
+            );
+        }
+        for &(d, v) in &plan.produces[pos] {
+            valid[d.idx()] = v;
+        }
+    }
+
+    let mut rec = env.exchange_planned(&plan);
+    // No core overlap (see above): wait first, then the whole chain.
+    env.exchange_wait_planned(&plan, &mut rec)?;
+    env.exec_chain_schedule(chain, &fc.sched);
+
+    // Validity transitions — then elided intermediates drop to 0: their
+    // memory was never written, their contents are unspecified by the
+    // `with_scratch` contract.
+    env.valid = valid;
+    for &d in &fc.elided {
+        env.valid[d.idx()] = 0;
+    }
+    for per_loop in &plan.produces {
+        for &(d, _) in per_loop {
+            if !fc.elided.contains(&d) {
+                env.ckpt.note_write(d.idx());
+            }
+        }
+    }
+
+    env.trace.chains.push(ChainRec {
+        name: chain.name.clone(),
+        per_loop: plan.exec_end.iter().map(|&r| (0, r)).collect(),
+        d_exchanged: plan.import.len(),
+        depth: plan.depth,
+        exch: rec,
+        stale_reads: 0,
         wall_ns: t0.elapsed().as_nanos() as u64,
     });
     env.boundary(BoundaryKind::Chain);
@@ -501,6 +651,30 @@ pub fn run_chain_tiled(
         env.plans.stats.tile_hits += 1;
     }
 
+    // Fusion over the tile lowering: the cached tile schedule put
+    // through `Schedule::fuse` (key `(2, n_tiles)`). Only tiles whose
+    // per-member slices line up fuse; `On` takes any fusable group,
+    // `Auto` asks the profit arm. The fused variant runs the *whole*
+    // schedule after the wait — the core/post overlap split does not
+    // compose with per-element interleaving.
+    let fused = if env.fuse != crate::env::FuseMode::Off {
+        let (fc, _) = plan.fused_chain(env.layout, env.dom, chain, (2, n_tiles));
+        let want = fc.fused_pieces > 0
+            && match env.fuse {
+                crate::env::FuseMode::On => true,
+                crate::env::FuseMode::Auto => op2_model::classify_fused(
+                    fc.elided_bytes,
+                    plan.recv_bytes as f64 * op2_model::MEM_S_PER_BYTE,
+                    op2_model::MEM_S_PER_BYTE,
+                )
+                .fuse,
+                crate::env::FuseMode::Off => false,
+            };
+        want.then_some(fc)
+    } else {
+        None
+    };
+
     // Validity requirements are those of run_chain's halo phase,
     // checked against the validity each loop observes *in loop order* —
     // earlier loops' produced validity satisfies later loops' reads,
@@ -532,28 +706,43 @@ pub fn run_chain_tiled(
 
     let mut rec = env.exchange_planned(&plan);
 
-    // Core tiles while the exchange is in flight — they read nothing the
-    // wait delivers, and the core/post split preserves the full plan's
-    // conflict order, so the result stays bitwise identical.
-    if tc.n_core_tiles > 0 {
-        env.exec_chain_schedule(chain, &tc.core);
-        env.plans.stats.overlap_tiles += tc.n_core_tiles as u64;
+    if let Some(fc) = &fused {
+        env.plans.stats.fused_pieces += fc.fused_pieces;
+        env.plans.stats.elided_bytes += fc.elided_bytes;
+        env.exchange_wait_planned(&plan, &mut rec)?;
+        env.exec_chain_schedule(chain, &fc.sched);
+    } else {
+        // Core tiles while the exchange is in flight — they read nothing
+        // the wait delivers, and the core/post split preserves the full
+        // plan's conflict order, so the result stays bitwise identical.
+        if tc.n_core_tiles > 0 {
+            env.exec_chain_schedule(chain, &tc.core);
+            env.plans.stats.overlap_tiles += tc.n_core_tiles as u64;
+        }
+
+        env.exchange_wait_planned(&plan, &mut rec)?;
+
+        // Remaining tiles after the wait — same-level tiles run
+        // concurrently on the rank's pool when threading is active,
+        // sequentially (bitwise identical) otherwise.
+        if tc.n_core_tiles < tc.tiles.n_tiles {
+            env.exec_chain_schedule(chain, &tc.post);
+        }
     }
 
-    env.exchange_wait_planned(&plan, &mut rec)?;
-
-    // Remaining tiles after the wait — same-level tiles run concurrently
-    // on the rank's pool when threading is active, sequentially (bitwise
-    // identical) otherwise.
-    if tc.n_core_tiles < tc.tiles.n_tiles {
-        env.exec_chain_schedule(chain, &tc.post);
-    }
-
-    // Validity transitions, as in run_chain.
+    // Validity transitions, as in run_chain; fusion-elided intermediates
+    // drop to 0 (memory untouched, contents unspecified) and are not
+    // dirty-marked.
     env.valid = valid;
+    let elided: &[DatId] = fused.as_ref().map(|fc| fc.elided.as_slice()).unwrap_or(&[]);
+    for &d in elided {
+        env.valid[d.idx()] = 0;
+    }
     for per_loop in &plan.produces {
         for &(d, _) in per_loop {
-            env.ckpt.note_write(d.idx());
+            if !elided.contains(&d) {
+                env.ckpt.note_write(d.idx());
+            }
         }
     }
 

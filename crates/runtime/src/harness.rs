@@ -47,6 +47,10 @@ pub struct RunOptions {
     /// (the default) reads `OP2_CKPT_EVERY` from the environment;
     /// unsupervised runs ignore this field entirely.
     pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
+    /// Cross-loop fusion policy, **per rank**. `None` (the default)
+    /// reads `OP2_FUSE` from the environment (absent = off). `Some` is
+    /// taken verbatim.
+    pub fuse: Option<crate::env::FuseMode>,
 }
 
 impl RunOptions {
@@ -81,6 +85,13 @@ impl RunOptions {
     /// (builder style), overriding the `OP2_CKPT_EVERY` default.
     pub fn checkpoint_every(mut self, every: u64) -> Self {
         self.checkpoint = Some(crate::checkpoint::CheckpointConfig::new(every));
+        self
+    }
+
+    /// Cross-loop fusion policy (builder style), overriding the
+    /// `OP2_FUSE` default.
+    pub fn fuse(mut self, mode: crate::env::FuseMode) -> Self {
+        self.fuse = Some(mode);
         self
     }
 }
@@ -183,29 +194,39 @@ where
     // Resolve threading up front so a malformed OP2_THREADS /
     // OP2_BLOCK_SIZE is reported once, as a typed per-rank config
     // failure, instead of panicking inside every rank thread.
+    let config_failure = |e: crate::error::ConfigError| {
+        let traces = layouts
+            .iter()
+            .map(|l| RankTrace {
+                rank: l.rank,
+                ..RankTrace::default()
+            })
+            .collect();
+        let results = layouts
+            .iter()
+            .map(|l| {
+                Err(RankFailure::Failed {
+                    rank: l.rank,
+                    error: RuntimeError::Config(e.clone()),
+                })
+            })
+            .collect();
+        DistOutcome { traces, results }
+    };
     let threading = match opts.threading {
         Some(t) => t,
         None => match crate::threads::Threading::try_from_env() {
             Ok(t) => t.split_across(nparts),
-            Err(e) => {
-                let traces = layouts
-                    .iter()
-                    .map(|l| RankTrace {
-                        rank: l.rank,
-                        ..RankTrace::default()
-                    })
-                    .collect();
-                let results = layouts
-                    .iter()
-                    .map(|l| {
-                        Err(RankFailure::Failed {
-                            rank: l.rank,
-                            error: RuntimeError::Config(e.clone()),
-                        })
-                    })
-                    .collect();
-                return DistOutcome { traces, results };
-            }
+            Err(e) => return config_failure(e),
+        },
+    };
+    // Same discipline for OP2_FUSE: one typed verdict, not a per-rank
+    // panic.
+    let fuse = match opts.fuse {
+        Some(m) => m,
+        None => match crate::env::FuseMode::try_from_env() {
+            Ok(m) => m,
+            Err(e) => return config_failure(e),
         },
     };
     let world = match &opts.faults {
@@ -225,6 +246,7 @@ where
                 scope.spawn(move || {
                     let mut env = RankEnv::new(layout, dom_ref, comm);
                     env.threads.opts = threading;
+                    env.fuse = fuse;
                     let run = catch_unwind(AssertUnwindSafe(|| program_ref(&mut env)));
                     let verdict = match run {
                         Ok(Ok(r)) => Ok(r),

@@ -81,10 +81,10 @@ pub mod tuner;
 
 pub use checkpoint::{CheckpointConfig, CheckpointCtx, RankState};
 pub use comm::{CommConfig, CommCounters, CommError, CommWorld, RankComm};
-pub use env::RankEnv;
+pub use env::{FuseMode, RankEnv};
 pub use error::{ConfigError, RankFailure, RuntimeError};
 pub use exec::{
-    run_chain, run_chain_relaxed, run_chain_tiled, run_chain_unplanned,
+    run_chain, run_chain_fused, run_chain_relaxed, run_chain_tiled, run_chain_unplanned,
     run_chain_unplanned_relaxed, run_loop, ExecHooks, NoHooks,
 };
 pub use fault::{Boundary, BoundaryAction, BoundaryKind, CrashSite, FaultPlan, FaultSpec};
@@ -92,8 +92,8 @@ pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions
 pub use lazy::LazyExec;
 pub use env::{env_knob, parse_knob};
 pub use plan::{
-    chain_signature, dirty_class, loop_signature, mesh_signature, plan_for, ChainPlan, PlanCache,
-    PlanRegistry, PlanStats,
+    chain_signature, dirty_class, loop_signature, mesh_signature, plan_for, ChainPlan, FusedChain,
+    FusedKey, PlanCache, PlanRegistry, PlanStats,
 };
 pub use service::{
     exec_job_program, Job, JobOutcome, JobStep, JobTrace, Service, ServiceConfig, ServiceError,
@@ -104,7 +104,9 @@ pub use rebalance::{
     RebalanceOutcome, RebalancePolicy,
 };
 pub use supervise::{run_supervised, run_supervised_with_state, SuperviseOptions};
-pub use threads::{measure_sync_s, run_schedule_pooled, ThreadCtx, ThreadPool, Threading};
+pub use threads::{
+    measure_sync_s, run_schedule_pooled, run_schedule_pooled_ctx, ThreadCtx, ThreadPool, Threading,
+};
 pub use trace::{
     ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RebalanceRec, RecoveryRec, SchedKind,
     ThreadRec, TunerRec,

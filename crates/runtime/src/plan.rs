@@ -31,6 +31,10 @@
 //! do **zero** re-analysis.
 
 use op2_core::chain::{produced_validity, read_requirement};
+use op2_core::par::{color_blocks_raw, conflict_accesses, BlockColoring};
+use op2_core::schedule::{
+    elision_valid, Chunk, FusedGroup, Level, Piece, ScheduleKind, ScratchBind,
+};
 use op2_core::tiling::{
     build_tile_plan_raw, overlap_core_tiles, seed_blocks, seed_from_targets, TilePlan,
 };
@@ -256,6 +260,11 @@ pub struct ChainPlan {
     /// Tile plans and their lowered schedules by tile count, built
     /// lazily on first use.
     tiles: Mutex<HashMap<usize, Arc<TiledChain>>>,
+    /// Fused whole-chain schedules by lowering (see [`FusedKey`]), built
+    /// lazily on first fused execution — the fusion legality analysis
+    /// and the lowering are inspector work, paid once per (chain
+    /// signature, dirty class, lowering).
+    fused: Mutex<HashMap<FusedKey, Arc<FusedChain>>>,
     /// Lowered colored schedules for the threaded executor, keyed by
     /// `(loop position, start, end, block size)` and built lazily on
     /// first threaded execution of that range — the coloring is
@@ -266,6 +275,36 @@ pub struct ChainPlan {
 /// Key of a cached colored schedule: `(loop position, start, end, block
 /// size)`.
 pub type ColoringKey = (usize, usize, usize, usize);
+
+/// Lowering key of a cached fused schedule: `(0, 0)` = direct (one
+/// sequential chunk), `(1, block_size)` = colored, `(2, n_tiles)` =
+/// tiled.
+pub type FusedKey = (u8, usize);
+
+/// A whole-chain fused schedule for one lowering, plus the facts the
+/// fused executor and the profit arm need: which intermediates were
+/// actually elided (scratch-resident, never written to memory) and how
+/// much memory traffic that removes per invocation. Built once per
+/// ([`ChainPlan`], lowering) and cached — see [`ChainPlan::fused_chain`].
+#[derive(Debug)]
+pub struct FusedChain {
+    /// The fused leveled schedule over the whole chain.
+    pub sched: Arc<Schedule>,
+    /// Per chain loop: fusion group membership (the legality analysis's
+    /// verdict; `None` = the loop runs unfused).
+    pub group_of: Vec<Option<usize>>,
+    /// Intermediates elided under this lowering. A dat declared scratch
+    /// ([`ChainSpec::with_scratch`]) drops out when the lowering left
+    /// any consumer piece unfused — fusion stays, elision write-throughs.
+    pub elided: Vec<DatId>,
+    /// Intermediate memory traffic elided per invocation, in bytes: for
+    /// every elided dat, the producer's write plus each consumer's
+    /// read-back over the fused extent.
+    pub elided_bytes: u64,
+    /// Fused pieces in `sched` (0 = nothing fused; callers fall back to
+    /// the unfused executor).
+    pub fused_pieces: u64,
+}
 
 /// A cached tile plan together with its lowered schedules: the full
 /// leveled schedule plus the core/post split the overlap executor uses
@@ -413,6 +452,7 @@ impl ChainPlan {
             nbr_bits,
             tiles: Mutex::new(HashMap::new()),
             colorings: Mutex::new(HashMap::new()),
+            fused: Mutex::new(HashMap::new()),
         }
     }
 
@@ -522,6 +562,209 @@ impl ChainPlan {
         tiles.insert(n_tiles, Arc::clone(&tc));
         (tc, true)
     }
+
+    /// The fused whole-chain schedule for one lowering, built on first
+    /// request and cached inside the plan. Returns `(fused, built)` —
+    /// `built` is true when this call ran the fusion analysis and
+    /// lowering (a fused-schedule miss).
+    ///
+    /// The build runs [`ChainSpec::fusion`] (legality analysis), lowers
+    /// per `key` — direct range interleaving, union-conflict block
+    /// coloring, or the cached tile schedule put through
+    /// [`Schedule::fuse`] — then re-verifies scratch elision against the
+    /// *actual* pieces ([`elision_valid`]): a lowering that left any
+    /// consumer piece unfused keeps the fusion but write-throughs the
+    /// intermediate (scratch binds stripped), so correctness never
+    /// depends on the lowering lining up.
+    pub fn fused_chain(
+        &self,
+        layout: &RankLayout,
+        dom: &Domain,
+        chain: &ChainSpec,
+        key: FusedKey,
+    ) -> (Arc<FusedChain>, bool) {
+        let mut cache = self.fused.lock().expect("fused cache poisoned");
+        if let Some(fc) = cache.get(&key) {
+            return (Arc::clone(fc), false);
+        }
+        let fp = chain.fusion();
+        let groups = fused_groups_for(chain, dom, &fp);
+        let mut sched = match key {
+            (1, block) => colored_fused(
+                layout,
+                chain,
+                &self.exec_end,
+                block.max(1),
+                groups,
+                &fp.group_of,
+            ),
+            (2, n_tiles) => {
+                let (tc, _) = self.tile_schedule(layout, chain, n_tiles);
+                tc.sched.as_ref().clone().fuse(groups, &fp.group_of)
+            }
+            _ => Schedule::chain_ranges_fused(&self.exec_end, groups, &fp.group_of),
+        };
+        if !elision_valid(&[&sched], &sched.fused, &fp.group_of) {
+            for g in &mut sched.fused {
+                g.scratch.clear();
+            }
+        }
+        let mut elided = Vec::new();
+        let mut elided_bytes = 0u64;
+        for (g, gi) in sched.fused.iter().zip(&fp.groups) {
+            let common = gi
+                .members()
+                .map(|j| self.exec_end[j])
+                .min()
+                .unwrap_or(0) as u64;
+            for (s, &d) in g.scratch.iter().zip(&gi.elided) {
+                let accesses = s.consumers().count() as u64 + 1;
+                elided_bytes += common * s.dim as u64 * 8 * accesses;
+                elided.push(d);
+            }
+        }
+        let fc = Arc::new(FusedChain {
+            fused_pieces: sched.n_fused_pieces() as u64,
+            group_of: fp.group_of,
+            elided,
+            elided_bytes,
+            sched: Arc::new(sched),
+        });
+        cache.insert(key, Arc::clone(&fc));
+        (fc, true)
+    }
+}
+
+/// Translate a chain's [`op2_core::chain::FusionPlan`] into the schedule
+/// IR's [`FusedGroup`]s: member loop lists plus one [`ScratchBind`] per
+/// elidable intermediate, with pool offsets laid out consecutively
+/// across all groups (one per-worker pool serves the whole chain).
+fn fused_groups_for(
+    chain: &ChainSpec,
+    dom: &Domain,
+    fp: &op2_core::chain::FusionPlan,
+) -> Vec<FusedGroup> {
+    let mut out = Vec::with_capacity(fp.groups.len());
+    let mut offset = 0u32;
+    for gi in &fp.groups {
+        let mut g = FusedGroup {
+            loops: gi.members().map(|j| j as u32).collect(),
+            scratch: Vec::new(),
+        };
+        for &d in &gi.elided {
+            let dim = dom.dat(d).dim as u32;
+            let mut binds = Vec::new();
+            let mut producer = 0u32;
+            let mut first = true;
+            for (mp, j) in gi.members().enumerate() {
+                for (a, arg) in chain.loops[j].args.iter().enumerate() {
+                    if matches!(arg, Arg::Dat { dat, .. } if *dat == d) {
+                        if first {
+                            producer = mp as u32;
+                            first = false;
+                        }
+                        binds.push((mp as u32, a as u32));
+                    }
+                }
+            }
+            g.scratch.push(ScratchBind {
+                dim,
+                offset,
+                producer,
+                binds,
+            });
+            offset += dim;
+        }
+        out.push(g);
+    }
+    out
+}
+
+/// The colored fused lowering: per fusion group, an order-preserving
+/// block coloring of the members' common extent under the **union** of
+/// every member's conflict accesses (a fused block runs all member
+/// kernels, so same-level blocks must be disjoint under all of them
+/// combined), lowered to [`Piece::Fused`] chunks; then per-member tail
+/// colorings for extents beyond the common prefix, then solo loops —
+/// all as sequential level runs in program order, which preserves the
+/// per-location update order of the unfused colored walk.
+fn colored_fused(
+    layout: &RankLayout,
+    chain: &ChainSpec,
+    ends: &[usize],
+    block: usize,
+    groups: Vec<FusedGroup>,
+    group_of: &[Option<usize>],
+) -> Schedule {
+    let sigs = chain.sigs();
+    let set_sizes: Vec<usize> = layout.sets.iter().map(|s| s.n_local()).collect();
+    let mut levels: Vec<Level> = Vec::new();
+    fn push_colored(levels: &mut Vec<Level>, bc: &BlockColoring, piece: &dyn Fn(u32, u32) -> Piece) {
+        for bucket in &bc.by_color {
+            let chunks: Vec<Chunk> = bucket
+                .iter()
+                .map(|&b| {
+                    let (s, e) = bc.block_range(b as usize);
+                    Chunk {
+                        pieces: vec![piece(s as u32, e as u32)],
+                    }
+                })
+                .collect();
+            if !chunks.is_empty() {
+                levels.push(Level { chunks });
+            }
+        }
+    }
+    let mut j = 0usize;
+    while j < sigs.len() {
+        match group_of[j] {
+            Some(g) if groups[g].loops.first() == Some(&(j as u32)) => {
+                let members = &groups[g].loops;
+                let common = members.iter().map(|&m| ends[m as usize]).min().unwrap_or(0);
+                let mut acc = Vec::new();
+                for &m in members {
+                    acc.extend(conflict_accesses(&layout.maps, &sigs[m as usize]));
+                }
+                let bc = color_blocks_raw(0, common, block, &set_sizes, &acc);
+                let gu = g as u32;
+                push_colored(&mut levels, &bc, &|s, e| Piece::Fused {
+                    group: gu,
+                    start: s,
+                    end: e,
+                });
+                for &m in members {
+                    let end_m = ends[m as usize];
+                    if end_m > common {
+                        let acc_m = conflict_accesses(&layout.maps, &sigs[m as usize]);
+                        let bc = color_blocks_raw(common, end_m, block, &set_sizes, &acc_m);
+                        push_colored(&mut levels, &bc, &|s, e| Piece::Range {
+                            loop_idx: m,
+                            start: s,
+                            end: e,
+                        });
+                    }
+                }
+                j += members.len();
+            }
+            _ => {
+                let acc = conflict_accesses(&layout.maps, &sigs[j]);
+                let bc = color_blocks_raw(0, ends[j], block, &set_sizes, &acc);
+                let ju = j as u32;
+                push_colored(&mut levels, &bc, &|s, e| Piece::Range {
+                    loop_idx: ju,
+                    start: s,
+                    end: e,
+                });
+                j += 1;
+            }
+        }
+    }
+    Schedule {
+        n_loops: sigs.len(),
+        kind: ScheduleKind::Colored { block_size: block },
+        levels,
+        fused: groups,
+    }
 }
 
 /// Plan-cache activity counters, copied into the rank trace by the
@@ -553,6 +796,12 @@ pub struct PlanStats {
     /// Fresh inspections published to an attached registry (the cold
     /// path that warms it for every later job on the same mesh).
     pub registry_misses: u64,
+    /// Fused pieces executed by the fused chain executor — each one ran
+    /// every member kernel of its group back-to-back per element.
+    pub fused_pieces: u64,
+    /// Bytes of intermediate-dat memory traffic elided by scratch-pool
+    /// fusion (loads + stores that never reached the dat's storage).
+    pub elided_bytes: u64,
 }
 
 impl PlanStats {
@@ -569,6 +818,8 @@ impl PlanStats {
         self.overlap_tiles += other.overlap_tiles;
         self.registry_hits += other.registry_hits;
         self.registry_misses += other.registry_misses;
+        self.fused_pieces += other.fused_pieces;
+        self.elided_bytes += other.elided_bytes;
     }
 }
 
@@ -889,5 +1140,90 @@ mod tests {
         assert!(Arc::ptr_eq(&t1, &t2));
         let (_, built3) = plan.tile_plan(layout, &f.chain, 2);
         assert!(built3, "a different tile count is a fresh schedule");
+    }
+
+    /// A fusable stage→apply pair with a declared scratch intermediate,
+    /// on a single-rank layout.
+    fn fusable_fix() -> (Fix, DatId) {
+        let mut mesh = Quad2D::generate(6, 6);
+        let a = mesh.dom.decl_dat_zeros("a", mesh.nodes, 1);
+        let tmp = mesh.dom.decl_dat_zeros("tmp", mesh.nodes, 1);
+        let stage = LoopSpec::new(
+            "stage",
+            mesh.nodes,
+            vec![
+                Arg::dat_direct(a, AccessMode::Read),
+                Arg::dat_direct(tmp, AccessMode::Write),
+            ],
+            noop,
+        );
+        let apply = LoopSpec::new(
+            "apply",
+            mesh.nodes,
+            vec![
+                Arg::dat_direct(tmp, AccessMode::Read),
+                Arg::dat_direct(a, AccessMode::Rw),
+            ],
+            noop,
+        );
+        let chain = ChainSpec::new("sa", vec![stage, apply], None, &[])
+            .unwrap()
+            .with_scratch(&[tmp]);
+        let base = rcb_partition(&mesh.dom.dat(mesh.coords).data, 2, 1);
+        let own = derive_ownership(&mesh.dom, mesh.nodes, base, 1);
+        let layouts = build_layouts(&mesh.dom, &own, 2);
+        (
+            Fix {
+                mesh,
+                layouts,
+                chain,
+            },
+            tmp,
+        )
+    }
+
+    /// Fused schedules are built once per (lowering kind, grain) key,
+    /// cached thereafter, and carry the elision bookkeeping the stats
+    /// counters and the auto profit arm consume.
+    #[test]
+    fn fused_chains_cached_per_key_with_elision() {
+        let (f, tmp) = fusable_fix();
+        let layout = &f.layouts[0];
+        let valid = vec![0u8; f.mesh.dom.n_dats()];
+        let plan = ChainPlan::build(layout, &f.mesh.dom, &valid, &f.chain, false, 0);
+
+        let (fc, built) = plan.fused_chain(layout, &f.mesh.dom, &f.chain, (0, 0));
+        assert!(built);
+        assert!(fc.fused_pieces > 0, "direct lowering must fuse the pair");
+        assert_eq!(fc.elided, vec![tmp]);
+        // Write + one read of a dim-1 f64 intermediate per fused element.
+        let common = plan.exec_end.iter().min().copied().unwrap() as u64;
+        assert_eq!(fc.elided_bytes, common * 8 * 2);
+        assert_eq!(fc.sched.scratch_pool_len(), 1);
+
+        let (fc2, built2) = plan.fused_chain(layout, &f.mesh.dom, &f.chain, (0, 0));
+        assert!(!built2);
+        assert!(Arc::ptr_eq(&fc, &fc2), "same key must share the schedule");
+
+        // The colored lowering is a distinct cache entry but fuses and
+        // elides identically (direct loops: one color, aligned blocks).
+        let (fc3, built3) = plan.fused_chain(layout, &f.mesh.dom, &f.chain, (1, 8));
+        assert!(built3, "a different key is a fresh schedule");
+        assert!(fc3.fused_pieces > 0);
+        assert_eq!(fc3.elided, vec![tmp]);
+    }
+
+    /// A chain whose loops cannot legally interleave yields an empty
+    /// fused plan — the dispatcher's signal to stay on the split path.
+    #[test]
+    fn unfusable_chain_yields_no_fused_pieces() {
+        let f = fix();
+        let layout = &f.layouts[0];
+        let valid = vec![0u8; f.mesh.dom.n_dats()];
+        let plan = ChainPlan::build(layout, &f.mesh.dom, &valid, &f.chain, false, 0);
+        let (fc, _) = plan.fused_chain(layout, &f.mesh.dom, &f.chain, (0, 0));
+        assert_eq!(fc.fused_pieces, 0);
+        assert!(fc.elided.is_empty());
+        assert_eq!(fc.elided_bytes, 0);
     }
 }

@@ -22,7 +22,8 @@
 //! [`crate::harness::RunOptions`].
 
 use crate::error::ConfigError;
-use op2_core::schedule::{run_chunk, BoundLoop, Schedule};
+use op2_core::schedule::{run_chunk, BoundLoop, SchedCtx, Schedule};
+use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -153,8 +154,10 @@ impl Default for Threading {
 struct Round {
     /// The task body, lifetime-erased: the caller blocks in
     /// [`ThreadPool::run`] until every participant finishes, so the
-    /// referent outlives all use.
-    task: *const (dyn Fn(usize) + Sync),
+    /// referent outlives all use. Called as `task(worker, i)` — the
+    /// stable participant index lets fused execution hand each worker
+    /// its own reusable [`SchedCtx`].
+    task: *const (dyn Fn(usize, usize) + Sync),
     cursor: AtomicUsize,
     n_tasks: usize,
     /// Workers still running this round; the caller waits for zero.
@@ -195,7 +198,7 @@ impl ThreadPool {
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("op2-worker-{w}"))
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(rx, w))
                     .expect("spawn pool worker"),
             );
         }
@@ -221,12 +224,21 @@ impl ThreadPool {
     /// finishes the round (other participants keep draining) and then
     /// panics on the calling thread.
     pub fn run(&self, n_tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+        self.run_indexed(n_tasks, &|_, i| task(i));
+    }
+
+    /// [`ThreadPool::run`] with participant identity: `task(worker, i)`
+    /// where `worker` is a stable index in `0..n_threads` (0 = the
+    /// caller) unique to one concurrent participant. Fused schedule
+    /// execution uses it to give every participant its own scratch
+    /// context without locking.
+    pub fn run_indexed(&self, n_tasks: usize, task: &(dyn Fn(usize, usize) + Sync)) {
         if n_tasks == 0 {
             return;
         }
-        // SAFETY: lifetime erasure only — `run` does not return until
-        // every participant is done with the pointer.
-        let task: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(task) };
+        // SAFETY: lifetime erasure only — `run_indexed` does not return
+        // until every participant is done with the pointer.
+        let task: *const (dyn Fn(usize, usize) + Sync) = unsafe { std::mem::transmute(task) };
         let round = Round {
             task,
             cursor: AtomicUsize::new(0),
@@ -239,8 +251,8 @@ impl ThreadPool {
             tx.send(Msg::Run(RoundPtr(&round)))
                 .expect("pool worker alive");
         }
-        // The caller participates too.
-        let caller = catch_unwind(AssertUnwindSafe(|| drain(&round)));
+        // The caller participates too, as worker 0.
+        let caller = catch_unwind(AssertUnwindSafe(|| drain(&round, 0)));
         // Wait out the workers before the Round leaves the stack.
         let mut pending = round.pending.lock().expect("round latch poisoned");
         while *pending > 0 {
@@ -284,7 +296,7 @@ impl Drop for ThreadPool {
 }
 
 /// Claim-and-run until the round's cursor runs dry.
-fn drain(round: &Round) {
+fn drain(round: &Round, worker: usize) {
     // SAFETY: see `Round::task`.
     let task = unsafe { &*round.task };
     loop {
@@ -292,17 +304,17 @@ fn drain(round: &Round) {
         if i >= round.n_tasks {
             break;
         }
-        task(i);
+        task(worker, i);
     }
 }
 
-fn worker_loop(rx: mpsc::Receiver<Msg>) {
+fn worker_loop(rx: mpsc::Receiver<Msg>, worker: usize) {
     while let Ok(msg) = rx.recv() {
         match msg {
             Msg::Run(ptr) => {
                 // SAFETY: the sender blocks until we signal `pending`.
                 let round = unsafe { &*ptr.0 };
-                if catch_unwind(AssertUnwindSafe(|| drain(round))).is_err() {
+                if catch_unwind(AssertUnwindSafe(|| drain(round, worker))).is_err() {
                     round.panicked.store(true, Ordering::SeqCst);
                 }
                 let mut pending = round.pending.lock().expect("round latch poisoned");
@@ -325,11 +337,55 @@ fn worker_loop(rx: mpsc::Receiver<Msg>) {
 /// With an order-preserving lowering, results are bitwise identical to
 /// [`op2_core::schedule::run_schedule`] for any pool width.
 pub fn run_schedule_pooled(pool: &ThreadPool, bound: &[BoundLoop], sched: &Schedule) -> Vec<u64> {
+    let mut ctxs: Vec<SchedCtx> = Vec::new();
+    run_schedule_pooled_ctx(pool, bound, sched, &mut ctxs)
+}
+
+/// One reusable [`SchedCtx`] per pool participant; each worker touches
+/// only its own slot, identified by the stable index
+/// [`ThreadPool::run_indexed`] hands out.
+struct CtxSlab<'a>(&'a [UnsafeCell<SchedCtx>]);
+// SAFETY: disjoint access — worker `w` dereferences only slot `w`, and
+// participant indices are unique within a round.
+unsafe impl Sync for CtxSlab<'_> {}
+
+impl CtxSlab<'_> {
+    fn slot(&self, w: usize) -> *mut SchedCtx {
+        self.0[w].get()
+    }
+}
+
+/// [`run_schedule_pooled`] with caller-owned per-worker contexts, so
+/// repeated executions of a (fused) schedule reuse the scratch pools and
+/// slot buffers instead of reallocating: zero heap allocations at steady
+/// state. `ctxs` is grown to the pool width on entry and every context
+/// is prepared against `(bound, sched)` before the first round.
+pub fn run_schedule_pooled_ctx(
+    pool: &ThreadPool,
+    bound: &[BoundLoop],
+    sched: &Schedule,
+    ctxs: &mut Vec<SchedCtx>,
+) -> Vec<u64> {
     debug_assert_eq!(bound.len(), sched.n_loops);
+    if ctxs.len() < pool.n_threads() {
+        ctxs.resize_with(pool.n_threads(), SchedCtx::new);
+    }
+    for ctx in ctxs.iter_mut() {
+        ctx.prepare(bound, sched);
+    }
+    // SAFETY: `UnsafeCell<SchedCtx>` has the same layout as `SchedCtx`
+    // (repr(transparent)) and we hold the slice exclusively.
+    let slab = CtxSlab(unsafe {
+        &*(ctxs.as_mut_slice() as *mut [SchedCtx] as *const [UnsafeCell<SchedCtx>])
+    });
     let mut level_ns = Vec::with_capacity(sched.levels.len());
     for level in &sched.levels {
         let t0 = Instant::now();
-        pool.run(level.chunks.len(), &|ci| run_chunk(bound, &level.chunks[ci]));
+        pool.run_indexed(level.chunks.len(), &|w, ci| {
+            // SAFETY: see `CtxSlab` — worker `w` owns slot `w`.
+            let ctx = unsafe { &mut *slab.slot(w) };
+            run_chunk(bound, sched, &level.chunks[ci], ctx);
+        });
         level_ns.push(t0.elapsed().as_nanos() as u64);
     }
     level_ns
@@ -368,6 +424,9 @@ pub struct ThreadCtx {
     pub opts: Threading,
     pool: Option<Arc<ThreadPool>>,
     schedules: HashMap<(u64, usize, usize, usize), Arc<Schedule>>,
+    /// Per-worker execution contexts, reused across every schedule run
+    /// on this rank so fused scratch pools stop allocating once warm.
+    pub sched_ctxs: Vec<SchedCtx>,
     /// Schedules built by the standalone path (inspector work).
     pub color_builds: u64,
     /// Schedules served from the standalone cache.
@@ -381,6 +440,7 @@ impl ThreadCtx {
             opts,
             pool: None,
             schedules: HashMap::new(),
+            sched_ctxs: Vec::new(),
             color_builds: 0,
             color_reuses: 0,
         }
