@@ -60,6 +60,23 @@
 //! steady-state scratch-pool allocation count (zero once warm) and
 //! the bitwise verdict between the fused and unfused residuals.
 //!
+//! `--dataflow` runs the async-executor report: an elongated
+//! skewed-cost chain fixture (clustered heavy blocks, dyadic-exact
+//! kernels) once through the level-synchronous drain (`OP2_EXEC=levels`)
+//! and once through the dependency-counter dataflow drain
+//! (`OP2_EXEC=dataflow` with pinning), emitting `BENCH_dataflow.json`
+//! with both wall times, the per-worker idle totals (strictly lower
+//! under dataflow is the acceptance bar), steal/fire counts, the
+//! critical-path depth vs the barrier count, the steady-state
+//! steal-queue allocation count (zero once warm) and the bitwise
+//! verdict against the sequential reference.
+//!
+//! `--summary` re-reads every `BENCH_*.json` in the working directory
+//! and consolidates the wall-clock headlines (`*_ms` fields, load
+//! imbalance, bitwise verdicts) into one `BENCH_summary.json`, so CI
+//! archives a single at-a-glance record next to the per-subsystem
+//! reports.
+//!
 //! Every report additionally carries a `load` object — each rank's
 //! measured loop + chain wall time and the `max/mean` imbalance ratio
 //! the rebalance detector triggers on.
@@ -70,14 +87,37 @@ use mg_cfd::{
     RunOutcome,
 };
 use op2_bench::json::{load_summary, trace_summary, Json};
-use op2_mesh::skewed_costs;
+use op2_core::{seq, AccessMode, Arg, Args, ChainSpec, LoopSpec};
+use op2_mesh::{skewed_costs, Quad2D};
 use op2_model::Machine;
 use op2_partition::{build_layouts, derive_ownership, rcb_partition};
 use op2_runtime::{
-    run_distributed_with, Boundary, BoundaryKind, FaultPlan, FaultSpec, FuseMode,
-    RebalanceConfig, RebalancePolicy, RunOptions, Service, ServiceConfig, SuperviseOptions,
-    TunerMode,
+    run_distributed_with, Boundary, BoundaryKind, ExecMode, FaultPlan, FaultSpec, FuseMode,
+    RankTrace, RebalanceConfig, RebalancePolicy, RunOptions, Service, ServiceConfig,
+    SuperviseOptions, Threading, TunerMode,
 };
+
+/// Skewed-cost edge kernel for the `--dataflow` fixture: the per-edge
+/// `cost` dat sets the spin count, so clustered heavy blocks straggle
+/// inside each color level. The spin feeds the output (it cannot be
+/// optimized away) and every operation is dyadic, so the result is
+/// bit-comparable across executors.
+fn df_flux(args: &Args<'_>) {
+    let w = args.get(0, 0) as usize;
+    let mut acc = (args.get(1, 0) - args.get(2, 0)) * 0.5;
+    for _ in 0..w {
+        acc = acc * 0.5 + 0.25;
+    }
+    args.inc(3, 0, acc * 0.0078125);
+    args.inc(4, 0, -acc * 0.0078125);
+}
+
+/// Direct node relaxation between the skewed edge sweeps — a cheap
+/// level whose chunks depend on the Inc chunks covering their nodes.
+fn df_relax(args: &Args<'_>) {
+    args.set(0, 0, args.get(0, 0) * 0.5 + args.get(1, 0) * 0.25);
+    args.set(1, 0, 0.0);
+}
 
 fn main() {
     let mut out_path = String::from("BENCH_runtime.json");
@@ -91,6 +131,8 @@ fn main() {
     let mut service = false;
     let mut rebalance = false;
     let mut fusion = false;
+    let mut dataflow = false;
+    let mut summary = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -135,11 +177,13 @@ fn main() {
             "--service" => service = true,
             "--rebalance" => rebalance = true,
             "--fusion" => fusion = true,
+            "--dataflow" => dataflow = true,
+            "--summary" => summary = true,
             "--help" | "-h" => {
                 eprintln!(
                     "flags: --out path  --iters N  --size N  --ranks N  --threads N  \
                      --tiled-threads N  --tiles N  --exchange  --recovery  --service  \
-                     --rebalance  --fusion"
+                     --rebalance  --fusion  --dataflow  --summary"
                 );
                 std::process::exit(0);
             }
@@ -658,6 +702,262 @@ fn main() {
         println!(
             "wrote {fus_path} ({ranks} ranks, {fused_pieces} fused pieces, \
              {elided_bytes} bytes elided, {steady_allocs} steady-state scratch allocs)"
+        );
+    }
+
+    if dataflow {
+        // Async-executor report on the elongated skewed-cost fixture:
+        // a 128×6 strip, a 6-loop chain alternating a skewed indirect
+        // edge sweep with a direct node relaxation, heavy spin counts
+        // clustered into contiguous block runs. Level barriers make
+        // every worker wait out the heavy blocks; the dataflow drain
+        // lets finished workers fire ready chunks from later levels.
+        const NX: usize = 128;
+        const NY: usize = 6;
+        const SWEEPS: usize = 3;
+        const HEAVY: f64 = 8000.0;
+        const LIGHT: f64 = 50.0;
+        let threads = 4usize;
+        let threading = Threading {
+            n_threads: threads,
+            block_size: 8,
+            auto_block: false,
+        };
+
+        let m = Quad2D::generate(NX, NY);
+        let mut dom = m.dom;
+        let n_nodes = dom.set(m.nodes).size;
+        let n_edges = dom.set(m.edges).size;
+        let vals: Vec<f64> = (0..n_nodes).map(|i| ((i * 13 + 7) % 17) as f64).collect();
+        // Heavy cost in clustered runs (blocks 0..8 of every 64-edge
+        // span) so whole chunks straggle rather than single elements.
+        let costs: Vec<f64> = (0..n_edges)
+            .map(|i| if (i / 64) % 8 == 0 { HEAVY } else { LIGHT })
+            .collect();
+        let val = dom.decl_dat("val", m.nodes, 1, vals);
+        let res = dom.decl_dat_zeros("res", m.nodes, 1);
+        let cost = dom.decl_dat("cost", m.edges, 1, costs);
+        let mut loops = Vec::with_capacity(2 * SWEEPS);
+        for _ in 0..SWEEPS {
+            loops.push(LoopSpec::new(
+                "df_flux",
+                m.edges,
+                vec![
+                    Arg::dat_direct(cost, AccessMode::Read),
+                    Arg::dat_indirect(val, m.e2n, 0, AccessMode::Read),
+                    Arg::dat_indirect(val, m.e2n, 1, AccessMode::Read),
+                    Arg::dat_indirect(res, m.e2n, 0, AccessMode::Inc),
+                    Arg::dat_indirect(res, m.e2n, 1, AccessMode::Inc),
+                ],
+                df_flux,
+            ));
+            loops.push(LoopSpec::new(
+                "df_relax",
+                m.nodes,
+                vec![
+                    Arg::dat_direct(val, AccessMode::Rw),
+                    Arg::dat_direct(res, AccessMode::Rw),
+                ],
+                df_relax,
+            ));
+        }
+        let chain = ChainSpec::new("skewed_dataflow", loops, None, &[]).unwrap();
+        let base = rcb_partition(&dom.dat(m.coords).data, 2, 1);
+        let own = derive_ownership(&dom, m.nodes, base, 1);
+        // The SWEEPS read-write sweeps ladder the chain's halo extent;
+        // on one rank the extra layers are empty but must be declared.
+        let layouts = build_layouts(&dom, &own, 2 * SWEEPS);
+
+        // Sequential reference bits (val + res after every iteration).
+        let seq_bits = {
+            let mut d = dom.clone();
+            for _ in 0..2 + iters {
+                for l in &chain.loops {
+                    seq::run_loop(&mut d, l);
+                }
+            }
+            [val, res].map(|id| d.dat(id).data.iter().map(|x| x.to_bits()).collect::<Vec<u64>>())
+        };
+
+        // One pass per executor: two warm-up invocations (plan + DAG
+        // build, scratch sizing), then `iters` timed steady-state
+        // invocations with the steal-queue allocation watermark taken
+        // across them.
+        let run_exec = |exec: ExecMode, pin: bool| {
+            let mut d = dom.clone();
+            let opts = RunOptions::default()
+                .threading(threading)
+                .exec(exec)
+                .thread_pin(pin);
+            let steady = std::sync::Mutex::new((0u64, 0f64));
+            let out = run_distributed_with(&mut d, &layouts, &opts, |env| {
+                for _ in 0..2 {
+                    op2_runtime::exec::run_chain(env, &chain)?;
+                }
+                let warm = env.threads.dataflow.allocs();
+                let t0 = std::time::Instant::now();
+                for _ in 0..iters {
+                    op2_runtime::exec::run_chain(env, &chain)?;
+                }
+                let wall = t0.elapsed().as_secs_f64() * 1e3;
+                let mut s = steady.lock().unwrap();
+                s.0 += env.threads.dataflow.allocs() - warm;
+                s.1 = s.1.max(wall);
+                Ok(())
+            });
+            assert!(out.all_ok(), "dataflow fixture failed: {:?}", out.failures());
+            let bits =
+                [val, res].map(|id| d.dat(id).data.iter().map(|x| x.to_bits()).collect::<Vec<u64>>());
+            let (allocs, wall_ms) = *steady.lock().unwrap();
+            (out.traces, bits, wall_ms, allocs)
+        };
+        let (lv_traces, lv_bits, lv_ms, _) = run_exec(ExecMode::Levels, false);
+        let (df_traces, df_bits, df_ms, df_allocs) = run_exec(ExecMode::Dataflow, true);
+
+        let per_worker = |traces: &[RankTrace], f: &dyn Fn(&op2_runtime::ThreadRec) -> &[u64]| {
+            let mut acc = vec![0u64; threads];
+            for t in traces {
+                for r in &t.threads {
+                    for (w, &v) in f(r).iter().enumerate() {
+                        acc[w] += v;
+                    }
+                }
+            }
+            acc
+        };
+        let lv_idle = per_worker(&lv_traces, &|r| &r.idle_ns);
+        let df_idle = per_worker(&df_traces, &|r| &r.idle_ns);
+        let df_steals = per_worker(&df_traces, &|r| &r.steals);
+        let df_fires = per_worker(&df_traces, &|r| &r.fires);
+        let lv_idle_total: u64 = lv_idle.iter().sum();
+        let df_idle_total: u64 = df_idle.iter().sum();
+        let barrier_levels = lv_traces
+            .iter()
+            .flat_map(|t| t.threads.iter().map(|r| r.n_levels as u64))
+            .max()
+            .unwrap_or(0);
+        let crit_path = df_traces
+            .iter()
+            .flat_map(|t| t.threads.iter().map(|r| r.crit_path as u64))
+            .max()
+            .unwrap_or(0);
+        let bitwise = lv_bits == seq_bits && df_bits == seq_bits;
+        let idle_reduction_pct = if lv_idle_total > 0 {
+            (1.0 - df_idle_total as f64 / lv_idle_total as f64) * 100.0
+        } else {
+            0.0
+        };
+
+        let u64s = |v: &[u64]| Json::Arr(v.iter().map(|&x| Json::U64(x)).collect());
+        let report = Json::obj(vec![
+            ("app", Json::Str("skewed-dataflow-fixture".into())),
+            (
+                "fixture",
+                Json::obj(vec![
+                    ("nx", Json::U64(NX as u64)),
+                    ("ny", Json::U64(NY as u64)),
+                    ("edges", Json::U64(n_edges as u64)),
+                    ("chain_loops", Json::U64(2 * SWEEPS as u64)),
+                    ("heavy_spin", Json::U64(HEAVY as u64)),
+                    ("light_spin", Json::U64(LIGHT as u64)),
+                ]),
+            ),
+            ("iters", Json::U64(iters as u64)),
+            ("threads", Json::U64(threads as u64)),
+            ("levels_ms", Json::F64(lv_ms)),
+            ("dataflow_ms", Json::F64(df_ms)),
+            (
+                "levels",
+                Json::obj(vec![
+                    ("wall_ms", Json::F64(lv_ms)),
+                    ("idle_ns_total", Json::U64(lv_idle_total)),
+                    ("per_worker_idle_ns", u64s(&lv_idle)),
+                    ("barrier_levels", Json::U64(barrier_levels)),
+                ]),
+            ),
+            (
+                "dataflow",
+                Json::obj(vec![
+                    ("wall_ms", Json::F64(df_ms)),
+                    ("idle_ns_total", Json::U64(df_idle_total)),
+                    ("per_worker_idle_ns", u64s(&df_idle)),
+                    ("steals", u64s(&df_steals)),
+                    ("fires", u64s(&df_fires)),
+                    ("crit_path", Json::U64(crit_path)),
+                    ("pinned", Json::Bool(true)),
+                ]),
+            ),
+            ("idle_reduction_pct", Json::F64(idle_reduction_pct)),
+            ("idle_reduced", Json::Bool(df_idle_total < lv_idle_total)),
+            ("steady_steal_queue_allocs", Json::U64(df_allocs)),
+            ("bitwise_identical", Json::Bool(bitwise)),
+        ]);
+        let df_path = "BENCH_dataflow.json".to_string();
+        std::fs::write(&df_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {df_path}: {e}"));
+        println!(
+            "wrote {df_path} (levels {lv_ms:.1}ms vs dataflow {df_ms:.1}ms, \
+             idle {lv_idle_total}ns -> {df_idle_total}ns ({idle_reduction_pct:.0}% less), \
+             {} steals, {df_allocs} steady steal-queue allocs, bitwise {bitwise})",
+            df_steals.iter().sum::<u64>()
+        );
+    }
+
+    if summary {
+        // Consolidate every sibling BENCH_*.json (written by earlier
+        // arms or CI steps) into one wall-clock headline record.
+        let mut names: Vec<String> = std::fs::read_dir(".")
+            .expect("reading working directory")
+            .filter_map(|e| e.ok())
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_summary.json"
+            })
+            .collect();
+        names.sort();
+        let mut files = Vec::new();
+        let mut all_bitwise = true;
+        let mut verdicts = 0u64;
+        for name in &names {
+            let text = std::fs::read_to_string(name)
+                .unwrap_or_else(|e| panic!("reading {name}: {e}"));
+            let doc = Json::parse(&text).unwrap_or_else(|e| panic!("parsing {name}: {e}"));
+            let mut rec: Vec<(String, Json)> = Vec::new();
+            if let Json::Obj(fields) = &doc {
+                for (k, v) in fields {
+                    let headline = k == "app"
+                        || k == "backend"
+                        || k == "rms"
+                        || k.ends_with("_ms")
+                        || k.ends_with("_pct")
+                        || k.ends_with("_speedup");
+                    if headline {
+                        rec.push((k.clone(), v.clone()));
+                    }
+                }
+            }
+            if let Some(r) = doc.get("load").and_then(|l| l.get("imbalance_ratio")) {
+                rec.push(("imbalance_ratio".into(), r.clone()));
+            }
+            if let Some(b) = doc.get("bitwise_identical").and_then(Json::as_bool) {
+                verdicts += 1;
+                all_bitwise &= b;
+                rec.push(("bitwise_identical".into(), Json::Bool(b)));
+            }
+            files.push((name.clone(), Json::Obj(rec)));
+        }
+        let report = Json::obj(vec![
+            ("reports", Json::U64(names.len() as u64)),
+            ("bitwise_verdicts", Json::U64(verdicts)),
+            ("all_bitwise_identical", Json::Bool(all_bitwise)),
+            ("files", Json::Obj(files)),
+        ]);
+        let sum_path = "BENCH_summary.json".to_string();
+        std::fs::write(&sum_path, report.pretty())
+            .unwrap_or_else(|e| panic!("writing {sum_path}: {e}"));
+        println!(
+            "wrote {sum_path} ({} reports, {verdicts} bitwise verdicts, all identical: {all_bitwise})",
+            names.len()
         );
     }
 }

@@ -40,6 +40,48 @@ impl Json {
         Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
+    /// Parse a JSON document (the subset this module emits: objects,
+    /// arrays, strings, numbers, booleans, null). Integers without a
+    /// fraction/exponent round-trip as [`Json::U64`]/[`Json::I64`];
+    /// everything else numeric becomes [`Json::F64`]. Built for the
+    /// `--summary` consolidator, which re-reads its sibling
+    /// `BENCH_*.json` reports.
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (any of the three number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::U64(n) => Some(*n as f64),
+            Json::I64(n) => Some(*n as f64),
+            Json::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// Serialise with two-space indentation and a trailing newline.
     pub fn pretty(&self) -> String {
         let mut out = String::new();
@@ -92,6 +134,191 @@ impl Json {
                 out.push('}');
             }
         }
+    }
+}
+
+/// Recursive-descent parser over the emitted subset. Positions are
+/// byte offsets; the reports are ASCII apart from string payloads,
+/// which are decoded with full escape handling.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".to_string())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", b as char, self.pos))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => self.string().map(Json::Str),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(format!("unexpected `{}` at offset {}", c as char, self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                c => return Err(format!("expected `,` or `}}`, got `{}`", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                c => return Err(format!("expected `,` or `]`, got `{}`", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos).ok_or("bad escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("bad \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|e| format!("bad \\u escape: {e}"))?;
+                            self.pos += 4;
+                            // Surrogates never appear in our reports;
+                            // map unpaired ones to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape `\\{}`", c as char)),
+                    }
+                }
+                _ => {
+                    // Re-sync to char boundaries for multi-byte UTF-8.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|e| format!("bad utf-8 in string: {e}"))?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| format!("bad number: {e}"))?;
+        if !float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Json::U64(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Json::I64(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
     }
 }
 
@@ -256,13 +483,27 @@ fn threads_json(t: &RankTrace) -> Json {
         .iter()
         .flat_map(|r| r.level_ns.iter().copied())
         .sum();
+    let dataflow_execs = t.threads.iter().filter(|r| r.dataflow).count() as u64;
+    let max_crit_path = t.threads.iter().map(|r| r.crit_path as u64).max().unwrap_or(0);
+    let idle_ns: u64 = t
+        .threads
+        .iter()
+        .flat_map(|r| r.idle_ns.iter().copied())
+        .sum();
+    let steals: u64 = t.threads.iter().flat_map(|r| r.steals.iter().copied()).sum();
+    let fires: u64 = t.threads.iter().flat_map(|r| r.fires.iter().copied()).sum();
     Json::obj(vec![
         ("execs", Json::U64(execs)),
         ("tiled_execs", Json::U64(tiled_execs)),
+        ("dataflow_execs", Json::U64(dataflow_execs)),
         ("n_threads", Json::U64(n_threads)),
         ("chunks", Json::U64(chunks)),
         ("max_levels", Json::U64(max_levels)),
+        ("max_crit_path", Json::U64(max_crit_path)),
         ("level_ns", Json::U64(level_ns)),
+        ("idle_ns", Json::U64(idle_ns)),
+        ("steals", Json::U64(steals)),
+        ("fires", Json::U64(fires)),
     ])
 }
 
@@ -352,6 +593,52 @@ mod tests {
         assert!(s.contains("\"migrations\": 1"));
         assert!(s.contains("\"elements_out\": 12"));
         assert!(s.contains("\"imbalance_before_milli\": 1800"));
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_reports() {
+        let j = Json::obj(vec![
+            ("app", Json::Str("mg-cfd".into())),
+            ("wall_ms", Json::F64(12.5)),
+            ("iters", Json::U64(3)),
+            ("gain", Json::I64(-7)),
+            ("ok", Json::Bool(true)),
+            ("missing", Json::Null),
+            ("walls", Json::Arr(vec![Json::U64(1), Json::U64(2)])),
+            (
+                "nested",
+                Json::obj(vec![("s", Json::Str("a\"b\\c\nd — π".into()))]),
+            ),
+        ]);
+        let back = Json::parse(&j.pretty()).expect("round trip");
+        assert_eq!(back.get("app").map(Json::pretty), Some("\"mg-cfd\"\n".into()));
+        assert_eq!(back.get("wall_ms").and_then(Json::as_f64), Some(12.5));
+        assert!(matches!(back.get("iters"), Some(Json::U64(3))));
+        assert!(matches!(back.get("gain"), Some(Json::I64(-7))));
+        assert_eq!(back.get("ok").and_then(Json::as_bool), Some(true));
+        assert!(matches!(back.get("missing"), Some(Json::Null)));
+        assert!(matches!(back.get("walls"), Some(Json::Arr(v)) if v.len() == 2));
+        let s = back.get("nested").and_then(|n| n.get("s"));
+        assert!(matches!(s, Some(Json::Str(x)) if x == "a\"b\\c\nd — π"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(Json::parse("{\"a\": }").is_err());
+        assert!(Json::parse("[1, 2").is_err());
+        assert!(Json::parse("{} extra").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parse_number_variants() {
+        assert!(matches!(Json::parse("42"), Ok(Json::U64(42))));
+        assert!(matches!(Json::parse("-3"), Ok(Json::I64(-3))));
+        assert!(matches!(Json::parse("2.5"), Ok(Json::F64(x)) if x == 2.5));
+        assert!(matches!(Json::parse("1e3"), Ok(Json::F64(x)) if x == 1000.0));
+        assert!(
+            matches!(Json::parse("\"\\u00e9\\u0041\""), Ok(Json::Str(s)) if s == "éA")
+        );
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod access;
 pub mod chain;
 pub mod coloring;
 pub mod config;
+pub mod dag;
 pub mod domain;
 pub mod error;
 pub mod kernel;
@@ -90,6 +91,7 @@ pub use access::{AccessMode, Arg, GblDecl, GblOp};
 pub use coloring::{color_loop, is_valid_coloring, Coloring};
 pub use chain::{calc_halo_extents, calc_halo_layers, fusion_groups, halo_exch_dats, import_depths, import_depths_relaxed, ChainSpec, FuseBlock, FusionGroupInfo, FusionPlan, HaloLayers};
 pub use config::{parse_chain_config, ChainConfig};
+pub use dag::{dag_accesses, ChunkDag};
 pub use domain::{DatData, DatId, Domain, MapData, MapId, Set, SetId};
 pub use error::{CoreError, Result};
 pub use kernel::{Args, KernelFn};

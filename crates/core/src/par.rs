@@ -106,8 +106,9 @@ pub struct ConflictAccess<'a> {
 }
 
 impl ConflictAccess<'_> {
+    /// Target element of iteration `e` in the access's target set.
     #[inline]
-    fn target(&self, e: usize) -> usize {
+    pub(crate) fn target(&self, e: usize) -> usize {
         match self.map {
             Some((values, arity, idx)) => values[e * arity + idx] as usize,
             None => e,

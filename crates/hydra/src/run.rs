@@ -7,9 +7,9 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_chain_relaxed, run_chain_tiled, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, FuseMode,
-    Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError,
-    Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, ExecMode,
+    FuseMode, Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions,
+    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 use std::sync::{Arc, Mutex};
 
@@ -424,6 +424,34 @@ pub fn run_ca_threaded(
         mode,
         1,
         &RunOptions::default().threading(threading),
+    )
+}
+
+/// [`run_ca_threaded`] under an explicit schedule drain policy
+/// (`OP2_EXEC`) and first-touch chunk pinning (`OP2_THREAD_PIN`):
+/// `ExecMode::Dataflow` drains every lowered schedule through the
+/// per-chunk dependency-counter executor instead of one pool barrier
+/// per level. Bitwise identical to [`run_ca`] under either drain.
+pub fn run_ca_dataflow(
+    app: &mut Hydra,
+    layouts: &[RankLayout],
+    iters: usize,
+    mode: ExtentMode,
+    threading: Threading,
+    exec: ExecMode,
+    pin: bool,
+) -> RunOutcome {
+    run_dist(
+        app,
+        layouts,
+        iters,
+        true,
+        mode,
+        1,
+        &RunOptions::default()
+            .threading(threading)
+            .exec(exec)
+            .thread_pin(pin),
     )
 }
 

@@ -28,7 +28,7 @@ pub mod run;
 
 pub use app::{MgCfd, MgCfdParams, Step};
 pub use run::{
-    register_service_mesh, run_auto, run_ca, run_ca_fused, run_ca_rebalanced, run_ca_service,
-    run_ca_supervised, run_ca_threaded, run_ca_tiled, run_ca_tiled_threaded, run_op2, run_sequential, run_tuned,
-    service_job, RunOutcome,
+    register_service_mesh, run_auto, run_ca, run_ca_dataflow, run_ca_fused, run_ca_rebalanced,
+    run_ca_service, run_ca_supervised, run_ca_threaded, run_ca_tiled, run_ca_tiled_threaded,
+    run_op2, run_sequential, run_tuned, service_job, RunOutcome,
 };

@@ -7,9 +7,9 @@ use op2_model::Machine;
 use op2_partition::RankLayout;
 use op2_runtime::exec::{run_chain, run_loop};
 use op2_runtime::{
-    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, FuseMode,
-    Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions, RuntimeError,
-    Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
+    run_distributed, run_distributed_with, run_supervised, run_supervised_with_state, ExecMode,
+    FuseMode, Job, JobStep, RankState, RankTrace, RebalancePolicy, RebalanceRec, RunOptions,
+    RuntimeError, Service, ServiceError, SuperviseOptions, Threading, Tuner, TunerMode,
 };
 use std::sync::{Arc, Mutex};
 
@@ -345,6 +345,34 @@ pub fn run_ca_threaded(
         iters,
         true,
         &RunOptions::default().threading(threading),
+    )
+}
+
+/// [`run_ca_threaded`] under an explicit schedule drain policy
+/// (`OP2_EXEC`) and first-touch chunk pinning (`OP2_THREAD_PIN`):
+/// `ExecMode::Dataflow` drains every lowered schedule through the
+/// per-chunk dependency-counter executor (owner-first deques, LIFO
+/// steal-from-richest) instead of one pool barrier per level;
+/// `ExecMode::Auto` lets the profit arm pick per schedule. Bitwise
+/// identical to [`run_ca`] at any thread count under either drain — the
+/// chunk DAG orders every conflicting pair in sequential order.
+pub fn run_ca_dataflow(
+    app: &mut MgCfd,
+    layouts: &[RankLayout],
+    iters: usize,
+    threading: Threading,
+    exec: ExecMode,
+    pin: bool,
+) -> RunOutcome {
+    run_dist(
+        app,
+        layouts,
+        iters,
+        true,
+        &RunOptions::default()
+            .threading(threading)
+            .exec(exec)
+            .thread_pin(pin),
     )
 }
 

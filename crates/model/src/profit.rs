@@ -199,6 +199,58 @@ pub fn classify_fused(elided_bytes: u64, overlap_loss_s: f64, mem_s_per_byte: f6
     }
 }
 
+/// Default per-dependency hand-off cost of the dataflow executor
+/// (seconds): one atomic counter decrement plus a queue push when it
+/// reaches zero — two orders of magnitude cheaper than a pool barrier
+/// ([`COLOR_SYNC_S`]), which is the whole point of replacing barriers
+/// with counters.
+pub const DEP_HANDOFF_S: f64 = 5e-8;
+
+/// The dataflow-vs-levels profit arm's verdict for one lowered schedule
+/// (see [`classify_exec`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecProfit {
+    /// Modelled synchronisation cost of the level-synchronous drain:
+    /// one pool barrier per level.
+    pub levels_s: f64,
+    /// Modelled synchronisation cost of the dataflow drain: one
+    /// fork/join round for the whole schedule plus per-chunk dependency
+    /// hand-offs along the critical path.
+    pub dataflow_s: f64,
+    /// `levels_s - dataflow_s` — positive when dataflow wins.
+    pub gain_s: f64,
+    /// Whether the model recommends the dataflow executor.
+    pub dataflow: bool,
+}
+
+/// The dataflow-vs-levels profit arm (`OP2_EXEC=auto`). The
+/// level-synchronous drain pays one pool barrier (`sync_s`, measured per
+/// rank by `measure_sync_s`) per level — every chunk waits for the
+/// slowest chunk of the previous level. The dataflow drain pays a single
+/// fork/join round for the whole schedule plus a dependency hand-off
+/// (`DEP_HANDOFF_S`) per critical-path step; chunks off the critical
+/// path fire as their counters drain, costing no wall time. Compute is
+/// identical either way (same chunks, same kernels), so the
+/// synchronisation totals decide. With one thread there is nothing to
+/// synchronise and the levels path (plain sequential walk) wins by
+/// definition.
+pub fn classify_exec(
+    threads: usize,
+    n_levels: usize,
+    crit_path: usize,
+    sync_s: f64,
+) -> ExecProfit {
+    let levels_s = n_levels as f64 * sync_s;
+    let dataflow_s = sync_s + crit_path as f64 * DEP_HANDOFF_S;
+    let gain_s = levels_s - dataflow_s;
+    ExecProfit {
+        levels_s,
+        dataflow_s,
+        gain_s,
+        dataflow: threads > 1 && gain_s > 0.0,
+    }
+}
+
 /// The paper's narrative for a class on a machine kind, for reports.
 pub fn narrative(class: ChainClass, kind: MachineKind) -> &'static str {
     match (class, kind) {
@@ -340,5 +392,28 @@ mod tests {
         // Break-even sits at elided_bytes · s/B == overlap loss.
         let edge = classify_fused(1 << 20, (1 << 20) as f64 * MEM_S_PER_BYTE, MEM_S_PER_BYTE);
         assert!(!edge.fuse);
+    }
+
+    #[test]
+    fn exec_arm_weighs_barriers_against_handoffs() {
+        // A deep schedule (many levels, shallow critical path relative
+        // to the barrier bill) is where dataflow wins: 100 barriers vs
+        // one round plus 100 hand-offs.
+        let win = classify_exec(4, 100, 100, COLOR_SYNC_S);
+        assert!(win.dataflow);
+        assert!(win.gain_s > 0.0);
+        assert!((win.levels_s - 100.0 * COLOR_SYNC_S).abs() < 1e-12);
+
+        // One level ⇒ one barrier either way; dataflow only adds
+        // hand-offs.
+        let flat = classify_exec(4, 1, 1, COLOR_SYNC_S);
+        assert!(!flat.dataflow);
+        assert!(flat.gain_s < 0.0);
+
+        // A single thread never prefers dataflow — nothing to overlap.
+        assert!(!classify_exec(1, 100, 100, COLOR_SYNC_S).dataflow);
+
+        // Free barriers (sync_s = 0) leave nothing to save.
+        assert!(!classify_exec(4, 100, 100, 0.0).dataflow);
     }
 }

@@ -31,13 +31,16 @@
 use crate::comm::{CommError, RankComm};
 use crate::fault::{BoundaryAction, BoundaryKind};
 use crate::plan::{ChainPlan, NeighborPack, PlanCache};
-use crate::threads::{run_schedule_pooled, run_schedule_pooled_ctx, ThreadCtx, Threading};
+use crate::threads::{
+    run_schedule_dataflow, run_schedule_pooled_ctx, ExecStats, ThreadCtx, Threading,
+};
 use crate::trace::{ExchangeRec, RankTrace, SchedKind, ThreadRec};
+use op2_core::dag::{dag_accesses, ChunkDag};
 use op2_core::par::{adaptive_block_size, color_blocks_raw, conflict_accesses, BlockColoring};
 use op2_core::schedule::{
     run_schedule_ctx, BoundArg, BoundLoop, SchedCtx, Schedule, ScheduleKind,
 };
-use op2_core::{Arg, ChainSpec, DatId, Domain, LoopSpec};
+use op2_core::{Arg, ChainSpec, DatId, Domain, LoopSig, LoopSpec};
 use op2_partition::layout::{NeighborPlan, RankLayout};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -121,6 +124,76 @@ impl FuseMode {
         let raw = std::env::var("OP2_FUSE").ok();
         FuseMode::parse(raw.as_deref())
     }
+}
+
+/// Schedule drain policy (`OP2_EXEC`): how pooled executors drain a
+/// lowered [`Schedule`] — one barriered pool round per level, or the
+/// dataflow executor ([`crate::threads::run_dag`]) where each chunk
+/// fires the moment its dependency counter reaches zero. Results are
+/// bitwise identical either way (the chunk DAG orders every conflicting
+/// pair in sequential order), only the synchronisation shape differs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Level-synchronous draining — one pool barrier per level (the
+    /// default: matches the paper's executor, and wide shallow
+    /// schedules lose nothing to barriers).
+    #[default]
+    Levels,
+    /// Always drain through the dataflow executor: per-chunk dependency
+    /// counters, owner-first deques, LIFO steal-from-richest stealing.
+    Dataflow,
+    /// Let the calibrated cost model decide per schedule
+    /// ([`op2_model::classify_exec`]): critical-path depth priced
+    /// against barrier count × the rank's measured sync cost.
+    Auto,
+}
+
+impl ExecMode {
+    /// Parse an `OP2_EXEC`-style value: `levels` / `dataflow` / `auto`
+    /// (case-insensitive; `None` = unset → `Levels`).
+    pub fn parse(raw: Option<&str>) -> Result<ExecMode, crate::error::ConfigError> {
+        let parsed = parse_knob(
+            raw,
+            |v| match v.to_ascii_lowercase().as_str() {
+                "levels" => Some(ExecMode::Levels),
+                "dataflow" => Some(ExecMode::Dataflow),
+                "auto" => Some(ExecMode::Auto),
+                _ => None,
+            },
+            |value| crate::error::ConfigError::Exec { value },
+        )?;
+        Ok(parsed.unwrap_or_default())
+    }
+
+    /// [`ExecMode::parse`] on the `OP2_EXEC` environment variable.
+    pub fn try_from_env() -> Result<ExecMode, crate::error::ConfigError> {
+        let raw = std::env::var("OP2_EXEC").ok();
+        ExecMode::parse(raw.as_deref())
+    }
+}
+
+/// Parse an `OP2_THREAD_PIN`-style value: a boolean (`1`/`0`/`true`/
+/// `false`/`on`/`off`, case-insensitive; `None` = unset → `false`).
+/// When set, the dataflow executor pins chunk ownership to workers in
+/// first-touch (contiguous level-major range) order, so the pages a
+/// worker's chunks touch stay hot in that worker's cache across drains.
+pub fn parse_thread_pin(raw: Option<&str>) -> Result<bool, crate::error::ConfigError> {
+    let parsed = parse_knob(
+        raw,
+        |v| match v.to_ascii_lowercase().as_str() {
+            "1" | "true" | "on" => Some(true),
+            "0" | "false" | "off" => Some(false),
+            _ => None,
+        },
+        |value| crate::error::ConfigError::ThreadPin { value },
+    )?;
+    Ok(parsed.unwrap_or(false))
+}
+
+/// [`parse_thread_pin`] on the `OP2_THREAD_PIN` environment variable.
+pub fn thread_pin_from_env() -> Result<bool, crate::error::ConfigError> {
+    let raw = std::env::var("OP2_THREAD_PIN").ok();
+    parse_thread_pin(raw.as_deref())
 }
 
 /// Payload size above which planned pack/unpack splits a neighbour's
@@ -215,6 +288,11 @@ pub struct RankEnv<'a> {
     pub threads: ThreadCtx,
     /// Cross-loop fusion policy for chain executors (see [`FuseMode`]).
     pub fuse: FuseMode,
+    /// Schedule drain policy for pooled executions (see [`ExecMode`]).
+    pub exec: ExecMode,
+    /// Pin chunk ownership to workers in first-touch order under the
+    /// dataflow drain (`OP2_THREAD_PIN`).
+    pub pin: bool,
     /// Persistent-exchange warm-up state (see [`ExchangeBuffers`]).
     pub exch_bufs: ExchangeBuffers,
     /// Checkpoint/replay state (see [`crate::checkpoint`]); inert — all
@@ -258,6 +336,8 @@ impl<'a> RankEnv<'a> {
             // itself can never panic on a malformed variable.
             threads: ThreadCtx::new(Threading::single()),
             fuse: FuseMode::default(),
+            exec: ExecMode::default(),
+            pin: false,
             exch_bufs: ExchangeBuffers::default(),
             ckpt: crate::checkpoint::CheckpointCtx::inert(),
             boundaries: [0; 3],
@@ -341,7 +421,7 @@ impl<'a> RankEnv<'a> {
                 s
             }
         };
-        self.exec_schedule_threaded(spec, gbl_bufs, &sched);
+        self.exec_schedule_threaded(spec, gbl_bufs, &sched, None);
     }
 
     /// [`RankEnv::exec_range`] for a chain loop with a cached plan: the
@@ -373,7 +453,7 @@ impl<'a> RankEnv<'a> {
                 s
             }
         };
-        self.exec_schedule_threaded(spec, gbl_bufs, &sched);
+        self.exec_schedule_threaded(spec, gbl_bufs, &sched, Some(plan));
     }
 
     /// Should `[start, end)` of `spec` run on the thread pool — and with
@@ -480,22 +560,99 @@ impl<'a> RankEnv<'a> {
         BoundLoop::from_parts(spec.kernel, args)
     }
 
-    /// Executor: run one loop's colored schedule on the rank's own pool,
-    /// level by level. Same-level chunks touch disjoint modified
-    /// elements (race-free) and conflicting chunks are ordered by
-    /// ascending level = ascending block index, so per-element update
-    /// order equals the sequential executor's — results are bitwise
-    /// identical for any thread count. Appends a [`ThreadRec`] with
-    /// per-level wall times to the trace.
+    /// The chunk dependency DAG for `sched`, derived from the
+    /// chain-wide conflict accesses of `sigs` ([`dag_accesses`]) over
+    /// this rank's localized maps, and cached: in `plan` when given
+    /// (dropped with the plan on epoch invalidation), else in the
+    /// rank's [`ThreadCtx`].
+    fn resolve_dag(
+        &mut self,
+        sigs: &[LoopSig],
+        sched: &Arc<Schedule>,
+        plan: Option<&ChainPlan>,
+    ) -> Arc<ChunkDag> {
+        let cached = match plan {
+            Some(p) => p.cached_dag(sched),
+            None => self.threads.dag_cached(sched),
+        };
+        if let Some(d) = cached {
+            return d;
+        }
+        let set_sizes: Vec<usize> = self.layout.sets.iter().map(|s| s.n_local()).collect();
+        let accesses = dag_accesses(&self.layout.maps, sigs);
+        let dag = Arc::new(ChunkDag::build(sched, &set_sizes, &accesses));
+        match plan {
+            Some(p) => p.store_dag(sched, Arc::clone(&dag)),
+            None => self.threads.store_dag(sched, Arc::clone(&dag)),
+        }
+        dag
+    }
+
+    /// Should this schedule drain through the dataflow executor?
+    /// `OP2_EXEC=levels`/`dataflow` decide directly; `auto` asks the
+    /// profit arm — critical-path hand-offs against barrier count times
+    /// this rank's measured pool sync cost.
+    fn dataflow_chosen(&mut self, sched: &Schedule, dag: &ChunkDag) -> bool {
+        match self.exec {
+            ExecMode::Levels => false,
+            ExecMode::Dataflow => true,
+            ExecMode::Auto => {
+                let threads = self.threads.opts.n_threads;
+                let sync_s = self.threads.sync_cost();
+                op2_model::classify_exec(threads, sched.n_levels(), dag.crit_path as usize, sync_s)
+                    .dataflow
+            }
+        }
+    }
+
+    /// Drain `bound` over `sched` on the rank's pool, through whichever
+    /// executor [`RankEnv::dataflow_chosen`] picks — dataflow needs the
+    /// chunk DAG ([`RankEnv::resolve_dag`]), levels pays one barrier per
+    /// level. Bitwise identical either way.
+    fn drain_schedule(
+        &mut self,
+        sigs: &[LoopSig],
+        bound: &[BoundLoop],
+        sched: &Arc<Schedule>,
+        plan: Option<&ChainPlan>,
+    ) -> ExecStats {
+        let pool = self.threads.pool();
+        if self.exec != ExecMode::Levels && sched.has_parallelism() {
+            let dag = self.resolve_dag(sigs, sched, plan);
+            if self.dataflow_chosen(sched, &dag) {
+                return run_schedule_dataflow(
+                    &pool,
+                    bound,
+                    sched,
+                    &dag,
+                    self.pin,
+                    &mut self.threads.sched_ctxs,
+                    &mut self.threads.dataflow,
+                );
+            }
+        }
+        run_schedule_pooled_ctx(&pool, bound, sched, &mut self.threads.sched_ctxs)
+    }
+
+    /// Executor: run one loop's colored schedule on the rank's own pool.
+    /// Same-level chunks touch disjoint modified elements (race-free)
+    /// and conflicting chunks are ordered by ascending level = ascending
+    /// block index — and the dataflow drain preserves exactly the
+    /// conflicting-pair order through the chunk DAG — so per-element
+    /// update order equals the sequential executor's: results are
+    /// bitwise identical for any thread count and either drain. Appends
+    /// a [`ThreadRec`] with per-level wall times and per-worker
+    /// idle/steal/fire counters to the trace.
     fn exec_schedule_threaded(
         &mut self,
         spec: &LoopSpec,
         gbl_bufs: &mut [Vec<f64>],
-        sched: &Schedule,
+        sched: &Arc<Schedule>,
+        plan: Option<&ChainPlan>,
     ) {
         let bound = self.bind_loop(spec, gbl_bufs);
-        let pool = self.threads.pool();
-        let level_ns = run_schedule_pooled(&pool, std::slice::from_ref(&bound), sched);
+        let sigs = [spec.sig()];
+        let stats = self.drain_schedule(&sigs, std::slice::from_ref(&bound), sched, plan);
         let block_size = match sched.kind {
             ScheduleKind::Colored { block_size } => block_size,
             _ => 0,
@@ -503,12 +660,17 @@ impl<'a> RankEnv<'a> {
         self.trace.threads.push(ThreadRec {
             name: spec.name.clone(),
             iters: sched.loop_iters(0),
-            n_threads: pool.n_threads(),
+            n_threads: self.threads.pool().n_threads(),
             block_size,
             n_chunks: sched.n_chunks(),
             n_levels: sched.n_levels(),
             kind: SchedKind::Colored,
-            level_ns,
+            level_ns: stats.level_ns,
+            crit_path: stats.crit_path,
+            dataflow: stats.dataflow,
+            idle_ns: stats.idle_ns,
+            steals: stats.steals,
+            fires: stats.fires,
         });
     }
 
@@ -516,9 +678,17 @@ impl<'a> RankEnv<'a> {
     /// tiles concurrently on the rank's pool when threading is active
     /// and the schedule has parallelism to expose, sequentially (level
     /// order, which is bitwise identical to tile-id order) otherwise.
-    /// Appends a [`ThreadRec`] (kind [`SchedKind::Tiled`]) with per-level
-    /// wall times when the pool ran.
-    pub fn exec_chain_schedule(&mut self, chain: &ChainSpec, sched: &Schedule) {
+    /// Under `OP2_EXEC=dataflow`/`auto` the pooled drain goes through
+    /// the dataflow executor with the chain's chunk DAG (cached in
+    /// `plan` when given). Appends a [`ThreadRec`] (kind
+    /// [`SchedKind::Tiled`]) with per-level wall times when the pool
+    /// ran.
+    pub fn exec_chain_schedule(
+        &mut self,
+        chain: &ChainSpec,
+        sched: &Arc<Schedule>,
+        plan: Option<&ChainPlan>,
+    ) {
         debug_assert_eq!(sched.n_loops, chain.len());
         let mut gbls: Vec<Vec<f64>> = Vec::new();
         let mut bound = Vec::with_capacity(chain.len());
@@ -537,23 +707,27 @@ impl<'a> RankEnv<'a> {
             bound.push(self.bind_loop(spec, bufs));
         }
         if self.threads.opts.active() && sched.has_parallelism() {
-            let pool = self.threads.pool();
             // Per-worker contexts persist in ThreadCtx across chain
             // invocations, so steady-state fused execution performs zero
             // scratch-pool or slot-table heap allocations (asserted via
             // `SchedCtx::allocs`).
-            let level_ns =
-                run_schedule_pooled_ctx(&pool, &bound, sched, &mut self.threads.sched_ctxs);
+            let sigs = chain.sigs();
+            let stats = self.drain_schedule(&sigs, &bound, sched, plan);
             let iters: usize = (0..sched.n_loops).map(|j| sched.loop_iters(j)).sum();
             self.trace.threads.push(ThreadRec {
                 name: chain.name.clone(),
                 iters,
-                n_threads: pool.n_threads(),
+                n_threads: self.threads.pool().n_threads(),
                 block_size: 0,
                 n_chunks: sched.n_chunks(),
                 n_levels: sched.n_levels(),
                 kind: SchedKind::Tiled,
-                level_ns,
+                level_ns: stats.level_ns,
+                crit_path: stats.crit_path,
+                dataflow: stats.dataflow,
+                idle_ns: stats.idle_ns,
+                steals: stats.steals,
+                fires: stats.fires,
             });
         } else {
             if self.threads.sched_ctxs.is_empty() {
@@ -1182,5 +1356,50 @@ mod tests {
         assert!(matches!(&err, ConfigError::Fuse { value } if value == "maybe"));
         let msg = err.to_string();
         assert!(msg.contains("OP2_FUSE") && msg.contains("maybe"), "{msg}");
+    }
+
+    /// `OP2_EXEC` knob grammar: levels/dataflow/auto (case-insensitive),
+    /// unset defaults to Levels, anything else is a typed
+    /// [`ConfigError::Exec`].
+    #[test]
+    fn exec_mode_knob_grammar() {
+        use crate::error::ConfigError;
+
+        assert_eq!(ExecMode::parse(None).unwrap(), ExecMode::Levels);
+        for v in ["levels", "LEVELS", "Levels"] {
+            assert_eq!(ExecMode::parse(Some(v)).unwrap(), ExecMode::Levels, "{v}");
+        }
+        for v in ["dataflow", "DATAFLOW", "DataFlow"] {
+            assert_eq!(ExecMode::parse(Some(v)).unwrap(), ExecMode::Dataflow, "{v}");
+        }
+        for v in ["auto", "AUTO"] {
+            assert_eq!(ExecMode::parse(Some(v)).unwrap(), ExecMode::Auto, "{v}");
+        }
+
+        let err = ExecMode::parse(Some("async")).unwrap_err();
+        assert!(matches!(&err, ConfigError::Exec { value } if value == "async"));
+        let msg = err.to_string();
+        assert!(msg.contains("OP2_EXEC") && msg.contains("async"), "{msg}");
+    }
+
+    /// `OP2_THREAD_PIN` knob grammar: the boolean spellings
+    /// (case-insensitive), unset defaults to off, anything else is a
+    /// typed [`ConfigError::ThreadPin`].
+    #[test]
+    fn thread_pin_knob_grammar() {
+        use crate::error::ConfigError;
+
+        assert!(!parse_thread_pin(None).unwrap());
+        for v in ["1", "true", "on", "TRUE", "On"] {
+            assert!(parse_thread_pin(Some(v)).unwrap(), "{v}");
+        }
+        for v in ["0", "false", "off", "FALSE", "Off"] {
+            assert!(!parse_thread_pin(Some(v)).unwrap(), "{v}");
+        }
+
+        let err = parse_thread_pin(Some("yes-please")).unwrap_err();
+        assert!(matches!(&err, ConfigError::ThreadPin { value } if value == "yes-please"));
+        let msg = err.to_string();
+        assert!(msg.contains("OP2_THREAD_PIN") && msg.contains("yes-please"), "{msg}");
     }
 }

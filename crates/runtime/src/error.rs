@@ -61,6 +61,16 @@ pub enum ConfigError {
         /// The rejected value.
         value: String,
     },
+    /// `OP2_EXEC` was not `levels`, `dataflow`, or `auto`.
+    Exec {
+        /// The rejected value.
+        value: String,
+    },
+    /// `OP2_THREAD_PIN` was not a boolean (`0`/`1`/`true`/`false`/`on`/`off`).
+    ThreadPin {
+        /// The rejected value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -95,6 +105,12 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::Fuse { value } => {
                 write!(f, "OP2_FUSE must be on|off|auto, got `{value}`")
+            }
+            ConfigError::Exec { value } => {
+                write!(f, "OP2_EXEC must be levels|dataflow|auto, got `{value}`")
+            }
+            ConfigError::ThreadPin { value } => {
+                write!(f, "OP2_THREAD_PIN must be 0|1|true|false|on|off, got `{value}`")
             }
         }
     }

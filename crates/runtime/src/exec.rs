@@ -460,7 +460,7 @@ pub fn run_chain_fused(env: &mut RankEnv<'_>, chain: &ChainSpec) -> Result<(), R
     let mut rec = env.exchange_planned(&plan);
     // No core overlap (see above): wait first, then the whole chain.
     env.exchange_wait_planned(&plan, &mut rec)?;
-    env.exec_chain_schedule(chain, &fc.sched);
+    env.exec_chain_schedule(chain, &fc.sched, Some(&plan));
 
     // Validity transitions — then elided intermediates drop to 0: their
     // memory was never written, their contents are unspecified by the
@@ -710,13 +710,13 @@ pub fn run_chain_tiled(
         env.plans.stats.fused_pieces += fc.fused_pieces;
         env.plans.stats.elided_bytes += fc.elided_bytes;
         env.exchange_wait_planned(&plan, &mut rec)?;
-        env.exec_chain_schedule(chain, &fc.sched);
+        env.exec_chain_schedule(chain, &fc.sched, Some(&plan));
     } else {
         // Core tiles while the exchange is in flight — they read nothing
         // the wait delivers, and the core/post split preserves the full
         // plan's conflict order, so the result stays bitwise identical.
         if tc.n_core_tiles > 0 {
-            env.exec_chain_schedule(chain, &tc.core);
+            env.exec_chain_schedule(chain, &tc.core, Some(&plan));
             env.plans.stats.overlap_tiles += tc.n_core_tiles as u64;
         }
 
@@ -726,7 +726,7 @@ pub fn run_chain_tiled(
         // concurrently on the rank's pool when threading is active,
         // sequentially (bitwise identical) otherwise.
         if tc.n_core_tiles < tc.tiles.n_tiles {
-            env.exec_chain_schedule(chain, &tc.post);
+            env.exec_chain_schedule(chain, &tc.post, Some(&plan));
         }
     }
 

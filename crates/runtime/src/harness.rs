@@ -51,6 +51,14 @@ pub struct RunOptions {
     /// reads `OP2_FUSE` from the environment (absent = off). `Some` is
     /// taken verbatim.
     pub fuse: Option<crate::env::FuseMode>,
+    /// Schedule drain policy, **per rank**. `None` (the default) reads
+    /// `OP2_EXEC` from the environment (absent = levels). `Some` is
+    /// taken verbatim.
+    pub exec: Option<crate::env::ExecMode>,
+    /// Pin chunk ownership to workers in first-touch order under the
+    /// dataflow drain. `None` (the default) reads `OP2_THREAD_PIN` from
+    /// the environment (absent = off). `Some` is taken verbatim.
+    pub thread_pin: Option<bool>,
 }
 
 impl RunOptions {
@@ -92,6 +100,20 @@ impl RunOptions {
     /// `OP2_FUSE` default.
     pub fn fuse(mut self, mode: crate::env::FuseMode) -> Self {
         self.fuse = Some(mode);
+        self
+    }
+
+    /// Schedule drain policy (builder style), overriding the `OP2_EXEC`
+    /// default.
+    pub fn exec(mut self, mode: crate::env::ExecMode) -> Self {
+        self.exec = Some(mode);
+        self
+    }
+
+    /// First-touch chunk pinning (builder style), overriding the
+    /// `OP2_THREAD_PIN` default.
+    pub fn thread_pin(mut self, pin: bool) -> Self {
+        self.thread_pin = Some(pin);
         self
     }
 }
@@ -229,6 +251,21 @@ where
             Err(e) => return config_failure(e),
         },
     };
+    // And for the drain-policy knobs OP2_EXEC / OP2_THREAD_PIN.
+    let exec = match opts.exec {
+        Some(m) => m,
+        None => match crate::env::ExecMode::try_from_env() {
+            Ok(m) => m,
+            Err(e) => return config_failure(e),
+        },
+    };
+    let pin = match opts.thread_pin {
+        Some(p) => p,
+        None => match crate::env::thread_pin_from_env() {
+            Ok(p) => p,
+            Err(e) => return config_failure(e),
+        },
+    };
     let world = match &opts.faults {
         Some(plan) => CommWorld::with_faults(nparts, plan.clone()),
         None => CommWorld::new(nparts),
@@ -247,6 +284,8 @@ where
                     let mut env = RankEnv::new(layout, dom_ref, comm);
                     env.threads.opts = threading;
                     env.fuse = fuse;
+                    env.exec = exec;
+                    env.pin = pin;
                     let run = catch_unwind(AssertUnwindSafe(|| program_ref(&mut env)));
                     let verdict = match run {
                         Ok(Ok(r)) => Ok(r),

@@ -81,7 +81,7 @@ pub mod tuner;
 
 pub use checkpoint::{CheckpointConfig, CheckpointCtx, RankState};
 pub use comm::{CommConfig, CommCounters, CommError, CommWorld, RankComm};
-pub use env::{FuseMode, RankEnv};
+pub use env::{ExecMode, FuseMode, RankEnv};
 pub use error::{ConfigError, RankFailure, RuntimeError};
 pub use exec::{
     run_chain, run_chain_fused, run_chain_relaxed, run_chain_tiled, run_chain_unplanned,
@@ -90,7 +90,7 @@ pub use exec::{
 pub use fault::{Boundary, BoundaryAction, BoundaryKind, CrashSite, FaultPlan, FaultSpec};
 pub use harness::{run_distributed, run_distributed_with, DistOutcome, RunOptions};
 pub use lazy::LazyExec;
-pub use env::{env_knob, parse_knob};
+pub use env::{env_knob, parse_knob, parse_thread_pin, thread_pin_from_env};
 pub use plan::{
     chain_signature, dirty_class, loop_signature, mesh_signature, plan_for, ChainPlan, FusedChain,
     FusedKey, PlanCache, PlanRegistry, PlanStats,
@@ -105,7 +105,8 @@ pub use rebalance::{
 };
 pub use supervise::{run_supervised, run_supervised_with_state, SuperviseOptions};
 pub use threads::{
-    measure_sync_s, run_schedule_pooled, run_schedule_pooled_ctx, ThreadCtx, ThreadPool, Threading,
+    chunk_owner, measure_sync_s, run_dag, run_schedule_dataflow, run_schedule_pooled,
+    run_schedule_pooled_ctx, DataflowScratch, ExecStats, ThreadCtx, ThreadPool, Threading,
 };
 pub use trace::{
     ChainRec, ClassRec, ExchangeRec, LoopRec, RankTrace, RebalanceRec, RecoveryRec, SchedKind,

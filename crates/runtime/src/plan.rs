@@ -38,7 +38,7 @@ use op2_core::schedule::{
 use op2_core::tiling::{
     build_tile_plan_raw, overlap_core_tiles, seed_blocks, seed_from_targets, TilePlan,
 };
-use op2_core::{AccessMode, Arg, ChainSpec, DatId, Domain, LoopSpec, Schedule};
+use op2_core::{AccessMode, Arg, ChainSpec, ChunkDag, DatId, Domain, LoopSpec, Schedule};
 use op2_partition::layout::RankLayout;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -270,7 +270,19 @@ pub struct ChainPlan {
     /// first threaded execution of that range — the coloring is
     /// inspector work, paid once per plan like the tile schedules.
     colorings: Mutex<HashMap<ColoringKey, Arc<Schedule>>>,
+    /// Chunk dependency DAGs for the dataflow executor, one per lowered
+    /// schedule this plan owns (colored, tiled core/post, fused), built
+    /// lazily on first dataflow drain. Keyed by the schedule's identity
+    /// — schedules are themselves cached one-per-lowering-key, so this
+    /// is one DAG per lowering. Each entry pins its schedule `Arc`, so
+    /// a key can never be reused by a reallocation while it is live,
+    /// and the DAGs drop with the plan on epoch invalidation.
+    dags: Mutex<DagCache>,
 }
+
+/// Schedule-identity-keyed DAG cache: each entry pins the schedule
+/// `Arc` whose address keys it.
+pub type DagCache = HashMap<usize, (Arc<Schedule>, Arc<ChunkDag>)>;
 
 /// Key of a cached colored schedule: `(loop position, start, end, block
 /// size)`.
@@ -453,7 +465,27 @@ impl ChainPlan {
             tiles: Mutex::new(HashMap::new()),
             colorings: Mutex::new(HashMap::new()),
             fused: Mutex::new(HashMap::new()),
+            dags: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Cached chunk dependency DAG for one of this plan's lowered
+    /// schedules, if a dataflow drain already built it.
+    pub fn cached_dag(&self, sched: &Arc<Schedule>) -> Option<Arc<ChunkDag>> {
+        self.dags
+            .lock()
+            .expect("dag cache poisoned")
+            .get(&(Arc::as_ptr(sched) as usize))
+            .map(|(_, d)| Arc::clone(d))
+    }
+
+    /// Store a freshly built chunk dependency DAG for `sched` (pinning
+    /// the schedule so the identity key stays unique).
+    pub fn store_dag(&self, sched: &Arc<Schedule>, dag: Arc<ChunkDag>) {
+        self.dags.lock().expect("dag cache poisoned").insert(
+            Arc::as_ptr(sched) as usize,
+            (Arc::clone(sched), dag),
+        );
     }
 
     /// Cached colored schedule for `(loop position, start, end, block

@@ -22,11 +22,12 @@
 //! [`crate::harness::RunOptions`].
 
 use crate::error::ConfigError;
+use op2_core::dag::ChunkDag;
 use op2_core::schedule::{run_chunk, BoundLoop, SchedCtx, Schedule};
 use std::cell::UnsafeCell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
@@ -328,15 +329,41 @@ fn worker_loop(rx: mpsc::Receiver<Msg>, worker: usize) {
     }
 }
 
+/// What one pooled schedule execution measured — the per-level walls the
+/// trace always recorded, plus the per-worker busy/idle split and the
+/// dataflow executor's steal/fire counters (zero under the leveled
+/// walk). `idle_ns[w]` is uniform across both executors: total wall
+/// minus worker `w`'s summed chunk-execution time, so barrier waiting
+/// under levels and spin/steal waiting under dataflow are measured with
+/// the same ruler.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Wall-clock nanoseconds per level (dataflow runs have a single
+    /// barrier-free "level": the whole drain).
+    pub level_ns: Vec<u64>,
+    /// Total wall-clock nanoseconds of the execution.
+    pub total_ns: u64,
+    /// Per-worker idle nanoseconds (`total_ns` − busy).
+    pub idle_ns: Vec<u64>,
+    /// Per-worker successful steals (always 0 under levels).
+    pub steals: Vec<u64>,
+    /// Per-worker chunks executed.
+    pub fires: Vec<u64>,
+    /// Serial depth of the execution: the DAG's critical path under
+    /// dataflow, the level count under the leveled walk.
+    pub crit_path: usize,
+    /// Which executor ran.
+    pub dataflow: bool,
+}
+
 /// Execute a lowered [`Schedule`] on a pool, level by level: within a
 /// level, chunks are claimed from the round cursor; the pool barriers
-/// between levels. Returns wall-clock nanoseconds per level (the uniform
-/// per-level timing every back-end records in
-/// [`crate::trace::ThreadRec`]).
+/// between levels. Returns the per-level walls and per-worker
+/// busy/idle counters ([`ExecStats`]).
 ///
 /// With an order-preserving lowering, results are bitwise identical to
 /// [`op2_core::schedule::run_schedule`] for any pool width.
-pub fn run_schedule_pooled(pool: &ThreadPool, bound: &[BoundLoop], sched: &Schedule) -> Vec<u64> {
+pub fn run_schedule_pooled(pool: &ThreadPool, bound: &[BoundLoop], sched: &Schedule) -> ExecStats {
     let mut ctxs: Vec<SchedCtx> = Vec::new();
     run_schedule_pooled_ctx(pool, bound, sched, &mut ctxs)
 }
@@ -365,10 +392,11 @@ pub fn run_schedule_pooled_ctx(
     bound: &[BoundLoop],
     sched: &Schedule,
     ctxs: &mut Vec<SchedCtx>,
-) -> Vec<u64> {
+) -> ExecStats {
     debug_assert_eq!(bound.len(), sched.n_loops);
-    if ctxs.len() < pool.n_threads() {
-        ctxs.resize_with(pool.n_threads(), SchedCtx::new);
+    let w_count = pool.n_threads();
+    if ctxs.len() < w_count {
+        ctxs.resize_with(w_count, SchedCtx::new);
     }
     for ctx in ctxs.iter_mut() {
         ctx.prepare(bound, sched);
@@ -378,17 +406,299 @@ pub fn run_schedule_pooled_ctx(
     let slab = CtxSlab(unsafe {
         &*(ctxs.as_mut_slice() as *mut [SchedCtx] as *const [UnsafeCell<SchedCtx>])
     });
+    let busy: Vec<AtomicU64> = (0..w_count).map(|_| AtomicU64::new(0)).collect();
+    let fires: Vec<AtomicU64> = (0..w_count).map(|_| AtomicU64::new(0)).collect();
     let mut level_ns = Vec::with_capacity(sched.levels.len());
+    let t0 = Instant::now();
     for level in &sched.levels {
-        let t0 = Instant::now();
+        let l0 = Instant::now();
         pool.run_indexed(level.chunks.len(), &|w, ci| {
             // SAFETY: see `CtxSlab` — worker `w` owns slot `w`.
             let ctx = unsafe { &mut *slab.slot(w) };
+            let c0 = Instant::now();
             run_chunk(bound, sched, &level.chunks[ci], ctx);
+            busy[w].fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            fires[w].fetch_add(1, Ordering::Relaxed);
         });
-        level_ns.push(t0.elapsed().as_nanos() as u64);
+        level_ns.push(l0.elapsed().as_nanos() as u64);
     }
-    level_ns
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    ExecStats {
+        level_ns,
+        total_ns,
+        idle_ns: busy
+            .iter()
+            .map(|b| total_ns.saturating_sub(b.load(Ordering::Relaxed)))
+            .collect(),
+        steals: vec![0; w_count],
+        fires: fires.iter().map(|f| f.load(Ordering::Relaxed)).collect(),
+        crit_path: sched.n_levels(),
+        dataflow: false,
+    }
+}
+
+/// Reusable state of the dataflow executor: the per-chunk dependency
+/// counters and the per-worker owner-first steal stacks, persisted in
+/// [`ThreadCtx`] across executions so the steady state performs **zero
+/// heap allocations in the steal queues** — every growth is counted in
+/// [`DataflowScratch::allocs`], which the bench and tests assert flat.
+#[derive(Default)]
+pub struct DataflowScratch {
+    /// Live firing counters, re-armed from [`ChunkDag::deps`] per run.
+    deps: Vec<AtomicU32>,
+    /// One LIFO stack per worker: the owner pushes and pops at the tail
+    /// (hot end); thieves pop the tail of the *richest* victim.
+    queues: Vec<Mutex<Vec<u32>>>,
+    /// Racy size hints for the steal-victim scan (exact under the lock).
+    sizes: Vec<AtomicUsize>,
+    busy: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+    fires: Vec<AtomicU64>,
+    allocs: u64,
+}
+
+impl DataflowScratch {
+    /// Heap allocations (or capacity growths) the dep counters and steal
+    /// queues have performed so far — flat across repeat executions of
+    /// warmed shapes.
+    pub fn allocs(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Size for `workers` workers over `n_chunks` chunks, counting every
+    /// growth; clears all queues and counters.
+    fn prepare(&mut self, workers: usize, n_chunks: usize) {
+        if self.deps.len() < n_chunks {
+            self.allocs += 1;
+            self.deps.resize_with(n_chunks, || AtomicU32::new(0));
+        }
+        if self.queues.len() < workers {
+            self.allocs += 1;
+            self.queues.resize_with(workers, || Mutex::new(Vec::new()));
+            self.sizes.resize_with(workers, || AtomicUsize::new(0));
+            self.busy.resize_with(workers, || AtomicU64::new(0));
+            self.steals.resize_with(workers, || AtomicU64::new(0));
+            self.fires.resize_with(workers, || AtomicU64::new(0));
+        }
+        for w in 0..workers {
+            let mut q = self.queues[w].lock().expect("steal queue poisoned");
+            q.clear();
+            let cap = q.capacity();
+            if cap < n_chunks {
+                self.allocs += 1;
+                q.reserve_exact(n_chunks - cap);
+            }
+            self.sizes[w].store(0, Ordering::Relaxed);
+            self.busy[w].store(0, Ordering::Relaxed);
+            self.steals[w].store(0, Ordering::Relaxed);
+            self.fires[w].store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Pop owner-first: the worker's own tail, else the tail of the
+    /// richest victim (counted as a steal).
+    fn pop(&self, me: usize, workers: usize) -> Option<u32> {
+        {
+            let mut q = self.queues[me].lock().expect("steal queue poisoned");
+            if let Some(c) = q.pop() {
+                self.sizes[me].store(q.len(), Ordering::Release);
+                return Some(c);
+            }
+        }
+        let mut best = usize::MAX;
+        let mut best_size = 0usize;
+        for v in 0..workers {
+            if v == me {
+                continue;
+            }
+            let s = self.sizes[v].load(Ordering::Acquire);
+            if s > best_size {
+                best_size = s;
+                best = v;
+            }
+        }
+        if best != usize::MAX {
+            let mut q = self.queues[best].lock().expect("steal queue poisoned");
+            if let Some(c) = q.pop() {
+                self.sizes[best].store(q.len(), Ordering::Release);
+                self.steals[me].fetch_add(1, Ordering::Relaxed);
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Push a ready chunk onto its owner's stack.
+    fn push(&self, owner: usize, c: u32) {
+        let mut q = self.queues[owner].lock().expect("steal queue poisoned");
+        q.push(c);
+        self.sizes[owner].store(q.len(), Ordering::Release);
+    }
+}
+
+/// Which worker owns chunk `c` — where it is seeded when its counter
+/// hits zero. With `pin`, chunk ids (level-major, ascending iteration
+/// ranges) map to contiguous per-worker ranges, so across repeated
+/// executions each worker keeps first-touching the same dat pages and
+/// they stay hot in its cache/NUMA node. Without `pin`, round-robin
+/// spreads ready chunks for load balance.
+#[inline]
+pub fn chunk_owner(c: usize, workers: usize, n_chunks: usize, pin: bool) -> usize {
+    if pin {
+        c * workers / n_chunks.max(1)
+    } else {
+        c % workers
+    }
+}
+
+/// Drain a [`ChunkDag`] on the pool: every chunk fires the moment its
+/// dependency counter reaches zero — no level barriers. Ready chunks go
+/// to their owner's LIFO stack; idle workers steal from the richest
+/// victim. `task(worker, chunk)` runs each chunk; `worker` is a unique
+/// instance id in `0..n_threads` (at most one live instance per id, so
+/// it can index per-worker scratch).
+///
+/// Determinism: the DAG orders every conflicting chunk pair in
+/// sequential order (see [`ChunkDag::build`]), so any queue/steal order
+/// yields the sequential per-element update sequence — results are
+/// bitwise identical to the leveled walk and to sequential execution.
+///
+/// Panic containment: a panicking chunk aborts the drain (counters are
+/// left undecremented, spinning workers are released) and the panic
+/// re-raises on the caller via the pool's round machinery.
+pub fn run_dag(
+    pool: &ThreadPool,
+    dag: &ChunkDag,
+    pin: bool,
+    scratch: &mut DataflowScratch,
+    task: &(dyn Fn(usize, usize) + Sync),
+) -> ExecStats {
+    let w_count = pool.n_threads();
+    let n = dag.n_chunks;
+    scratch.prepare(w_count, n);
+    if n == 0 {
+        return ExecStats {
+            crit_path: dag.crit_path as usize,
+            dataflow: true,
+            idle_ns: vec![0; w_count],
+            steals: vec![0; w_count],
+            fires: vec![0; w_count],
+            ..ExecStats::default()
+        };
+    }
+    for (i, &d) in dag.deps.iter().enumerate() {
+        scratch.deps[i].store(d, Ordering::Relaxed);
+    }
+    // Seed roots in reverse so each owner's LIFO stack pops them in
+    // ascending chunk-id order (the sequential front of the DAG first).
+    for &r in dag.roots.iter().rev() {
+        scratch.push(chunk_owner(r as usize, w_count, n, pin), r);
+    }
+    let remaining = AtomicUsize::new(n);
+    let aborted = AtomicBool::new(false);
+    let scratch_ref: &DataflowScratch = scratch;
+    let t0 = Instant::now();
+    pool.run_indexed(w_count, &|_, me| {
+        // `me` is the claimed instance id, not the participant index:
+        // the round cursor may hand one participant several instances
+        // (which then run serially), and queue/scratch identity must be
+        // unique per concurrent drainer.
+        loop {
+            match scratch_ref.pop(me, w_count) {
+                Some(c) => {
+                    let c0 = Instant::now();
+                    let ran = catch_unwind(AssertUnwindSafe(|| task(me, c as usize)));
+                    scratch_ref.busy[me].fetch_add(c0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    scratch_ref.fires[me].fetch_add(1, Ordering::Relaxed);
+                    if let Err(payload) = ran {
+                        aborted.store(true, Ordering::SeqCst);
+                        remaining.store(0, Ordering::SeqCst);
+                        resume_unwind(payload);
+                    }
+                    for &s in &dag.succs[c as usize] {
+                        // AcqRel: the final decrement synchronizes with
+                        // every predecessor's, so the chunk that fires
+                        // `s` (possibly on another worker, via the queue
+                        // mutex) sees all predecessors' data writes.
+                        if scratch_ref.deps[s as usize].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            scratch_ref.push(chunk_owner(s as usize, w_count, n, pin), s);
+                        }
+                    }
+                    remaining.fetch_sub(1, Ordering::AcqRel);
+                }
+                None => {
+                    // `aborted` is checked separately: a completion
+                    // racing the abort's `store(0)` can wrap `remaining`
+                    // past zero.
+                    if aborted.load(Ordering::SeqCst) || remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                    std::thread::yield_now();
+                }
+            }
+        }
+    });
+    let total_ns = t0.elapsed().as_nanos() as u64;
+    let load = |v: &[AtomicU64]| -> Vec<u64> {
+        v[..w_count]
+            .iter()
+            .map(|x| x.load(Ordering::Relaxed))
+            .collect()
+    };
+    ExecStats {
+        level_ns: vec![total_ns],
+        total_ns,
+        idle_ns: load(&scratch.busy)
+            .into_iter()
+            .map(|b| total_ns.saturating_sub(b))
+            .collect(),
+        steals: load(&scratch.steals),
+        fires: load(&scratch.fires),
+        crit_path: dag.crit_path as usize,
+        dataflow: true,
+    }
+}
+
+/// [`run_schedule_pooled_ctx`]'s dataflow twin: drain `sched`'s chunks
+/// in [`ChunkDag`] dependency order on the pool, with per-worker
+/// contexts for scratch reuse. Bitwise identical to the leveled walk
+/// (and to sequential execution) for order-preserving lowerings at any
+/// pool width.
+pub fn run_schedule_dataflow(
+    pool: &ThreadPool,
+    bound: &[BoundLoop],
+    sched: &Schedule,
+    dag: &ChunkDag,
+    pin: bool,
+    ctxs: &mut Vec<SchedCtx>,
+    scratch: &mut DataflowScratch,
+) -> ExecStats {
+    debug_assert_eq!(bound.len(), sched.n_loops);
+    debug_assert_eq!(dag.n_chunks, sched.n_chunks());
+    let w_count = pool.n_threads();
+    if ctxs.len() < w_count {
+        ctxs.resize_with(w_count, SchedCtx::new);
+    }
+    for ctx in ctxs.iter_mut() {
+        ctx.prepare(bound, sched);
+    }
+    // SAFETY: see `run_schedule_pooled_ctx`; instance ids are unique per
+    // round, so slot access stays disjoint.
+    let slab = CtxSlab(unsafe {
+        &*(ctxs.as_mut_slice() as *mut [SchedCtx] as *const [UnsafeCell<SchedCtx>])
+    });
+    run_dag(pool, dag, pin, scratch, &|w, c| {
+        let (li, ci) = dag.locs[c];
+        // SAFETY: see `CtxSlab` — instance `w` owns slot `w`.
+        let ctx = unsafe { &mut *slab.slot(w) };
+        run_chunk(
+            bound,
+            sched,
+            &sched.levels[li as usize].chunks[ci as usize],
+            ctx,
+        );
+    })
 }
 
 /// Measure the per-level synchronization cost of a pool: the mean
@@ -427,6 +737,17 @@ pub struct ThreadCtx {
     /// Per-worker execution contexts, reused across every schedule run
     /// on this rank so fused scratch pools stop allocating once warm.
     pub sched_ctxs: Vec<SchedCtx>,
+    /// Reusable dataflow executor state (dependency counters, steal
+    /// queues) — zero allocations once warmed to the largest shape.
+    pub dataflow: DataflowScratch,
+    /// Chunk DAGs for standalone-loop schedules, keyed by the cached
+    /// schedule's [`Arc`] identity (chain schedules cache theirs in the
+    /// [`crate::plan::ChainPlan`]). Each entry pins its schedule `Arc`
+    /// so a key can never be reused by a reallocation while it is live.
+    dags: HashMap<usize, (Arc<Schedule>, Arc<ChunkDag>)>,
+    /// Measured per-round pool synchronization cost (seconds), cached by
+    /// [`ThreadCtx::sync_cost`] for the dataflow-vs-levels profit arm.
+    pub sync_s: Option<f64>,
     /// Schedules built by the standalone path (inspector work).
     pub color_builds: u64,
     /// Schedules served from the standalone cache.
@@ -441,9 +762,40 @@ impl ThreadCtx {
             pool: None,
             schedules: HashMap::new(),
             sched_ctxs: Vec::new(),
+            dataflow: DataflowScratch::default(),
+            dags: HashMap::new(),
+            sync_s: None,
             color_builds: 0,
             color_reuses: 0,
         }
+    }
+
+    /// The pool's measured per-round synchronization cost, measured once
+    /// ([`measure_sync_s`]) and cached — the barrier price the
+    /// `OP2_EXEC=auto` profit arm weighs level counts with.
+    pub fn sync_cost(&mut self) -> f64 {
+        if let Some(s) = self.sync_s {
+            return s;
+        }
+        let pool = self.pool();
+        let s = measure_sync_s(&pool, 8);
+        self.sync_s = Some(s);
+        s
+    }
+
+    /// Cached chunk DAG for a standalone-loop schedule (keyed by the
+    /// schedule's allocation identity, which the entry itself pins).
+    pub fn dag_cached(&self, sched: &Arc<Schedule>) -> Option<Arc<ChunkDag>> {
+        self.dags
+            .get(&(Arc::as_ptr(sched) as usize))
+            .map(|(_, d)| Arc::clone(d))
+    }
+
+    /// Store a freshly built chunk DAG (pinning the schedule so the
+    /// identity key stays unique).
+    pub fn store_dag(&mut self, sched: &Arc<Schedule>, dag: Arc<ChunkDag>) {
+        self.dags
+            .insert(Arc::as_ptr(sched) as usize, (Arc::clone(sched), dag));
     }
 
     /// The rank's own pool, created on first use at `opts.n_threads`
@@ -660,8 +1012,10 @@ mod tests {
             let mut gbls: Vec<Vec<f64>> = Vec::new();
             let bound = BoundLoop::bind(&mut dom, &spec, &mut gbls);
             let pool = ThreadPool::new(n_threads);
-            let level_ns = run_schedule_pooled(&pool, std::slice::from_ref(&bound), &sched);
-            assert_eq!(level_ns.len(), sched.n_levels());
+            let stats = run_schedule_pooled(&pool, std::slice::from_ref(&bound), &sched);
+            assert_eq!(stats.level_ns.len(), sched.n_levels());
+            assert!(!stats.dataflow);
+            assert_eq!(stats.fires.iter().sum::<u64>() as usize, sched.n_chunks());
             assert_eq!(dom.dat(r).data, reference, "n_threads={n_threads}");
         }
     }
@@ -673,5 +1027,158 @@ mod tests {
         assert!(s > 0.0);
         let inline = ThreadPool::new(1);
         assert_eq!(measure_sync_s(&inline, 16), 0.0);
+    }
+
+    /// Build a path-graph loop's colored schedule and its chunk DAG —
+    /// consecutive blocks conflict, so the DAG has real edges at every
+    /// block size.
+    fn path_dag(n_nodes: usize, block: usize) -> (Schedule, op2_core::ChunkDag) {
+        use op2_core::{AccessMode, Arg, Args, Domain, LoopSpec};
+        fn noop(_: &Args<'_>) {}
+        let mut dom = Domain::new();
+        let nodes = dom.decl_set("nodes", n_nodes);
+        let edges = dom.decl_set("edges", n_nodes - 1);
+        let vals: Vec<u32> = (0..n_nodes as u32 - 1).flat_map(|i| [i, i + 1]).collect();
+        let e2n = dom.decl_map("e2n", edges, nodes, 2, vals).unwrap();
+        let r = dom.decl_dat_zeros("res", nodes, 1);
+        let spec = LoopSpec::new(
+            "flux",
+            edges,
+            vec![
+                Arg::dat_indirect(r, e2n, 0, AccessMode::Inc),
+                Arg::dat_indirect(r, e2n, 1, AccessMode::Inc),
+            ],
+            noop,
+        );
+        let bc = op2_core::color_blocks(&dom, &spec.sig(), block);
+        let sched = Schedule::from_block_coloring(&bc);
+        let set_sizes: Vec<usize> = dom.sets().iter().map(|s| s.size).collect();
+        let acc = op2_core::dag_accesses(dom.maps(), &[spec.sig()]);
+        let dag = op2_core::ChunkDag::build(&sched, &set_sizes, &acc);
+        (sched, dag)
+    }
+
+    mod dataflow_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+
+            /// Steal-queue invariants: every chunk fires exactly once,
+            /// and never before every predecessor completed (the
+            /// dependency counter reached zero).
+            #[test]
+            fn dag_drain_fires_each_chunk_once_after_deps(
+                n_nodes in 17usize..160,
+                block in 1usize..24,
+                workers in 1usize..5,
+                pin in proptest::bool::ANY,
+            ) {
+                let (_sched, dag) = path_dag(n_nodes, block);
+                let mut preds: Vec<Vec<u32>> = vec![Vec::new(); dag.n_chunks];
+                for (p, ss) in dag.succs.iter().enumerate() {
+                    for &s in ss {
+                        preds[s as usize].push(p as u32);
+                    }
+                }
+                let fired: Vec<AtomicUsize> =
+                    (0..dag.n_chunks).map(|_| AtomicUsize::new(0)).collect();
+                let done: Vec<AtomicBool> =
+                    (0..dag.n_chunks).map(|_| AtomicBool::new(false)).collect();
+                let pool = ThreadPool::new(workers);
+                let mut scratch = DataflowScratch::default();
+                let stats = run_dag(&pool, &dag, pin, &mut scratch, &|_, c| {
+                    for &p in &preds[c] {
+                        assert!(
+                            done[p as usize].load(Ordering::SeqCst),
+                            "chunk {c} fired before predecessor {p}"
+                        );
+                    }
+                    fired[c].fetch_add(1, Ordering::SeqCst);
+                    done[c].store(true, Ordering::SeqCst);
+                });
+                prop_assert!(fired.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+                prop_assert_eq!(stats.fires.iter().sum::<u64>() as usize, dag.n_chunks);
+                prop_assert!(stats.dataflow);
+                prop_assert_eq!(stats.crit_path as u32, dag.crit_path);
+                if workers == 1 {
+                    prop_assert_eq!(stats.steals.iter().sum::<u64>(), 0);
+                }
+            }
+
+            /// Without contention (one worker) there is nothing to
+            /// steal: the drain follows the owner's LIFO stack exactly —
+            /// roots in ascending order, each chunk's newly readied
+            /// successors before any older root.
+            #[test]
+            fn single_worker_order_is_owner_lifo(
+                n_nodes in 17usize..160,
+                block in 1usize..24,
+                pin in proptest::bool::ANY,
+            ) {
+                let (_sched, dag) = path_dag(n_nodes, block);
+                // Reference: the executor's exact pop discipline, serial.
+                let mut stack: Vec<u32> = dag.roots.iter().rev().copied().collect();
+                let mut deps = dag.deps.clone();
+                let mut expect = Vec::with_capacity(dag.n_chunks);
+                while let Some(c) = stack.pop() {
+                    expect.push(c as usize);
+                    for &s in &dag.succs[c as usize] {
+                        deps[s as usize] -= 1;
+                        if deps[s as usize] == 0 {
+                            stack.push(s);
+                        }
+                    }
+                }
+                let order = Mutex::new(Vec::with_capacity(dag.n_chunks));
+                let pool = ThreadPool::new(1);
+                let mut scratch = DataflowScratch::default();
+                let stats = run_dag(&pool, &dag, pin, &mut scratch, &|_, c| {
+                    order.lock().unwrap().push(c);
+                });
+                prop_assert_eq!(stats.steals.iter().sum::<u64>(), 0);
+                prop_assert_eq!(order.into_inner().unwrap(), expect);
+            }
+        }
+    }
+
+    /// Once warmed to a shape, repeat drains perform zero allocations in
+    /// the dependency counters and steal queues.
+    #[test]
+    fn dataflow_scratch_steady_state_allocates_nothing() {
+        let (_sched, dag) = path_dag(129, 8);
+        let pool = ThreadPool::new(4);
+        let mut scratch = DataflowScratch::default();
+        run_dag(&pool, &dag, true, &mut scratch, &|_, _| {});
+        let warm = scratch.allocs();
+        assert!(warm > 0);
+        for _ in 0..5 {
+            run_dag(&pool, &dag, true, &mut scratch, &|_, _| {});
+        }
+        assert_eq!(scratch.allocs(), warm);
+    }
+
+    /// A panicking chunk aborts the drain without deadlocking the
+    /// spinning workers, and the panic reaches the caller.
+    #[test]
+    fn dag_chunk_panic_propagates_without_deadlock() {
+        let (_sched, dag) = path_dag(129, 8);
+        let pool = ThreadPool::new(2);
+        let mut scratch = DataflowScratch::default();
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            run_dag(&pool, &dag, false, &mut scratch, &|_, c| {
+                if c == 3 {
+                    panic!("chunk 3 exploded");
+                }
+            });
+        }));
+        assert!(res.is_err());
+        // The pool and scratch survive for the next drain.
+        let count = AtomicUsize::new(0);
+        run_dag(&pool, &dag, false, &mut scratch, &|_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), dag.n_chunks);
     }
 }
